@@ -1,0 +1,10 @@
+"""X6 -- Section VII: a binomial / coupon-collector model of the
+probabilistic message adversary, validated against measured rounds."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments_ext import experiment_x6
+
+
+def test_analytic_model(benchmark):
+    run_and_check(benchmark, experiment_x6)

@@ -1,0 +1,9 @@
+"""X4 -- Optimality: DAC on a hostile dynamic network matches the reliable-channel classic's per-phase rate (1/2)."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_x4
+
+
+def test_baseline_comparison(benchmark):
+    run_and_check(benchmark, experiment_x4)

@@ -1,0 +1,9 @@
+"""I4 -- Theorem 10: overlap groups + two-faced Byzantine core split the network 0 vs 1 at degree D-1; plain DBAC stalls."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_i4
+
+
+def test_byzantine_necessity(benchmark):
+    run_and_check(benchmark, experiment_i4)

@@ -1,0 +1,11 @@
+"""X7 -- Open question probe: adversarial search over selectors x
+Byzantine strategies for the slowest DBAC contraction; the worst seen
+stays ~1/2, far below the proven 1 - 2^-n bound."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments_ext import experiment_x7
+
+
+def test_byzantine_rate_search(benchmark):
+    run_and_check(benchmark, experiment_x7)

@@ -1,0 +1,9 @@
+"""I2/I3 -- Theorem 9: degree floor(n-over-2)-1 forces stall-or-disagree; n = 2f is beaten by isolate-then-connect regardless of eventual stability."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_i2
+
+
+def test_crash_necessity(benchmark):
+    run_and_check(benchmark, experiment_i2)

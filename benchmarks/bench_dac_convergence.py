@@ -1,0 +1,9 @@
+"""E2 -- Remark 1: DAC's per-phase contraction of range(V(p)) never exceeds 1/2, and the nearest-value adversary makes the bound tight."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_e2
+
+
+def test_dac_convergence(benchmark):
+    run_and_check(benchmark, experiment_e2)

@@ -1,0 +1,9 @@
+"""E1 -- Theorem 3: DAC termination/validity/eps-agreement at the exact feasibility boundary (n = 2f+1 crashes, D = floor(n-over-2), worst-case enforcing adversaries)."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_e1
+
+
+def test_dac_correctness(benchmark):
+    run_and_check(benchmark, experiment_e1)

@@ -1,0 +1,9 @@
+"""E3 -- Equation 2 / Section VII: measured rounds-to-output vs the worst-case T * p_end bound across window sizes and epsilons."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_e3
+
+
+def test_dac_rounds(benchmark):
+    run_and_check(benchmark, experiment_e3)

@@ -1,0 +1,9 @@
+"""E5 -- Theorem 7 / Equation 6: measured DBAC rate and phase count vs the (exponentially conservative) 1 - 2^-n bound."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_e5
+
+
+def test_dbac_convergence(benchmark):
+    run_and_check(benchmark, experiment_e5)

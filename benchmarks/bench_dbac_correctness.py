@@ -1,0 +1,9 @@
+"""E4 -- Theorems 4 and 7: DBAC correct at n = 5f+1 against equivocating, phase-lying, and pinned Byzantine strategies."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_e4
+
+
+def test_dbac_correctness(benchmark):
+    run_and_check(benchmark, experiment_e4)

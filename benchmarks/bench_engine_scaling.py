@@ -1,0 +1,34 @@
+"""S1 -- Engine throughput: micro-benchmarks of one synchronous round
+at several network sizes, plus the scaling table. The simulator is the
+substrate for every other experiment; this pins its cost model
+(O(n^2) work per round on dense graphs)."""
+
+import pytest
+from conftest import run_and_check
+
+from repro.adversary.base import StaticAdversary
+from repro.bench.experiments import experiment_s1
+from repro.core.dac import DACProcess
+from repro.net.ports import identity_ports
+from repro.sim.engine import Engine
+from repro.sim.rng import spawn_inputs
+
+
+def make_engine(n: int) -> Engine:
+    ports = identity_ports(n)
+    inputs = spawn_inputs(3, n)
+    processes = {
+        v: DACProcess(n, 0, inputs[v], v, epsilon=1e-12) for v in range(n)
+    }
+    return Engine(processes, StaticAdversary(), ports, record_trace=False)
+
+
+@pytest.mark.parametrize("n", [10, 20, 40, 80])
+def test_round_cost(benchmark, n):
+    """Cost of one dense round at size n."""
+    engine = make_engine(n)
+    benchmark(engine.run_round)
+
+
+def test_engine_scaling_table(benchmark):
+    run_and_check(benchmark, experiment_s1)

@@ -1,0 +1,9 @@
+"""I1 -- Corollary 1: exact consensus breaks under (1, n-2) mobile omission -- exhaustive model check at n=3 plus the constructive block-min adversary."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_i1
+
+
+def test_exact_impossibility(benchmark):
+    run_and_check(benchmark, experiment_i1)

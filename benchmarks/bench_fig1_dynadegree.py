@@ -1,0 +1,11 @@
+"""F1 -- Figure 1: the example adversary satisfies (2,1)- but not
+(1,1)-dynaDegree. Regenerates the paper's motivating example as a
+stability profile over window sizes."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_f1
+
+
+def test_fig1_dynadegree(benchmark):
+    run_and_check(benchmark, experiment_f1)

@@ -1,0 +1,9 @@
+"""X3 -- Design ablation: DAC's jump rule is what survives phase skew; without it slow nodes stall forever."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_x3
+
+
+def test_jump_ablation(benchmark):
+    run_and_check(benchmark, experiment_x3)

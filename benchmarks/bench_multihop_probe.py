@@ -1,0 +1,12 @@
+"""X8 -- The multi-hop future work, probed: directed rings have full
+information flow (dynaReach n-1) but starved direct degree (dynaDegree
+1); anonymous quorum counting cannot use journeys, so DAC and even the
+relaying variant stall while asymptotic averaging converges."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments_ext import experiment_x8
+
+
+def test_multihop_probe(benchmark):
+    run_and_check(benchmark, experiment_x8)

@@ -1,0 +1,9 @@
+"""X2 -- Section VII extension: piggybacking k old states -- bandwidth cost vs wall-clock convergence."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_x2
+
+
+def test_piggyback_tradeoff(benchmark):
+    run_and_check(benchmark, experiment_x2)

@@ -1,0 +1,9 @@
+"""X1 -- Section VII extension: expected rounds to eps-agreement under the probabilistic (i.i.d. link) message adversary."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments import experiment_x1
+
+
+def test_probabilistic(benchmark):
+    run_and_check(benchmark, experiment_x1)

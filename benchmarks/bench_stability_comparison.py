@@ -1,0 +1,11 @@
+"""X5 -- Section II-B: (T, D)-dynaDegree is incomparable with rooted-
+spanning-tree and T-interval-connectivity stability. Rooted/connected
+forever can still starve DAC; asymptotic averaging rides them all."""
+
+from conftest import run_and_check
+
+from repro.bench.experiments_ext import experiment_x5
+
+
+def test_stability_comparison(benchmark):
+    run_and_check(benchmark, experiment_x5)

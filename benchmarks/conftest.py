@@ -1,0 +1,18 @@
+"""Shared benchmark utilities.
+
+Each bench wraps one experiment from the registry (quick grid), times
+it with pytest-benchmark, prints the reproduced table (visible with
+``-s`` or in the captured output of a failure), and asserts the claim
+reproduced (``result.passed``).
+"""
+
+from __future__ import annotations
+
+
+def run_and_check(benchmark, experiment_fn):
+    """Benchmark one experiment once and assert it reproduced the claim."""
+    result = benchmark.pedantic(experiment_fn, args=(True,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.render()
+    return result

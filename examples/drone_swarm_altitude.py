@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Drone swarm altitude agreement under flaky radio links.
+
+The paper's motivating application: a fixed team of drones must agree
+on a common cruise altitude. Radio connectivity is dynamic (mobility,
+interference), there is no identity infrastructure (anonymous MAC
+layer), and drones can drop out mid-mission (crash faults).
+
+This example models the radio as the Section VII probabilistic message
+adversary -- every directed link works with probability p each round --
+and crashes two drones mid-run. It then repeats the mission across a
+range of link qualities to show how convergence time degrades
+gracefully as the network gets flakier.
+
+Run:  python examples/drone_swarm_altitude.py
+"""
+
+from repro import (
+    CrashEvent,
+    DACProcess,
+    FaultPlan,
+    RandomLinkAdversary,
+    run_consensus,
+)
+from repro.analysis.statistics import summarize
+from repro.net.ports import random_ports
+from repro.sim.rng import child_rng
+
+
+N_DRONES = 9
+MAX_CRASHES = 4  # n = 2f + 1
+EPSILON_METERS = 0.5  # agree to within half a meter
+
+# Each drone's preferred altitude (meters) from its local sensing.
+PREFERRED_ALTITUDE = [112.0, 108.5, 119.0, 103.2, 115.7, 110.1, 117.3, 105.9, 114.4]
+
+
+def fly_mission(link_quality: float, seed: int) -> tuple[bool, int, float]:
+    """One mission: returns (success, rounds, agreed altitude spread)."""
+    ports = random_ports(N_DRONES, child_rng(seed, "ports"))
+    # Two drones fail mid-mission: one dies cleanly, one mid-broadcast.
+    plan = FaultPlan(
+        N_DRONES,
+        crashes={
+            7: CrashEvent(7, round=4),
+            8: CrashEvent(8, round=9, receivers=frozenset({0, 2})),
+        },
+    )
+    lo, hi = min(PREFERRED_ALTITUDE), max(PREFERRED_ALTITUDE)
+    processes = {
+        v: DACProcess(
+            N_DRONES,
+            MAX_CRASHES,
+            PREFERRED_ALTITUDE[v],
+            ports.self_port(v),
+            epsilon=EPSILON_METERS,
+            initial_range=hi - lo,
+        )
+        for v in plan.non_byzantine
+    }
+    report = run_consensus(
+        processes,
+        RandomLinkAdversary(link_quality),
+        ports,
+        epsilon=EPSILON_METERS,
+        f=MAX_CRASHES,
+        fault_plan=plan,
+        max_rounds=3000,
+        seed=seed,
+    )
+    return report.correct, report.rounds, report.output_spread
+
+
+def main() -> None:
+    print(f"Drone swarm: {N_DRONES} drones, 2 mid-mission failures,")
+    print(f"agree on altitude to within {EPSILON_METERS} m.")
+    print()
+    print("link quality p   missions ok   rounds (mean +/- CI)   final spread (m)")
+    print("-" * 72)
+    for p in (0.2, 0.35, 0.5, 0.7, 0.9):
+        rounds, spreads, successes = [], [], 0
+        for trial in range(10):
+            ok, n_rounds, spread = fly_mission(p, seed=hash((p, trial)) % 10_000)
+            if ok:
+                successes += 1
+                rounds.append(float(n_rounds))
+                spreads.append(spread)
+        stats = summarize(rounds)
+        mean_spread = sum(spreads) / len(spreads)
+        print(
+            f"      {p:.2f}          {successes:2d}/10"
+            f"        {stats.mean:6.1f} [{stats.ci_low:5.1f}, {stats.ci_high:5.1f}]"
+            f"        {mean_spread:.3f}"
+        )
+    print()
+    print("Takeaway: the same algorithm rides out link quality from 0.9 down")
+    print("to 0.2 -- rounds grow, but validity and agreement never break")
+    print("(DAC's safety needs no stability assumption at all; stability")
+    print("only buys termination).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""A gallery of the paper's impossibility results, run live.
+
+Three negative results, each executed rather than proven:
+
+1. Corollary 1  -- exact consensus is impossible with (1, n-2)-
+   dynaDegree: a bounded model checker *exhaustively searches* the
+   mobile-omission adversary's choices and prints a violating schedule
+   for FloodMin.
+2. Theorem 9    -- (T, floor(n/2)) is necessary for crash-tolerant
+   approximate consensus: one degree less forces stall-or-disagree.
+3. Theorem 10   -- (T, floor((n+3f)/2)) is necessary in the Byzantine
+   case: overlap groups plus a two-faced Byzantine core split the
+   network 0 vs 1.
+
+Run:  python examples/impossibility_gallery.py
+"""
+
+from repro import (
+    BoundedExplorer,
+    FloodMinProcess,
+    mobile_omission_choices,
+    run_consensus,
+)
+from repro.workloads import (
+    dbac_degree,
+    theorem9_split_execution,
+    theorem10_split_execution,
+)
+
+
+def corollary_1() -> None:
+    print("=" * 68)
+    print("Corollary 1: exact consensus vs (1, n-2)-dynaDegree, n = 3")
+    print("=" * 68)
+    n = 3
+    explorer = BoundedExplorer(
+        n,
+        lambda node, x: FloodMinProcess(n, 0, x, node, num_rounds=2),
+        inputs=[0.0, 1.0, 1.0],
+        choices=mobile_omission_choices(n),
+        horizon=2,
+    )
+    violation = explorer.search()
+    assert violation is not None
+    print(f"candidate : FloodMin (decide min after n-1 = 2 rounds)")
+    print(f"verdict   : {violation.kind}, outputs {list(violation.outputs)}")
+    print(f"explored  : {explorer.states_explored} memoized states")
+    print("witness schedule (links the adversary kept):")
+    for t, graph in enumerate(violation.schedule):
+        dropped = [
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and (u, v) not in graph
+        ]
+        print(f"  round {t}: dropped {dropped} (each node loses <= 1 link)")
+    print()
+
+
+def theorem_9(n: int = 8) -> None:
+    print("=" * 68)
+    print(f"Theorem 9: crash model, degree floor(n/2)-1, n = {n}")
+    print("=" * 68)
+    eager = run_consensus(**theorem9_split_execution(n=n, seed=1))
+    print("eager algorithm (quorum n/2 -- the most that can terminate):")
+    print(f"  outputs: { {k: round(v, 2) for k, v in sorted(eager.outputs.items())} }")
+    print(f"  eps-agreement: {eager.epsilon_agreement}  <-- the halves split 0 vs 1")
+    stalled = run_consensus(
+        **theorem9_split_execution(n=n, seed=1, eager_quorum=False, max_rounds=200)
+    )
+    print("real DAC (quorum n/2 + 1):")
+    print(f"  terminated: {stalled.terminated} after {stalled.rounds} rounds"
+          "  <-- waits forever")
+    print()
+
+
+def theorem_10(f: int = 1) -> None:
+    n = 5 * f + 1
+    degree = dbac_degree(n, f)
+    print("=" * 68)
+    print(f"Theorem 10: Byzantine model, degree {degree - 1} = D-1, n = {n}, f = {f}")
+    print("=" * 68)
+    eager = run_consensus(**theorem10_split_execution(f=f, seed=2))
+    print("two-faced Byzantine core, eager algorithm (quorum D):")
+    print(f"  outputs: { {k: round(v, 2) for k, v in sorted(eager.outputs.items())} }")
+    print(f"  eps-agreement: {eager.epsilon_agreement}"
+          "  <-- A-listeners at 0, B-listeners at 1")
+    print(f"  trace stability verified: (1, {degree - 1})-dynaDegree =",
+          run_consensus(**theorem10_split_execution(f=f, seed=2)).dynadegree_verified)
+    stalled = run_consensus(
+        **theorem10_split_execution(f=f, seed=2, eager_quorum=False, max_rounds=200)
+    )
+    print("real DBAC (quorum D + 1):")
+    print(f"  terminated: {stalled.terminated}  <-- exclusive listeners starve")
+    print()
+
+
+def main() -> None:
+    corollary_1()
+    theorem_9()
+    theorem_10()
+    print("Every lower bound in the paper, demonstrated by execution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Sensor-network temperature fusion: the bandwidth trade-off, live.
+
+A field of 9 battery-powered temperature sensors fuses readings into a
+common estimate over a lossy broadcast medium. Radio time is the
+battery budget, so bits-per-round matters as much as rounds.
+
+This example walks the Section VII piggybacking dial: each sensor can
+relay up to k recently-overheard states alongside its own. More
+relaying means fatter packets but fewer rounds in flaky conditions --
+the open trade-off the paper sketches, measured here.
+
+Run:  python examples/sensor_fusion_bandwidth.py
+"""
+
+from repro import PiggybackDACProcess, RandomLinkAdversary, run_consensus
+from repro.analysis.statistics import summarize
+from repro.net.ports import random_ports
+from repro.sim.rng import child_rng
+
+N_SENSORS = 9
+EPSILON_DEGREES = 0.05
+LINK_QUALITY = 0.3  # harsh: 70% of directed links fail each round
+
+# Raw readings (degrees C): one sensor sits in the sun.
+READINGS = [21.3, 21.7, 21.1, 21.9, 24.8, 21.5, 21.2, 21.6, 21.4]
+
+
+def fuse(k: int, seed: int) -> tuple[int, float] | None:
+    ports = random_ports(N_SENSORS, child_rng(seed, "ports"))
+    lo, hi = min(READINGS), max(READINGS)
+    processes = {
+        v: PiggybackDACProcess(
+            N_SENSORS,
+            0,
+            READINGS[v],
+            ports.self_port(v),
+            epsilon=EPSILON_DEGREES,
+            initial_range=hi - lo,
+            k=k,
+        )
+        for v in range(N_SENSORS)
+    }
+    report = run_consensus(
+        processes,
+        RandomLinkAdversary(LINK_QUALITY),
+        ports,
+        epsilon=EPSILON_DEGREES,
+        stop_mode="oracle",
+        max_rounds=4000,
+        seed=seed,
+    )
+    if not report.terminated:
+        return None
+    return report.rounds, report.metrics.mean_bits_per_round
+
+
+def main() -> None:
+    print(f"{N_SENSORS} sensors, link quality p = {LINK_QUALITY}, "
+          f"fuse to within {EPSILON_DEGREES} degrees.")
+    print()
+    print("  k    rounds (mean)   bits/round (mean)   bit-rounds product")
+    print("  " + "-" * 60)
+    for k in (0, 1, 2, 4, 8):
+        rounds, bits = [], []
+        for trial in range(12):
+            outcome = fuse(k, seed=300 + trial)
+            if outcome:
+                rounds.append(float(outcome[0]))
+                bits.append(outcome[1])
+        r = summarize(rounds)
+        b = summarize(bits)
+        print(f"  {k}    {r.mean:8.1f}        {b.mean:10.0f}          "
+              f"{r.mean * b.mean:12.0f}")
+    print()
+    print("Reading the table: k buys rounds (radio-on time) with bits")
+    print("(packet size). k = 0 is the paper's DAC; the total-energy")
+    print("column shows when relaying pays for itself -- and when the")
+    print("already-optimal 1/2 phase rate means it cannot.")
+
+
+if __name__ == "__main__":
+    main()

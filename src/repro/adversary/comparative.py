@@ -1,0 +1,86 @@
+"""Adversaries realizing the *prior-work* stability properties.
+
+Used by experiment X5 to make Section II-B's comparison executable:
+a network can be perfectly "stable" by an earlier definition while
+starving dynaDegree, and vice versa.
+
+- :class:`RootedStarAdversary` -- every round is a directed star from
+  a (rotating or random) root: the rooted-spanning-tree property holds
+  in every round, yet each non-root has in-degree exactly 1, so over a
+  window of ``T`` rounds dynaDegree is at most ``min(T, n-1)`` --
+  typically far below DAC's ``floor(n/2)``.
+- :class:`StableSpanningTreeAdversary` -- keeps one fixed bidirectional
+  spanning path alive every round (T-interval connectivity for every
+  T), again with in-degrees stuck at 1 or 2.
+
+Both model benign-looking networks in which the paper's algorithms are
+*not* guaranteed to terminate, while asymptotic averaging (category
+(ii) of Section II-D, :class:`~repro.core.asymptotic.AsymptoticAveragingProcess`)
+still converges -- the incomparability the paper stresses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import MessageAdversary
+from repro.net.graph import DirectedGraph, Edge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EngineView
+
+
+class RootedStarAdversary(MessageAdversary):
+    """A directed star from a root node, every round.
+
+    ``mode="rotate"`` advances the root each round (maximal churn while
+    staying rooted); ``mode="fixed"`` keeps root 0; ``mode="random"``
+    draws the root from the adversary's stream.
+    """
+
+    def __init__(self, mode: str = "rotate") -> None:
+        super().__init__()
+        if mode not in ("rotate", "fixed", "random"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+
+    def _root(self, t: int) -> int:
+        if self.mode == "fixed":
+            return 0
+        if self.mode == "rotate":
+            return t % self.n
+        return self.rng.randrange(self.n)
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        root = self._root(t)
+        edges: list[Edge] = [(root, v) for v in range(self.n) if v != root]
+        return DirectedGraph(self.n, edges)
+
+    def promised_dynadegree(self) -> tuple[int, int] | None:
+        # Non-root nodes hear exactly one sender per round; with a
+        # rotating root a window of n-1 rounds accumulates degree n-2
+        # at best. We promise only the trivially-safe (1, 1).
+        return (1, 1)
+
+
+class StableSpanningTreeAdversary(MessageAdversary):
+    """A fixed bidirectional path ``0 - 1 - ... - n-1`` every round.
+
+    The strongest form of T-interval connectivity (the same connected
+    spanning subgraph is stable forever), yet interior nodes have
+    in-degree 2 and the endpoints in-degree 1: dynaDegree is pinned at
+    ``(T, 1)`` for every ``T`` no matter how long the window.
+    """
+
+    def _on_setup(self) -> None:
+        edges: list[Edge] = []
+        for v in range(self.n - 1):
+            edges.append((v, v + 1))
+            edges.append((v + 1, v))
+        self._graph = DirectedGraph(self.n, edges)
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        return self._graph
+
+    def promised_dynadegree(self) -> tuple[int, int] | None:
+        return (1, 1) if self.n >= 2 else None

@@ -1,0 +1,185 @@
+"""Enforcing worst-case adversaries: hostile but ``(T, D)``-bound.
+
+These adversaries are the sharp edge of the sufficiency experiments:
+they give the algorithm the *least* the stability property allows.
+
+- :class:`RotatingQuorumAdversary` -- ``T = 1``: every round, every
+  node hears from exactly ``D`` senders, but the set rotates each
+  round, so no stable neighborhood ever forms (the paper's point that
+  ``(1, 1)``-dynaDegree still allows arbitrary churn).
+- :class:`LastMinuteQuorumAdversary` -- general ``T``: silence for the
+  first ``T - 1`` rounds of every aligned window, then exactly ``D``
+  in-links on the window's last round. Every sliding ``T``-window
+  contains exactly one delivery round, so ``(T, D)`` holds -- barely.
+  This maximizes rounds-to-termination (the ``T * p_end`` bound of
+  experiment E3 is approached) and starves any algorithm that hopes
+  for steady progress.
+
+Sender selection is pluggable; ``"nearest"`` is adversarially tuned
+for averaging algorithms (it feeds every node the values closest to
+its own, minimizing contraction, with Byzantine senders prioritized to
+burn quota on garbage).
+
+Both adversaries deliver links *to* every node (faulty included --
+harmless) but count their ``D`` guarantee from senders that actually
+transmit: live (non-crashed) nodes and Byzantine nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import MessageAdversary
+from repro.net.graph import DirectedGraph, Edge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EngineView
+
+_SELECTORS = ("rotate", "nearest", "random")
+
+
+class _QuorumSelector:
+    """Shared sender-selection logic for the constrained adversaries."""
+
+    def __init__(self, degree: int, selector: str) -> None:
+        if degree < 1:
+            raise ValueError(f"degree D must be >= 1, got {degree}")
+        if selector not in _SELECTORS:
+            raise ValueError(f"selector must be one of {_SELECTORS}, got {selector!r}")
+        self.degree = degree
+        self.selector = selector
+
+    def pick(
+        self,
+        receiver: int,
+        salt: int,
+        view: "EngineView",
+        adversary: MessageAdversary,
+    ) -> list[int]:
+        """Exactly ``D`` transmitting senders for ``receiver`` (fewer only
+        when the execution does not have that many transmitters)."""
+        live = [u for u in sorted(view.live_senders()) if u != receiver]
+        if self.selector == "rotate":
+            live.sort(key=lambda u: (u - receiver - 1 - salt) % view.n)
+        elif self.selector == "random":
+            adversary.rng.shuffle(live)
+        else:  # nearest: Byzantine first, then closest values
+            my_value = view.value(receiver)
+            plan = view.fault_plan
+
+            def hostility(u: int) -> tuple[int, float]:
+                if plan.is_byzantine(u):
+                    return (0, 0.0)
+                value = view.value(u)
+                if my_value is None or value is None:
+                    return (1, 0.0)
+                return (1, abs(value - my_value))
+
+            live.sort(key=hostility)
+        return live[: self.degree]
+
+
+class RotatingQuorumAdversary(MessageAdversary):
+    """``(1, D)``-dynaDegree, minimal and churning every round."""
+
+    def __init__(self, degree: int, selector: str = "rotate") -> None:
+        super().__init__()
+        self._quorum = _QuorumSelector(degree, selector)
+
+    @property
+    def degree(self) -> int:
+        """The enforced per-round in-degree ``D``."""
+        return self._quorum.degree
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        edges: list[Edge] = []
+        for v in range(self.n):
+            for u in self._quorum.pick(v, t, view, self):
+                edges.append((u, v))
+        return DirectedGraph(self.n, edges)
+
+    def promised_dynadegree(self) -> tuple[int, int]:
+        return (1, self._quorum.degree)
+
+
+class PhaseSkewAdversary(MessageAdversary):
+    """Creates maximal phase skew: a fast clique races ahead while slow
+    nodes hear from it only once per ``window`` rounds.
+
+    Fast nodes (everyone not in ``slow``) receive ``D`` in-links from
+    other fast nodes *every* round, so they complete a phase per round;
+    slow nodes receive their ``D`` links (also from fast senders) only
+    on the last round of each window. The trace satisfies
+    ``(window, D)``-dynaDegree.
+
+    This is the scenario where DAC's jump rule earns its keep
+    (experiment X3): by their delivery round, everything a slow node
+    hears is from higher phases. With jumping it copies and catches up;
+    without jumping it ignores those messages and waits forever for
+    same-phase states nobody will send again.
+
+    Requires at least ``D + 1`` fast nodes (the clique must feed
+    itself).
+    """
+
+    def __init__(self, degree: int, slow: "frozenset[int] | set[int]", window: int = 2) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ValueError(f"degree D must be >= 1, got {degree}")
+        if window < 1:
+            raise ValueError(f"window T must be >= 1, got {window}")
+        self.degree = degree
+        self.slow = frozenset(slow)
+        self.window = window
+
+    def _on_setup(self) -> None:
+        fast = [v for v in range(self.n) if v not in self.slow]
+        if len(fast) < self.degree + 1:
+            raise ValueError(
+                f"need at least D+1={self.degree + 1} fast nodes, got {len(fast)}"
+            )
+        self._fast = fast
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        edges: list[Edge] = []
+        fast = self._fast
+        for i, v in enumerate(fast):
+            senders = [fast[(i + 1 + k) % len(fast)] for k in range(self.degree)]
+            edges.extend((u, v) for u in senders if u != v)
+        if (t + 1) % self.window == 0:
+            for v in sorted(self.slow):
+                senders = [fast[(v + k) % len(fast)] for k in range(self.degree)]
+                edges.extend((u, v) for u in senders if u != v)
+        return DirectedGraph(self.n, edges)
+
+    def promised_dynadegree(self) -> tuple[int, int]:
+        return (self.window, self.degree)
+
+
+class LastMinuteQuorumAdversary(MessageAdversary):
+    """``(T, D)``-dynaDegree delivered entirely on each window's last round."""
+
+    def __init__(self, window: int, degree: int, selector: str = "rotate") -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError(f"window T must be >= 1, got {window}")
+        self.window = window
+        self._quorum = _QuorumSelector(degree, selector)
+
+    @property
+    def degree(self) -> int:
+        """The enforced per-window in-degree ``D``."""
+        return self._quorum.degree
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        if (t + 1) % self.window != 0:
+            return DirectedGraph.empty(self.n)
+        edges: list[Edge] = []
+        salt = t // self.window
+        for v in range(self.n):
+            for u in self._quorum.pick(v, salt, view, self):
+                edges.append((u, v))
+        return DirectedGraph(self.n, edges)
+
+    def promised_dynadegree(self) -> tuple[int, int]:
+        return (self.window, self._quorum.degree)

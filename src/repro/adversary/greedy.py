@@ -1,0 +1,138 @@
+"""One-step lookahead adversary: simulate, then pick the cruelest links.
+
+The enforcing adversaries in :mod:`repro.adversary.constrained` choose
+senders by fixed heuristics (rotation, nearest value). This module
+searches instead: each round it *simulates* the algorithm's response
+to every candidate link policy on cloned processes and plays the one
+that leaves the fault-free states most spread out -- the strongest
+within-(1, D) attack on convergence the framework can express without
+whole-game search.
+
+The adversary is entitled to all of this: Section II-A lets it read
+internal states and the (deterministic) algorithm specification, which
+is exactly what "simulate the round" means.
+
+Used by the worst-case-rate tests: even this adversary cannot push
+DAC's per-phase contraction above 1/2, nor break its safety --
+empirical teeth for the paper's tightness claims.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import MessageAdversary
+from repro.adversary.constrained import _QuorumSelector
+from repro.net.graph import DirectedGraph, Edge
+from repro.sim.node import Delivery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EngineView
+
+_DEFAULT_PORTFOLIO = ("nearest", "rotate", "random")
+
+
+class LookaheadQuorumAdversary(MessageAdversary):
+    """``(1, D)``-dynaDegree with per-round simulated-outcome selection.
+
+    Parameters
+    ----------
+    degree:
+        The in-degree delivered to every node each round (the promise).
+    portfolio:
+        Candidate selector policies evaluated each round.
+    objective:
+        ``"max_range"`` keeps the fault-free spread as wide as possible
+        (slows convergence); ``"min_progress"`` minimizes the number of
+        fault-free phase advances (slows termination).
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        portfolio: tuple[str, ...] = _DEFAULT_PORTFOLIO,
+        objective: str = "max_range",
+    ) -> None:
+        super().__init__()
+        if objective not in ("max_range", "min_progress"):
+            raise ValueError(f"unknown objective {objective!r}")
+        if not portfolio:
+            raise ValueError("portfolio must not be empty")
+        self.objective = objective
+        self._selectors = [_QuorumSelector(degree, name) for name in portfolio]
+        self.degree = degree
+        self.chosen_policies: list[str] = []
+
+    def _candidate(self, selector: _QuorumSelector, t: int, view: "EngineView") -> DirectedGraph:
+        edges: list[Edge] = []
+        for v in range(self.n):
+            for u in selector.pick(v, t, view, self):
+                edges.append((u, v))
+        return DirectedGraph(self.n, edges)
+
+    def _simulate(self, graph: DirectedGraph, t: int, view: "EngineView") -> tuple[float, int]:
+        """Post-round (fault-free range, phase advances) under ``graph``.
+
+        Byzantine senders are skipped in the simulation (their
+        round-``t`` lies are not exposed through the view); the
+        heuristic therefore under-approximates their effect, which only
+        makes the chosen policy *less* cruel -- safe for an upper-bound
+        search.
+        """
+        plan = view.fault_plan
+        clones = {}
+        before_phases = {}
+        for v in plan.fault_free:
+            proc = view.process(v)
+            assert proc is not None
+            clones[v] = copy.deepcopy(proc)
+            before_phases[v] = proc.phase
+        for v, clone in clones.items():
+            pairs = []
+            for u in graph.in_neighbors(v):
+                if plan.is_byzantine(u):
+                    continue
+                message = view.broadcast_of(u)
+                if message is None:
+                    continue
+                targets = plan.send_targets(u, t)
+                if targets is not None and v not in targets:
+                    continue
+                pairs.append((u, message))
+            own = view.broadcast_of(v)
+            if own is not None:
+                pairs.append((v, own))
+            batch = [
+                Delivery(view.ports.port_of(v, u), message) for u, message in pairs
+            ]
+            batch.sort(key=lambda d: d.port)
+            clone.deliver(batch)
+        values = [clone.value for clone in clones.values()]
+        spread = (max(values) - min(values)) if values else 0.0
+        advances = sum(
+            1 for v, clone in clones.items() if clone.phase > before_phases[v]
+        )
+        return spread, advances
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        best_graph: DirectedGraph | None = None
+        best_key: tuple[float, float] | None = None
+        best_name = ""
+        for selector in self._selectors:
+            graph = self._candidate(selector, t, view)
+            spread, advances = self._simulate(graph, t, view)
+            if self.objective == "max_range":
+                key = (spread, -advances)
+            else:
+                key = (-advances, spread)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_graph = graph
+                best_name = selector.selector
+        assert best_graph is not None
+        self.chosen_policies.append(best_name)
+        return best_graph
+
+    def promised_dynadegree(self) -> tuple[int, int]:
+        return (1, self.degree)

@@ -1,0 +1,82 @@
+"""The Gafni-Losa mobile-omission adversary (Corollary 1's engine).
+
+Theorem 8 (quoted from [18]) considers a synchronous complete network
+where, in every round, each node may fail to receive *one* of the
+messages sent to it -- and shows deterministic exact consensus is
+impossible even fault-free. Dropping at most one incoming link per
+node per round keeps every in-degree at ``n - 2`` or better, so the
+trace satisfies ``(1, n-2)``-dynaDegree: this is how the paper derives
+Corollary 1.
+
+:class:`MobileOmissionAdversary` implements that power with pluggable
+targeting:
+
+- ``"block_min"`` -- each receiver loses the link from the sender
+  currently holding the smallest state. Against FloodMin this
+  suppresses the global minimum forever: its holder decides its own
+  value, everyone else never hears it. Deterministic disagreement.
+- ``"block_max"`` -- symmetric, for max-based candidates.
+- ``"rotate"`` -- receiver ``v`` loses the link from sender
+  ``(v + t) mod n``; an oblivious pattern for stress tests.
+- ``"none"`` -- drops nothing (sanity baseline).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import MessageAdversary
+from repro.net.graph import DirectedGraph, Edge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EngineView
+
+_MODES = ("block_min", "block_max", "rotate", "none")
+
+
+class MobileOmissionAdversary(MessageAdversary):
+    """Complete graph minus at most one incoming link per node per round."""
+
+    def __init__(self, mode: str = "block_min") -> None:
+        super().__init__()
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+
+    def _victim_sender(self, receiver: int, t: int, view: "EngineView") -> int | None:
+        """Which sender's link into ``receiver`` to cut this round."""
+        if self.mode == "none":
+            return None
+        if self.mode == "rotate":
+            victim = (receiver + t) % self.n
+            return None if victim == receiver else victim
+        extremum_value: float | None = None
+        extremum_node: int | None = None
+        for u in range(self.n):
+            if u == receiver:
+                continue
+            value = view.value(u)
+            if value is None:
+                continue
+            better = (
+                extremum_value is None
+                or (self.mode == "block_min" and value < extremum_value)
+                or (self.mode == "block_max" and value > extremum_value)
+            )
+            if better:
+                extremum_value = value
+                extremum_node = u
+        return extremum_node
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        edges: list[Edge] = []
+        for v in range(self.n):
+            victim = self._victim_sender(v, t, view)
+            for u in range(self.n):
+                if u != v and u != victim:
+                    edges.append((u, v))
+        return DirectedGraph(self.n, edges)
+
+    def promised_dynadegree(self) -> tuple[int, int] | None:
+        # Every node keeps at least n-2 incoming links every round.
+        return (1, self.n - 2) if self.n >= 3 else None

@@ -1,0 +1,64 @@
+"""Stochastic adversaries (Section VII's probabilistic message adversary).
+
+These model benign-but-flaky environments -- wireless interference,
+mobility -- rather than worst-case behavior: every directed link is
+made reliable independently with probability ``p`` each round.
+Experiment X1 measures expected rounds-to-agreement as a function of
+``p``, the direction Section VII proposes for future work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import MessageAdversary
+from repro.net.generators import random_edges
+from repro.net.graph import DirectedGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EngineView
+
+
+class RandomLinkAdversary(MessageAdversary):
+    """Each directed link is reliable with probability ``p``, i.i.d.
+
+    Makes no ``(T, D)`` promise -- for any fixed ``(T, D)`` there is a
+    positive-probability window violating it -- but for moderate ``p``
+    and ``n`` the realized traces typically satisfy strong stability,
+    which the analysis layer can measure post-hoc with
+    :func:`repro.net.dynadegree.max_degree_for_window`.
+    """
+
+    def __init__(self, p: float) -> None:
+        super().__init__()
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"link probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        return DirectedGraph(self.n, random_edges(self.n, self.p, self.rng))
+
+
+class EventuallyStableAdversary(MessageAdversary):
+    """Chaotic (random with probability ``p``) until ``stable_round``,
+    complete graph afterwards.
+
+    Early dynamic-network work assumed eventual stabilization; this
+    adversary reproduces that regime for comparison tests -- algorithms
+    must make no progress guarantees before stabilization but must
+    converge after it.
+    """
+
+    def __init__(self, stable_round: int, p: float = 0.2) -> None:
+        super().__init__()
+        if stable_round < 0:
+            raise ValueError(f"stable_round must be non-negative, got {stable_round}")
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"link probability must be in [0, 1], got {p}")
+        self.stable_round = stable_round
+        self.p = p
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        if t >= self.stable_round:
+            return DirectedGraph.complete(self.n)
+        return DirectedGraph(self.n, random_edges(self.n, self.p, self.rng))

@@ -1,0 +1,181 @@
+"""Partitioning adversaries: the impossibility-proof constructions.
+
+Theorem 9 (crash model): with ``(1, floor(n/2) - 1)``-dynaDegree the
+adversary can keep two disjoint groups of size ``floor(n/2)`` (plus a
+leftover node parked in one of them) internally complete and mutually
+silent; with different inputs per group, epsilon-agreement fails. Its
+second part isolates groups only for the first ``R`` rounds -- long
+enough for an algorithm tuned to terminate fast to decide -- and
+reconnects afterwards, defeating ``n <= 2f`` configurations.
+
+Theorem 10 (Byzantine model): two groups of size ``floor((n+3f)/2)``
+*overlapping* in ``3f`` middle nodes, the central ``f`` of which are
+Byzantine and two-faced. Group A sees input-0 behavior, group B sees
+input-1 behavior; validity forces A toward 0 and B toward 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from typing import TYPE_CHECKING
+
+from repro.adversary.base import MessageAdversary
+from repro.net.generators import split_edges
+from repro.net.graph import DirectedGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import EngineView
+
+
+class SplitGroupsAdversary(MessageAdversary):
+    """Complete communication within each group, silence across groups.
+
+    Groups may overlap (Theorem 10); a node in several groups hears the
+    union of its groups. The promise reported is ``(1, d)`` where ``d``
+    is the smallest *within-groups* in-degree over all nodes -- e.g.
+    two disjoint halves of an even ``n`` give ``(1, n/2 - 1)``.
+    """
+
+    def __init__(self, groups: Sequence[Collection[int]]) -> None:
+        super().__init__()
+        if not groups:
+            raise ValueError("need at least one group")
+        self.groups = [frozenset(g) for g in groups]
+        self._graph: DirectedGraph | None = None
+
+    def _on_setup(self) -> None:
+        covered = set().union(*self.groups)
+        if not covered <= set(range(self.n)):
+            raise ValueError(f"groups mention nodes outside 0..{self.n - 1}")
+        self._graph = DirectedGraph(self.n, split_edges(self.n, self.groups))
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        assert self._graph is not None
+        return self._graph
+
+    def promised_dynadegree(self) -> tuple[int, int] | None:
+        if self._graph is None:
+            return None
+        degree = min(self._graph.in_degree(v) for v in range(self.n))
+        return (1, degree) if degree >= 1 else None
+
+
+class ReceiveSetsAdversary(MessageAdversary):
+    """Fixed per-node listening sets: node ``v`` hears exactly
+    ``receive_sets[v]`` every round.
+
+    This is the sharp form of the Theorem 10 construction: every
+    *honest* node is assigned to exactly one group's communication
+    closure (overlap nodes included -- an input-0 overlap node listens
+    only to group A, an input-1 one only to group B), while Byzantine
+    nodes may listen to everyone (their in-degree is unconstrained by
+    Definition 1). The promise reported is ``(1, d)`` with ``d`` the
+    minimum listening-set size over the *constrained* nodes.
+
+    Nodes absent from ``receive_sets`` hear everyone (use for faulty
+    nodes feeding two-faced strategies).
+    """
+
+    def __init__(self, receive_sets: dict[int, Collection[int]]) -> None:
+        super().__init__()
+        self.receive_sets = {v: frozenset(s) for v, s in receive_sets.items()}
+        self._graph: DirectedGraph | None = None
+
+    def _on_setup(self) -> None:
+        edges = []
+        for v in range(self.n):
+            senders = self.receive_sets.get(v)
+            if senders is None:
+                senders = frozenset(range(self.n))
+            for u in senders:
+                if not (0 <= u < self.n):
+                    raise ValueError(f"sender {u} out of range for n={self.n}")
+                if u != v:
+                    edges.append((u, v))
+        self._graph = DirectedGraph(self.n, edges)
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        assert self._graph is not None
+        return self._graph
+
+    def promised_dynadegree(self) -> tuple[int, int] | None:
+        if not self.receive_sets:
+            return None
+        degree = min(
+            len(self.receive_sets[v] - {v}) for v in self.receive_sets
+        )
+        return (1, degree) if degree >= 1 else None
+
+
+class IsolateThenConnectAdversary(MessageAdversary):
+    """Groups are isolated for ``isolation_rounds`` rounds, then the
+    graph is complete forever.
+
+    This realizes Theorem 9's second construction: any finite window
+    ``T' > isolation_rounds`` sees every node obtain ``n - 1`` distinct
+    in-neighbors, so the trace satisfies ``(T', n-1)``-dynaDegree --
+    maximal stability -- yet an algorithm that decides within
+    ``isolation_rounds`` rounds has already split.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Collection[int]],
+        isolation_rounds: int,
+    ) -> None:
+        super().__init__()
+        if isolation_rounds < 0:
+            raise ValueError(
+                f"isolation_rounds must be non-negative, got {isolation_rounds}"
+            )
+        self.groups = [frozenset(g) for g in groups]
+        self.isolation_rounds = isolation_rounds
+        self._split: DirectedGraph | None = None
+        self._full: DirectedGraph | None = None
+
+    def _on_setup(self) -> None:
+        self._split = DirectedGraph(self.n, split_edges(self.n, self.groups))
+        self._full = DirectedGraph.complete(self.n)
+
+    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+        assert self._split is not None and self._full is not None
+        return self._split if t < self.isolation_rounds else self._full
+
+    def promised_dynadegree(self) -> tuple[int, int] | None:
+        # Over any window of length isolation_rounds + 1 that reaches a
+        # connected round, every node aggregates n-1 in-neighbors; but
+        # windows fully inside the isolation prefix do not. The honest
+        # promise on an *infinite* run is (isolation_rounds + 1, n - 1)
+        # only for windows starting at round >= 0 once the run length
+        # exceeds 2 * isolation_rounds; we report it and let the runner
+        # verify on the actual finite trace.
+        return (self.isolation_rounds + 1, self.n - 1)
+
+
+def halves_partition(n: int) -> tuple[frozenset[int], frozenset[int]]:
+    """Two disjoint groups: ``0..floor(n/2)-1`` and the rest.
+
+    For even ``n`` these are the Theorem 9 halves of size ``n/2``
+    (internal in-degree ``n/2 - 1``); for odd ``n`` the second group is
+    one larger, and the promise degree is ``floor(n/2) - 1`` still.
+    """
+    half = n // 2
+    return frozenset(range(half)), frozenset(range(half, n))
+
+
+def theorem10_groups(n: int, f: int) -> tuple[frozenset[int], frozenset[int], frozenset[int]]:
+    """The Theorem 10 node partition ``(group_a, group_b, byzantine)``.
+
+    Using the paper's 1-based construction mapped to 0-based IDs:
+    group A is nodes ``0 .. floor((n+3f)/2) - 1``, group B is nodes
+    ``floor((n-3f)/2) .. n - 1`` (they overlap in ``3f`` middle nodes),
+    and the Byzantine core is the middle ``f`` nodes
+    ``floor((n-f)/2) .. floor((n+f)/2) - 1``.
+    """
+    if n < 3 * f + 1:
+        raise ValueError(f"Theorem 10 construction needs n >= 3f+1, got n={n}, f={f}")
+    size = (n + 3 * f) // 2
+    group_a = frozenset(range(0, size))
+    group_b = frozenset(range((n - 3 * f) // 2, n))
+    byz = frozenset(range((n - f) // 2, (n + f) // 2))
+    return group_a, group_b, byz

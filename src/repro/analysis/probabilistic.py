@@ -1,0 +1,100 @@
+"""Analytic model for the Section VII probabilistic message adversary.
+
+When every directed link is reliable independently with probability
+``p`` each round, the quantities driving DAC's progress have closed
+forms:
+
+- the chance one node hears at least ``D`` distinct neighbors in one
+  round is a binomial tail ``P[Bin(n-1, p) >= D]``;
+- a phase completes for a node once it has accumulated quorum-1
+  distinct same-phase senders; a simple coupon-collector-style bound
+  on the expected rounds per phase follows from the per-round hit
+  distribution.
+
+These are *models*, not theorems from the paper (Section VII only
+proposes the direction); experiment X6 checks how well they predict
+the measured rounds of X1, which is exactly the kind of
+model-vs-measurement row a systems evaluation wants.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def binomial_tail(trials: int, p: float, at_least: int) -> float:
+    """``P[Bin(trials, p) >= at_least]``."""
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    k = max(0, at_least)
+    if k > trials:
+        return 0.0
+    return sum(
+        math.comb(trials, i) * p**i * (1.0 - p) ** (trials - i)
+        for i in range(k, trials + 1)
+    )
+
+
+def prob_round_degree(n: int, p: float, degree: int) -> float:
+    """Chance a node has >= ``degree`` in-neighbors in a single round."""
+    return binomial_tail(n - 1, p, degree)
+
+
+def expected_rounds_for_degree(n: int, p: float, degree: int) -> float:
+    """Expected rounds until one *single round* supplies ``degree`` links.
+
+    Geometric in :func:`prob_round_degree`; infinite if the per-round
+    probability is zero.
+    """
+    q = prob_round_degree(n, p, degree)
+    return math.inf if q == 0.0 else 1.0 / q
+
+
+def expected_rounds_per_phase(n: int, p: float, quorum: int) -> float:
+    """Expected rounds for a node to accumulate ``quorum - 1`` distinct
+    senders (its own value is free), hearing each sender independently
+    with probability ``p`` per round.
+
+    This is a coupon-collector variant with parallel draws: sender
+    ``j`` is first heard after Geometric(p) rounds, and the phase needs
+    the ``(quorum-1)``-th order statistic of ``n-1`` i.i.d. geometrics.
+    We compute its expectation exactly from the survival function:
+
+    ``E[T] = sum_{t>=0} P[T > t]``, with
+    ``P[T <= t] = P[Bin(n-1, 1-(1-p)^t) >= quorum-1]``.
+    """
+    if quorum < 1:
+        raise ValueError(f"quorum must be >= 1, got {quorum}")
+    need = quorum - 1
+    if need == 0:
+        return 0.0
+    if need > n - 1:
+        return math.inf
+    if p <= 0.0:
+        return math.inf
+    total = 0.0
+    t = 0
+    while True:
+        hit_by_t = 1.0 - (1.0 - p) ** t
+        p_done = binomial_tail(n - 1, hit_by_t, need)
+        survival = 1.0 - p_done
+        total += survival
+        t += 1
+        if survival < 1e-12 or t > 100_000:
+            return total
+
+
+def predicted_rounds_to_epsilon(
+    n: int, p: float, quorum: int, end_phase: int
+) -> float:
+    """Model prediction: expected rounds for ``end_phase`` phases.
+
+    A deliberate simplification -- phases of different nodes overlap
+    and jumps let laggards skip ahead, so this *overestimates* at high
+    ``p`` and is an upper-trend guide, not an exact law. X6 reports
+    model-vs-measured side by side.
+    """
+    per_phase = expected_rounds_per_phase(n, p, quorum)
+    return per_phase * end_phase

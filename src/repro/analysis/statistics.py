@@ -1,0 +1,60 @@
+"""Trial statistics for repeated stochastic runs (experiment X1 etc.).
+
+Plain-Python mean / standard deviation / normal-approximation
+confidence intervals -- all the sweep harness needs, with no numpy
+dependency in the core library.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+# Two-sided critical values of the standard normal distribution.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and confidence interval of one sample set."""
+
+    count: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +/- {(self.ci_high - self.mean):.2g} (n={self.count})"
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """``(mean, low, high)`` under the normal approximation.
+
+    A single sample yields a degenerate interval at the point itself.
+    """
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    if confidence not in _Z_VALUES:
+        raise ValueError(f"confidence must be one of {sorted(_Z_VALUES)}, got {confidence}")
+    count = len(samples)
+    mean = sum(samples) / count
+    if count == 1:
+        return mean, mean, mean
+    variance = sum((x - mean) ** 2 for x in samples) / (count - 1)
+    half_width = _Z_VALUES[confidence] * math.sqrt(variance / count)
+    return mean, mean - half_width, mean + half_width
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Full :class:`Summary` of a sample set."""
+    mean, low, high = mean_confidence_interval(samples, confidence)
+    count = len(samples)
+    if count == 1:
+        std = 0.0
+    else:
+        std = math.sqrt(sum((x - mean) ** 2 for x in samples) / (count - 1))
+    return Summary(count=count, mean=mean, std=std, ci_low=low, ci_high=high)

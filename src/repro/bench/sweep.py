@@ -1,0 +1,135 @@
+"""Parameter-sweep driver: cartesian grids over execution builders.
+
+The experiment functions in :mod:`repro.bench.experiments` hand-roll
+their loops for readability; this module is the general-purpose
+version exposed to users: declare a grid, point it at a runner
+callback, get structured records back with grouping/aggregation
+helpers and table/markdown rendering.
+
+Example
+-------
+>>> from repro.bench.sweep import Sweep
+>>> from repro.sim.runner import run_consensus
+>>> from repro.workloads import build_dac_execution
+>>> sweep = Sweep(grid={"n": [5, 9], "window": [1, 3]}, repeats=2)
+>>> records = sweep.run(
+...     lambda n, window, seed: run_consensus(
+...         **build_dac_execution(n=n, f=(n - 1) // 2, seed=seed, window=window)
+...     ).rounds
+... )
+>>> len(records)
+8
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.statistics import Summary, summarize
+from repro.bench.tables import TableResult
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One cell of a sweep: the parameter assignment and its result."""
+
+    params: tuple[tuple[str, Any], ...]
+    seed: int
+    result: Any
+
+    def param(self, name: str) -> Any:
+        """Value of one parameter in this record."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(f"no parameter {name!r} in {self.params}")
+
+
+@dataclass
+class Sweep:
+    """A cartesian parameter grid with per-cell repetition.
+
+    Parameters
+    ----------
+    grid:
+        Mapping from parameter name to the values to sweep. The
+        cartesian product of all values is executed.
+    repeats:
+        Trials per cell; trial ``i`` receives ``seed = seed0 + i``.
+    seed0:
+        Base seed for the repetition counter.
+    """
+
+    grid: Mapping[str, Sequence[Any]]
+    repeats: int = 1
+    seed0: int = 0
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("sweep needs at least one parameter")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+    def cells(self) -> list[dict[str, Any]]:
+        """All parameter assignments, in deterministic order."""
+        names = list(self.grid)
+        out = []
+        for combo in itertools.product(*(self.grid[name] for name in names)):
+            out.append(dict(zip(names, combo)))
+        return out
+
+    def run(self, fn: Callable[..., Any]) -> list[SweepRecord]:
+        """Execute ``fn(**params, seed=...)`` over the whole grid.
+
+        Results are collected into :attr:`records` (appending across
+        multiple ``run`` calls) and returned.
+        """
+        new_records = []
+        for cell in self.cells():
+            for trial in range(self.repeats):
+                seed = self.seed0 + trial
+                result = fn(**cell, seed=seed)
+                record = SweepRecord(tuple(sorted(cell.items())), seed, result)
+                new_records.append(record)
+        self.records.extend(new_records)
+        return new_records
+
+    # -- Aggregation -----------------------------------------------------
+
+    def group_by(self, *names: str) -> dict[tuple, list[SweepRecord]]:
+        """Bucket the records by the given parameter names."""
+        groups: dict[tuple, list[SweepRecord]] = {}
+        for record in self.records:
+            key = tuple(record.param(name) for name in names)
+            groups.setdefault(key, []).append(record)
+        return groups
+
+    def summarize_by(
+        self, *names: str, value: Callable[[SweepRecord], float] = lambda r: float(r.result)
+    ) -> dict[tuple, Summary]:
+        """Per-group statistics of a numeric projection of the results."""
+        return {
+            key: summarize([value(r) for r in records])
+            for key, records in self.group_by(*names).items()
+        }
+
+    def to_table(
+        self,
+        *names: str,
+        title: str = "sweep",
+        experiment_id: str = "SWEEP",
+        value: Callable[[SweepRecord], float] = lambda r: float(r.result),
+    ) -> TableResult:
+        """Render grouped mean +/- CI as a :class:`TableResult`."""
+        table = TableResult(
+            experiment_id,
+            title,
+            [*names, "trials", "mean", "ci low", "ci high"],
+        )
+        for key, stats in sorted(self.summarize_by(*names, value=value).items()):
+            table.add_row(*key, stats.count, stats.mean, stats.ci_low, stats.ci_high)
+        return table

@@ -1,0 +1,202 @@
+"""Scenario command line: run single executions from a shell.
+
+Usage::
+
+    python -m repro.cli dac --n 9 --f 4 --epsilon 1e-3 --window 3
+    python -m repro.cli dbac --n 11 --f 2 --strategy extreme
+    python -m repro.cli theorem9 --n 8
+    python -m repro.cli theorem10 --f 1
+    python -m repro.cli figure1
+    python -m repro.cli dac --save-trace run.json
+
+Exit status is 0 when the run's verdict matches the theory (correct
+for the positive scenarios, violating for the impossibility ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adversary.periodic import figure1_adversary
+from repro.core.dac import DACProcess
+from repro.faults.byzantine import (
+    ExtremeByzantine,
+    FixedValueByzantine,
+    PhaseLiarByzantine,
+    RandomByzantine,
+)
+from repro.net.ports import random_ports
+from repro.sim.persistence import save_trace
+from repro.sim.rng import child_rng
+from repro.sim.runner import ExecutionReport, run_consensus
+from repro.workloads import (
+    build_dac_execution,
+    build_dbac_execution,
+    theorem9_split_execution,
+    theorem10_split_execution,
+)
+
+_STRATEGIES = {
+    "extreme": ExtremeByzantine,
+    "random": RandomByzantine,
+    "phase-liar": lambda: PhaseLiarByzantine(value=1.0, phase_lead=500),
+    "pin-high": lambda: FixedValueByzantine(1.0),
+    "pin-low": lambda: FixedValueByzantine(0.0),
+}
+
+
+def _print_report(report: ExecutionReport, verbose: bool) -> None:
+    print(report.summary())
+    if verbose:
+        print(f"  inputs  : { {k: round(v, 4) for k, v in sorted(report.inputs.items())} }")
+        print(f"  outputs : { {k: round(v, 4) for k, v in sorted(report.outputs.items())} }")
+        print(f"  promise : {report.dynadegree_promise} verified={report.dynadegree_verified}")
+        print(f"  ranges  : {[round(r, 5) for r in report.phase_ranges]}")
+        print(f"  rates   : {[round(r, 4) for r in report.convergence_rates]}")
+        if report.metrics:
+            print(
+                f"  traffic : {report.metrics.delivered} msgs, "
+                f"{report.metrics.bits} bits over {report.metrics.rounds} rounds"
+            )
+
+
+def _maybe_save(report: ExecutionReport, path: str | None) -> None:
+    if path and report.trace is not None:
+        save_trace(report.trace, path)
+        print(f"  trace saved to {path}")
+
+
+def _cmd_dac(args: argparse.Namespace) -> int:
+    report = run_consensus(
+        **build_dac_execution(
+            n=args.n,
+            f=args.f,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            window=args.window,
+            selector=args.selector,
+        )
+    )
+    _print_report(report, args.verbose)
+    _maybe_save(report, args.save_trace)
+    return 0 if report.correct else 1
+
+
+def _cmd_dbac(args: argparse.Namespace) -> int:
+    report = run_consensus(
+        **build_dbac_execution(
+            n=args.n,
+            f=args.f,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            window=args.window,
+            byzantine_factory=lambda node: _STRATEGIES[args.strategy](),
+        )
+    )
+    _print_report(report, args.verbose)
+    _maybe_save(report, args.save_trace)
+    ok = report.terminated and report.validity and report.epsilon_agreement
+    return 0 if ok else 1
+
+
+def _cmd_theorem9(args: argparse.Namespace) -> int:
+    report = run_consensus(
+        **theorem9_split_execution(n=args.n, seed=args.seed, eager_quorum=not args.plain)
+    )
+    _print_report(report, args.verbose)
+    _maybe_save(report, args.save_trace)
+    expected = (not report.epsilon_agreement) if not args.plain else (not report.terminated)
+    return 0 if expected else 1
+
+
+def _cmd_theorem10(args: argparse.Namespace) -> int:
+    report = run_consensus(
+        **theorem10_split_execution(f=args.f, seed=args.seed, eager_quorum=not args.plain)
+    )
+    _print_report(report, args.verbose)
+    _maybe_save(report, args.save_trace)
+    expected = (not report.epsilon_agreement) if not args.plain else (not report.terminated)
+    return 0 if expected else 1
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    n = 3
+    ports = random_ports(n, child_rng(args.seed, "ports"))
+    inputs = [0.0, 0.5, 1.0]
+    processes = {
+        v: DACProcess(n, 0, inputs[v], ports.self_port(v), epsilon=args.epsilon)
+        for v in range(n)
+    }
+    report = run_consensus(
+        processes,
+        figure1_adversary(),
+        ports,
+        epsilon=args.epsilon,
+        max_rounds=500,
+        seed=args.seed,
+    )
+    _print_report(report, args.verbose)
+    _maybe_save(report, args.save_trace)
+    return 0 if report.correct else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--epsilon", type=float, default=1e-3)
+    common.add_argument("-v", "--verbose", action="store_true")
+    common.add_argument("--save-trace", metavar="PATH", default=None)
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run single consensus scenarios from the ICDCS'24 reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dac = sub.add_parser("dac", parents=[common], help="DAC at the crash-model boundary")
+    p_dac.add_argument("--n", type=int, default=9)
+    p_dac.add_argument("--f", type=int, default=None)
+    p_dac.add_argument("--window", type=int, default=1)
+    p_dac.add_argument("--selector", choices=["rotate", "nearest", "random"], default="rotate")
+    p_dac.set_defaults(fn=_cmd_dac)
+
+    p_dbac = sub.add_parser("dbac", parents=[common], help="DBAC at the Byzantine boundary")
+    p_dbac.add_argument("--n", type=int, default=11)
+    p_dbac.add_argument("--f", type=int, default=None)
+    p_dbac.add_argument("--window", type=int, default=1)
+    p_dbac.add_argument("--strategy", choices=sorted(_STRATEGIES), default="extreme")
+    p_dbac.set_defaults(fn=_cmd_dbac)
+
+    p_t9 = sub.add_parser(
+        "theorem9", parents=[common], help="the crash-model necessity construction"
+    )
+    p_t9.add_argument("--n", type=int, default=8)
+    p_t9.add_argument("--plain", action="store_true", help="run real DAC (stalls)")
+    p_t9.set_defaults(fn=_cmd_theorem9)
+
+    p_t10 = sub.add_parser(
+        "theorem10", parents=[common], help="the Byzantine necessity construction"
+    )
+    p_t10.add_argument("--f", type=int, default=1)
+    p_t10.add_argument("--plain", action="store_true", help="run real DBAC (stalls)")
+    p_t10.set_defaults(fn=_cmd_theorem10)
+
+    p_fig = sub.add_parser(
+        "figure1", parents=[common], help="DAC on the paper's Figure 1 adversary"
+    )
+    p_fig.set_defaults(fn=_cmd_figure1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "f", None) is None and args.command in ("dac", "dbac"):
+        args.f = (args.n - 1) // 2 if args.command == "dac" else (args.n - 1) // 5
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

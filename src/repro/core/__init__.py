@@ -1,0 +1,48 @@
+"""The paper's algorithms and their baselines.
+
+- :mod:`repro.core.dac` -- Algorithm 1 (DAC), crash-tolerant
+  approximate consensus with phase *jumping*.
+- :mod:`repro.core.dbac` -- Algorithm 2 (DBAC), Byzantine approximate
+  consensus with f+1-trimmed recording lists.
+- :mod:`repro.core.phases` -- termination-phase formulas (Equations 2
+  and 6) and the proven convergence-rate bounds.
+- :mod:`repro.core.baselines` -- reliable-channel iterated averaging
+  and trimmed-mean algorithms from the classic literature, plus the
+  exact-consensus candidates fed to the impossibility model checker.
+- :mod:`repro.core.piggyback` -- the Section VII bandwidth /
+  convergence trade-off extension (crash model).
+"""
+
+from repro.core.baselines import (
+    FloodMinProcess,
+    IteratedMidpointProcess,
+    MajorityVoteProcess,
+    TrimmedMeanProcess,
+)
+from repro.core.asymptotic import AsymptoticAveragingProcess
+from repro.core.dac import DACProcess
+from repro.core.dbac import DBACProcess
+from repro.core.phases import (
+    dac_convergence_rate,
+    dac_end_phase,
+    dbac_convergence_rate,
+    dbac_end_phase,
+    rounds_upper_bound,
+)
+from repro.core.piggyback import PiggybackDACProcess
+
+__all__ = [
+    "DACProcess",
+    "AsymptoticAveragingProcess",
+    "DBACProcess",
+    "PiggybackDACProcess",
+    "IteratedMidpointProcess",
+    "TrimmedMeanProcess",
+    "FloodMinProcess",
+    "MajorityVoteProcess",
+    "dac_end_phase",
+    "dbac_end_phase",
+    "dac_convergence_rate",
+    "dbac_convergence_rate",
+    "rounds_upper_bound",
+]

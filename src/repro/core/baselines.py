@@ -1,0 +1,277 @@
+"""Baseline algorithms from the classic (reliable-channel) literature.
+
+These serve two purposes:
+
+- **comparison** (experiment X4): the iterated-midpoint algorithm of
+  Dolev et al. (JACM'86) and the trimmed-mean Byzantine iteration
+  achieve rate ``1/2`` per round on *reliable* complete graphs; DAC
+  matches that rate per *phase* in a hostile dynamic network, which is
+  the paper's optimality claim;
+- **impossibility targets** (experiment I1): FloodMin and
+  majority-vote are deterministic *exact* consensus candidates with a
+  fixed round budget. Corollary 1 says no such algorithm can work with
+  ``(1, n-2)``-dynaDegree; the model checker and the mobile-omission
+  adversary find violating executions for each of them.
+
+All baselines speak :class:`~repro.sim.messages.StateMessage` so they
+run on the same engine, adversaries, and fault plans as DAC/DBAC.
+"""
+
+from __future__ import annotations
+
+from repro.sim.messages import StateMessage
+from repro.sim.node import ConsensusProcess, Delivery
+
+
+class IteratedMidpointProcess(ConsensusProcess):
+    """Dolev et al.-style crash-tolerant iterated averaging.
+
+    One phase per round: broadcast ``v``, set ``v`` to the midpoint of
+    the extremes of everything received this round (self included),
+    output after ``num_rounds`` rounds. On a reliable complete graph
+    this contracts the global range by exactly ``1/2`` per round.
+
+    It assumes reliable delivery -- under a message adversary it can
+    lose both convergence and validity guarantees, which is the paper's
+    motivation for DAC (Section II-D, category (i)).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        input_value: float,
+        self_port: int,
+        num_rounds: int = 10,
+    ) -> None:
+        super().__init__(n, f, input_value, self_port)
+        if num_rounds < 0:
+            raise ValueError(f"num_rounds must be non-negative, got {num_rounds}")
+        self.num_rounds = num_rounds
+        self._v = float(input_value)
+        self._round = 0
+        self._output: float | None = self._v if num_rounds == 0 else None
+
+    @property
+    def value(self) -> float:
+        """Current state."""
+        return self._v
+
+    @property
+    def phase(self) -> int:
+        """Rounds completed (one phase per round)."""
+        return self._round
+
+    def broadcast(self) -> StateMessage:
+        return StateMessage(self._v, self._round)
+
+    def deliver(self, deliveries: list[Delivery]) -> None:
+        if self._output is not None:
+            return
+        values = [float(d.message.value) for d in deliveries]
+        if values:
+            self._v = 0.5 * (min(values) + max(values))
+        self._round += 1
+        if self._round >= self.num_rounds:
+            self._output = self._v
+
+    def has_output(self) -> bool:
+        return self._output is not None
+
+    def output(self) -> float:
+        if self._output is None:
+            raise RuntimeError(f"not terminated (round {self._round}/{self.num_rounds})")
+        return self._output
+
+    def state_key(self) -> tuple:
+        return (self._v, self._round, self._output)
+
+
+class TrimmedMeanProcess(ConsensusProcess):
+    """Classic synchronous Byzantine iterated averaging (trim f per side).
+
+    Each round: broadcast ``v``; drop the ``f`` lowest and ``f``
+    highest received values; set ``v`` to the midpoint of the remaining
+    extremes. Sound on reliable complete graphs with ``n >= 3f + 1``
+    (Dolev et al. '86 / the BAC family the paper cites as [14]); it has
+    no defense against message loss, unlike DBAC.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        input_value: float,
+        self_port: int,
+        num_rounds: int = 10,
+    ) -> None:
+        super().__init__(n, f, input_value, self_port)
+        if num_rounds < 0:
+            raise ValueError(f"num_rounds must be non-negative, got {num_rounds}")
+        self.num_rounds = num_rounds
+        self._v = float(input_value)
+        self._round = 0
+        self._output: float | None = self._v if num_rounds == 0 else None
+
+    @property
+    def value(self) -> float:
+        """Current state."""
+        return self._v
+
+    @property
+    def phase(self) -> int:
+        """Rounds completed (one phase per round)."""
+        return self._round
+
+    def broadcast(self) -> StateMessage:
+        return StateMessage(self._v, self._round)
+
+    def deliver(self, deliveries: list[Delivery]) -> None:
+        if self._output is not None:
+            return
+        values = sorted(float(d.message.value) for d in deliveries)
+        trimmed = values[self.f : len(values) - self.f] if len(values) > 2 * self.f else []
+        if trimmed:
+            self._v = 0.5 * (trimmed[0] + trimmed[-1])
+        self._round += 1
+        if self._round >= self.num_rounds:
+            self._output = self._v
+
+    def has_output(self) -> bool:
+        return self._output is not None
+
+    def output(self) -> float:
+        if self._output is None:
+            raise RuntimeError(f"not terminated (round {self._round}/{self.num_rounds})")
+        return self._output
+
+    def state_key(self) -> tuple:
+        return (self._v, self._round, self._output)
+
+
+class FloodMinProcess(ConsensusProcess):
+    """Exact-consensus candidate: flood the minimum for ``num_rounds``.
+
+    With reliable links and ``num_rounds >= n - 1`` every node learns
+    the global minimum and exact agreement holds. Under the
+    ``(1, n-2)`` mobile-omission adversary the minimum can be blocked
+    forever (each receiver loses exactly the one link that matters), so
+    agreement fails -- the executable content of Corollary 1.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        input_value: float,
+        self_port: int,
+        num_rounds: int | None = None,
+    ) -> None:
+        super().__init__(n, f, input_value, self_port)
+        self.num_rounds = (n - 1) if num_rounds is None else num_rounds
+        if self.num_rounds < 0:
+            raise ValueError(f"num_rounds must be non-negative, got {self.num_rounds}")
+        self._v = float(input_value)
+        self._round = 0
+        self._output: float | None = self._v if self.num_rounds == 0 else None
+
+    @property
+    def value(self) -> float:
+        """Smallest value seen so far."""
+        return self._v
+
+    @property
+    def phase(self) -> int:
+        """Rounds completed."""
+        return self._round
+
+    def broadcast(self) -> StateMessage:
+        return StateMessage(self._v, self._round)
+
+    def deliver(self, deliveries: list[Delivery]) -> None:
+        if self._output is not None:
+            return
+        for delivery in deliveries:
+            incoming = float(delivery.message.value)
+            if incoming < self._v:
+                self._v = incoming
+        self._round += 1
+        if self._round >= self.num_rounds:
+            self._output = self._v
+
+    def has_output(self) -> bool:
+        return self._output is not None
+
+    def output(self) -> float:
+        if self._output is None:
+            raise RuntimeError(f"not terminated (round {self._round}/{self.num_rounds})")
+        return self._output
+
+    def state_key(self) -> tuple:
+        return (self._v, self._round, self._output)
+
+
+class MajorityVoteProcess(ConsensusProcess):
+    """Exact-consensus candidate: decide the majority of observed inputs.
+
+    Counts, per port, the latest binary value advertised; outputs the
+    majority (ties break to 0) after ``num_rounds`` rounds. Another
+    natural deterministic algorithm for the checker to break.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        input_value: float,
+        self_port: int,
+        num_rounds: int | None = None,
+    ) -> None:
+        super().__init__(n, f, input_value, self_port)
+        self.num_rounds = (n - 1) if num_rounds is None else num_rounds
+        if self.num_rounds < 0:
+            raise ValueError(f"num_rounds must be non-negative, got {self.num_rounds}")
+        self._seen: list[float | None] = [None] * n
+        self._seen[self_port] = float(input_value)
+        self._round = 0
+        self._output: float | None = None
+        if self.num_rounds == 0:
+            self._output = self._decide()
+
+    def _decide(self) -> float:
+        values = [v for v in self._seen if v is not None]
+        ones = sum(1 for v in values if v >= 0.5)
+        return 1.0 if ones * 2 > len(values) else 0.0
+
+    @property
+    def value(self) -> float:
+        """Current tentative decision."""
+        return self._decide() if self._output is None else self._output
+
+    @property
+    def phase(self) -> int:
+        """Rounds completed."""
+        return self._round
+
+    def broadcast(self) -> StateMessage:
+        return StateMessage(float(self._seen[self.self_port] or 0.0), self._round)
+
+    def deliver(self, deliveries: list[Delivery]) -> None:
+        if self._output is not None:
+            return
+        for port, message in deliveries:
+            self._seen[port] = float(message.value)
+        self._round += 1
+        if self._round >= self.num_rounds:
+            self._output = self._decide()
+
+    def has_output(self) -> bool:
+        return self._output is not None
+
+    def output(self) -> float:
+        if self._output is None:
+            raise RuntimeError(f"not terminated (round {self._round}/{self.num_rounds})")
+        return self._output
+
+    def state_key(self) -> tuple:
+        return (tuple(self._seen), self._round, self._output)

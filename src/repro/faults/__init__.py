@@ -1,0 +1,30 @@
+"""Node fault models: crash schedules and Byzantine strategies.
+
+The paper's hybrid fault model allows up to ``f`` nodes to crash (stop
+at any point, possibly mid-broadcast) or behave arbitrarily
+(Byzantine). The message adversary is a separate, additional adversary
+-- see :mod:`repro.adversary`.
+"""
+
+from repro.faults.base import FaultPlan
+from repro.faults.byzantine import (
+    ByzantineStrategy,
+    ExtremeByzantine,
+    FixedValueByzantine,
+    PhaseLiarByzantine,
+    RandomByzantine,
+    TwoFacedByzantine,
+)
+from repro.faults.crash import CrashEvent, staggered_crashes
+
+__all__ = [
+    "FaultPlan",
+    "CrashEvent",
+    "staggered_crashes",
+    "ByzantineStrategy",
+    "FixedValueByzantine",
+    "ExtremeByzantine",
+    "RandomByzantine",
+    "PhaseLiarByzantine",
+    "TwoFacedByzantine",
+]

@@ -1,0 +1,136 @@
+"""The fault plan: which nodes fail, how, and when.
+
+A :class:`FaultPlan` is the single source of truth the engine, the
+adversary, and the analysis layer consult about node faults. It
+enforces the model's ground rules (a node is crash-faulty *or*
+Byzantine, never both; at most ``f`` faulty nodes when validated
+against a bound) and answers the per-round questions the engine asks:
+who sends this round, to whom, and who still processes messages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.faults.byzantine import ByzantineStrategy
+from repro.faults.crash import CrashEvent
+
+
+class FaultPlan:
+    """Crash events and Byzantine assignments for one execution.
+
+    Parameters
+    ----------
+    n:
+        Network size.
+    crashes:
+        ``node -> CrashEvent`` for crash-faulty nodes.
+    byzantine:
+        ``node -> ByzantineStrategy`` for Byzantine nodes. Strategies
+        are bound to their node by the engine at start-up.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        crashes: Mapping[int, CrashEvent] | None = None,
+        byzantine: Mapping[int, ByzantineStrategy] | None = None,
+    ) -> None:
+        self.n = n
+        self.crashes: dict[int, CrashEvent] = dict(crashes or {})
+        self.byzantine: dict[int, ByzantineStrategy] = dict(byzantine or {})
+        for node, event in self.crashes.items():
+            if not (0 <= node < n):
+                raise ValueError(f"crash node {node} out of range for n={n}")
+            if event.node != node:
+                raise ValueError(f"crash event for node {event.node} keyed as {node}")
+        for node in self.byzantine:
+            if not (0 <= node < n):
+                raise ValueError(f"byzantine node {node} out of range for n={n}")
+        overlap = set(self.crashes) & set(self.byzantine)
+        if overlap:
+            raise ValueError(f"nodes {sorted(overlap)} are both crash and Byzantine")
+
+    @classmethod
+    def fault_free_plan(cls, n: int) -> "FaultPlan":
+        """The plan with no faulty nodes at all (f = 0 executions)."""
+        return cls(n)
+
+    @property
+    def num_faulty(self) -> int:
+        """Total faulty nodes (crash + Byzantine)."""
+        return len(self.crashes) + len(self.byzantine)
+
+    def validate_bound(self, f: int) -> None:
+        """Raise unless the plan respects the fault bound ``f``."""
+        if self.num_faulty > f:
+            raise ValueError(f"plan has {self.num_faulty} faulty nodes, bound is f={f}")
+
+    # -- Membership queries ----------------------------------------------
+
+    @property
+    def fault_free(self) -> frozenset[int]:
+        """The paper's ``H``: nodes that never fail."""
+        return frozenset(
+            v for v in range(self.n) if v not in self.crashes and v not in self.byzantine
+        )
+
+    @property
+    def non_byzantine(self) -> frozenset[int]:
+        """Fault-free plus crash-faulty nodes.
+
+        Validity is stated over *non-Byzantine* inputs: a node that
+        eventually crashes still contributes a legitimate input.
+        """
+        return frozenset(v for v in range(self.n) if v not in self.byzantine)
+
+    def is_byzantine(self, node: int) -> bool:
+        """Whether ``node`` runs a Byzantine strategy."""
+        return node in self.byzantine
+
+    def crash_round(self, node: int) -> int | None:
+        """The round ``node`` crashes in, or ``None``."""
+        event = self.crashes.get(node)
+        return None if event is None else event.round
+
+    # -- Per-round behavior ----------------------------------------------
+
+    def send_targets(self, node: int, t: int) -> frozenset[int] | None:
+        """Receiver whitelist for ``node`` in round ``t``.
+
+        ``None`` means unrestricted (healthy or Byzantine sender); the
+        empty set means the node is silent (crashed).
+        """
+        event = self.crashes.get(node)
+        if event is None:
+            return None
+        return event.send_targets_at(t)
+
+    def processes_at(self, node: int, t: int) -> bool:
+        """Whether ``node`` consumes deliveries and updates state in round ``t``.
+
+        Byzantine nodes "process" in the sense that their strategy
+        observes traffic; crash-faulty nodes stop at their crash round.
+        """
+        event = self.crashes.get(node)
+        if event is None:
+            return True
+        return event.processes_at(t)
+
+    def live_senders(self, t: int) -> frozenset[int]:
+        """Nodes guaranteed to transmit (fully) in round ``t``.
+
+        Used by enforcing adversaries when counting links toward the
+        ``(T, D)`` promise in the crash model: a partially-crashing
+        sender is conservatively *not* counted (DESIGN.md note 4).
+        Byzantine nodes always transmit (possibly garbage) and count.
+        """
+        alive = set()
+        for node in range(self.n):
+            if node in self.byzantine:
+                alive.add(node)
+                continue
+            event = self.crashes.get(node)
+            if event is None or event.sends_fully_at(t):
+                alive.add(node)
+        return frozenset(alive)

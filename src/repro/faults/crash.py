@@ -1,0 +1,96 @@
+"""Crash faults: a node stops executing at any point of time.
+
+The classic synchronous crash model lets a node fail *during* its
+broadcast, so that only a subset of that round's receivers get its last
+message. :class:`CrashEvent` captures both flavors:
+
+- a **clean crash** at round ``r`` (``receivers=None`` by convention
+  with ``partial=False``): the node behaves normally through round
+  ``r - 1`` and is silent from round ``r`` on;
+- a **partial crash** at round ``r``: in round ``r`` the node's
+  broadcast reaches only the listed receivers (further intersected with
+  the adversary's chosen links), after which the node is silent.
+
+In both cases the node stops *processing* incoming messages from round
+``r`` on -- it is dead, it never outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """The crash of one node.
+
+    Parameters
+    ----------
+    node:
+        The crashing node's (engine-side) ID.
+    round:
+        The round during which the node dies. Round 0 means the node
+        was dead on arrival (it never sends anything).
+    receivers:
+        For a partial crash: the receivers that still get the round-
+        ``round`` broadcast. ``None`` means a clean crash (nothing is
+        sent in round ``round``).
+    """
+
+    node: int
+    round: int
+    receivers: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError(f"crash round must be non-negative, got {self.round}")
+        if self.receivers is not None and self.node in self.receivers:
+            raise ValueError("a crashing node cannot deliver its last message to itself")
+
+    def sends_fully_at(self, t: int) -> bool:
+        """True when the node broadcasts normally in round ``t``."""
+        return t < self.round
+
+    def send_targets_at(self, t: int) -> frozenset[int] | None:
+        """Receiver whitelist for round ``t``: ``None`` = unrestricted.
+
+        Returns the empty set when the node is silent in round ``t``.
+        """
+        if t < self.round:
+            return None
+        if t == self.round and self.receivers is not None:
+            return self.receivers
+        return frozenset()
+
+    def processes_at(self, t: int) -> bool:
+        """True when the node still updates state in round ``t``."""
+        return t < self.round
+
+
+def staggered_crashes(
+    nodes: Iterable[int],
+    first_round: int = 0,
+    spacing: int = 1,
+) -> dict[int, CrashEvent]:
+    """Clean crashes spread over time: one node every ``spacing`` rounds.
+
+    A convenient worst-ish-case workload: the algorithm keeps losing
+    participants as it runs rather than all at once.
+    """
+    if spacing < 0:
+        raise ValueError(f"spacing must be non-negative, got {spacing}")
+    events: dict[int, CrashEvent] = {}
+    for index, node in enumerate(sorted(set(nodes))):
+        events[node] = CrashEvent(node, first_round + index * spacing)
+    return events
+
+
+def simultaneous_crashes(nodes: Iterable[int], at_round: int) -> dict[int, CrashEvent]:
+    """Clean crashes of all the given nodes in the same round."""
+    return {node: CrashEvent(node, at_round) for node in set(nodes)}
+
+
+def partial_crash(node: int, at_round: int, receivers: Collection[int]) -> CrashEvent:
+    """A crash mid-broadcast: the last message reaches only ``receivers``."""
+    return CrashEvent(node, at_round, frozenset(receivers))

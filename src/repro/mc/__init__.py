@@ -1,0 +1,23 @@
+"""Bounded model checking of consensus executions.
+
+A proof of impossibility cannot be "run"; what *can* be run is the
+adversary it constructs. :mod:`repro.mc.explorer` exhaustively explores
+every choice the bounded message adversary could make against a
+concrete deterministic algorithm and reports a violating execution --
+the executable content of Corollary 1 (exact consensus is impossible
+with ``(1, n-2)``-dynaDegree) for each candidate algorithm we field.
+"""
+
+from repro.mc.explorer import (
+    BoundedExplorer,
+    Violation,
+    full_graph_choice,
+    mobile_omission_choices,
+)
+
+__all__ = [
+    "BoundedExplorer",
+    "Violation",
+    "mobile_omission_choices",
+    "full_graph_choice",
+]

@@ -1,0 +1,223 @@
+"""Exhaustive bounded exploration of message-adversary choices.
+
+The explorer plays every sequence of admissible round graphs (up to a
+horizon) against a deterministic, fault-free algorithm and searches for
+an execution violating agreement, validity, or termination. States are
+memoized on the vector of per-node algorithm states, so confluent
+branches are explored once.
+
+The admissible-choice generator is pluggable. The one Corollary 1
+needs is :func:`mobile_omission_choices`: each node may fail to receive
+at most one incoming message per round (Gafni-Losa), which keeps every
+per-round in-degree at ``n - 2`` or better -- i.e. the trace satisfies
+``(1, n-2)``-dynaDegree.
+
+Complexity is (choices/round)^horizon before memoization; with mobile
+omission there are ``n^n`` choices per round, so this is a tool for
+``n = 3..4`` and horizons of a handful of rounds -- which is exactly
+the regime where candidate algorithms like FloodMin decide.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.net.graph import DirectedGraph, Edge
+from repro.sim.node import ConsensusProcess, Delivery
+
+# A factory building the process for (node, input); self_port is the
+# node ID itself (the explorer uses identity ports: any fixed port
+# numbering is a legal one, and a violation under it is a violation).
+ProcessFactory = Callable[[int, float], ConsensusProcess]
+ChoiceGenerator = Callable[[int], Iterable[DirectedGraph]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A concrete violating execution found by the explorer."""
+
+    kind: str  # "disagreement" | "validity" | "non-termination"
+    outputs: tuple[float | None, ...]
+    schedule: tuple[DirectedGraph, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} after {len(self.schedule)} round(s); "
+            f"outputs={list(self.outputs)}"
+        )
+
+
+def mobile_omission_choices(n: int) -> ChoiceGenerator:
+    """All graphs where each node misses at most one incoming link.
+
+    Per receiver the adversary picks a victim sender (or none):
+    ``n`` options each, ``n^n`` graphs per round. Every graph keeps
+    in-degree >= n-2, so any schedule drawn from this set satisfies
+    ``(1, n-2)``-dynaDegree.
+    """
+    complete = [(u, v) for u in range(n) for v in range(n) if u != v]
+    per_node_options: list[list[int | None]] = [
+        [None] + [u for u in range(n) if u != v] for v in range(n)
+    ]
+
+    def generate(t: int) -> Iterable[DirectedGraph]:
+        for victims in itertools.product(*per_node_options):
+            dropped = {
+                (victims[v], v) for v in range(n) if victims[v] is not None
+            }
+            edges: list[Edge] = [e for e in complete if e not in dropped]
+            yield DirectedGraph(n, edges)
+
+    return generate
+
+
+def full_graph_choice(n: int) -> ChoiceGenerator:
+    """Degenerate generator: only the complete graph (sanity baseline)."""
+    graph = DirectedGraph.complete(n)
+
+    def generate(t: int) -> Iterable[DirectedGraph]:
+        yield graph
+
+    return generate
+
+
+class BoundedExplorer:
+    """Search for a violating execution of a deterministic algorithm.
+
+    Parameters
+    ----------
+    n:
+        Network size (fault-free exploration: the impossibility holds
+        even with f = 0).
+    factory:
+        Builds the process for each node given ``(node, input)``.
+        Processes must implement ``state_key()`` for memoization.
+    inputs:
+        The input assignment (for binary exact consensus: 0.0 / 1.0).
+    choices:
+        Generator of admissible round graphs.
+    horizon:
+        Maximum rounds to explore; executions still undecided at the
+        horizon count as non-termination witnesses only when
+        ``nontermination_is_violation`` is set.
+    epsilon:
+        Agreement tolerance: 0.0 for exact consensus.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        factory: ProcessFactory,
+        inputs: Sequence[float],
+        choices: ChoiceGenerator,
+        horizon: int,
+        epsilon: float = 0.0,
+        nontermination_is_violation: bool = True,
+    ) -> None:
+        if len(inputs) != n:
+            raise ValueError(f"need {n} inputs, got {len(inputs)}")
+        if horizon < 0:
+            raise ValueError(f"horizon must be non-negative, got {horizon}")
+        self.n = n
+        self.factory = factory
+        self.inputs = list(inputs)
+        self.choices = choices
+        self.horizon = horizon
+        self.epsilon = epsilon
+        self.nontermination_is_violation = nontermination_is_violation
+        self.states_explored = 0
+
+    # -- Single-round semantics (fault-free, identity ports) -------------
+
+    def _step(
+        self, processes: list[ConsensusProcess], graph: DirectedGraph
+    ) -> list[ConsensusProcess]:
+        successors = copy.deepcopy(processes)
+        broadcasts = [proc.broadcast() for proc in successors]
+        for v, proc in enumerate(successors):
+            pairs = [(u, broadcasts[u]) for u in sorted(graph.in_neighbors(v))]
+            pairs.append((v, broadcasts[v]))  # reliable self-delivery
+            batch = [Delivery(u, msg) for u, msg in sorted(pairs)]
+            proc.deliver(batch)
+        return successors
+
+    def _verdict(self, processes: list[ConsensusProcess]) -> Violation | None:
+        """Check a state where every node has output."""
+        outputs = [proc.output() for proc in processes]
+        spread = max(outputs) - min(outputs)
+        if spread > self.epsilon:
+            return Violation("disagreement", tuple(outputs), ())
+        legal = set(self.inputs)
+        if any(out not in legal for out in outputs) and self.epsilon == 0.0:
+            return Violation("validity", tuple(outputs), ())
+        return None
+
+    def search(self) -> Violation | None:
+        """Depth-first search; returns the first violation found."""
+        initial = [self.factory(v, self.inputs[v]) for v in range(self.n)]
+        visited: set[tuple] = set()
+        return self._dfs(initial, 0, (), visited)
+
+    def _dfs(
+        self,
+        processes: list[ConsensusProcess],
+        t: int,
+        schedule: tuple[DirectedGraph, ...],
+        visited: set[tuple],
+    ) -> Violation | None:
+        key = (t, tuple(proc.state_key() for proc in processes))
+        if key in visited:
+            return None
+        visited.add(key)
+        self.states_explored += 1
+
+        if all(proc.has_output() for proc in processes):
+            verdict = self._verdict(processes)
+            if verdict is not None:
+                return Violation(verdict.kind, verdict.outputs, schedule)
+            return None
+        if t >= self.horizon:
+            if self.nontermination_is_violation:
+                outputs = tuple(
+                    proc.output() if proc.has_output() else None for proc in processes
+                )
+                return Violation("non-termination", outputs, schedule)
+            return None
+
+        for graph in self.choices(t):
+            successors = self._step(processes, graph)
+            found = self._dfs(successors, t + 1, schedule + (graph,), visited)
+            if found is not None:
+                return found
+        return None
+
+    def count_outcomes(self) -> dict[tuple[float, ...], int]:
+        """Exhaustively enumerate terminal output vectors (diagnostics).
+
+        Returns a histogram over output vectors of all decided
+        executions within the horizon. Useful for reporting *how many*
+        adversary strategies force each disagreement pattern.
+        """
+        initial = [self.factory(v, self.inputs[v]) for v in range(self.n)]
+        histogram: dict[tuple[float, ...], int] = {}
+        seen: set[tuple] = set()
+
+        def recurse(processes: list[ConsensusProcess], t: int) -> None:
+            key = (t, tuple(proc.state_key() for proc in processes))
+            if key in seen:
+                return
+            seen.add(key)
+            if all(proc.has_output() for proc in processes):
+                outputs = tuple(proc.output() for proc in processes)
+                histogram[outputs] = histogram.get(outputs, 0) + 1
+                return
+            if t >= self.horizon:
+                return
+            for graph in self.choices(t):
+                recurse(self._step(processes, graph), t + 1)
+
+        recurse(initial, 0)
+        return histogram

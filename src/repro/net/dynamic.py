@@ -1,0 +1,159 @@
+"""Dynamic graphs: round-indexed edge schedules and recorded traces.
+
+The paper models the network as a dynamic graph ``G = (V, E)`` where
+``E : N -> 2^(V x V)`` maps a round number ``t`` to the set of directed
+links the message adversary made reliable in round ``t``.
+
+Two flavors live here:
+
+- :class:`EdgeSchedule` -- a *predefined* schedule (a function or a
+  table), useful for declarative adversaries such as the paper's
+  Figure 1 example.
+- :class:`DynamicGraph` -- a *recorded* execution trace, appended to by
+  the simulation engine round by round, and consumed by the dynaDegree
+  checker and the analysis layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.net.graph import DirectedGraph, Edge
+
+
+class EdgeSchedule:
+    """A predefined mapping from round number to edge set.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    fn:
+        Function taking a round index ``t >= 0`` and returning the edge
+        set for that round (any iterable of ``(u, v)`` pairs).
+
+    Examples
+    --------
+    The paper's Figure 1 adversary (empty on odd rounds) can be written:
+
+    >>> evens = [(0, 1), (1, 0), (1, 2), (2, 1)]
+    >>> sched = EdgeSchedule(3, lambda t: evens if t % 2 == 0 else [])
+    >>> sorted(sched.graph_at(0).edges)
+    [(0, 1), (1, 0), (1, 2), (2, 1)]
+    >>> len(sched.graph_at(1))
+    0
+    """
+
+    def __init__(self, n: int, fn: Callable[[int], Iterable[Edge]]) -> None:
+        self._n = n
+        self._fn = fn
+
+    @classmethod
+    def from_table(cls, n: int, table: Sequence[Iterable[Edge]], repeat: bool = True) -> "EdgeSchedule":
+        """Build a schedule from a finite table of per-round edge sets.
+
+        With ``repeat=True`` (default) the table is cycled periodically;
+        otherwise rounds beyond the table are empty.
+        """
+        frozen = [list(row) for row in table]
+        if not frozen:
+            raise ValueError("schedule table must contain at least one round")
+
+        def lookup(t: int) -> Iterable[Edge]:
+            if repeat:
+                return frozen[t % len(frozen)]
+            if t < len(frozen):
+                return frozen[t]
+            return ()
+
+        return cls(n, lookup)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    def edges_at(self, t: int) -> list[Edge]:
+        """Edge list for round ``t``."""
+        if t < 0:
+            raise ValueError(f"round index must be non-negative, got {t}")
+        return list(self._fn(t))
+
+    def graph_at(self, t: int) -> DirectedGraph:
+        """The static graph ``(V, E(t))`` for round ``t``."""
+        return DirectedGraph(self._n, self.edges_at(t))
+
+
+class DynamicGraph:
+    """A recorded dynamic graph: one :class:`DirectedGraph` per round.
+
+    The engine appends the adversary's choice each round via
+    :meth:`record`; analysis code reads rounds back with :meth:`at` or
+    slices windows with :meth:`window`.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"dynamic graph needs at least one node, got n={n}")
+        self._n = n
+        self._rounds: list[DirectedGraph] = []
+
+    @classmethod
+    def from_schedule(cls, schedule: EdgeSchedule, num_rounds: int) -> "DynamicGraph":
+        """Materialize the first ``num_rounds`` rounds of a schedule."""
+        dyn = cls(schedule.n)
+        for t in range(num_rounds):
+            dyn.record(schedule.graph_at(t))
+        return dyn
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    def __len__(self) -> int:
+        """Number of recorded rounds."""
+        return len(self._rounds)
+
+    def record(self, graph: DirectedGraph) -> None:
+        """Append the edge set the adversary chose for the next round."""
+        if graph.n != self._n:
+            raise ValueError(f"recorded graph has n={graph.n}, expected {self._n}")
+        self._rounds.append(graph)
+
+    def at(self, t: int) -> DirectedGraph:
+        """The recorded graph of round ``t`` (0-based)."""
+        return self._rounds[t]
+
+    def window(self, start: int, length: int) -> list[DirectedGraph]:
+        """The recorded graphs of rounds ``start .. start+length-1``."""
+        if start < 0 or length < 1:
+            raise ValueError(f"invalid window start={start}, length={length}")
+        return self._rounds[start : start + length]
+
+    def window_union(self, start: int, length: int) -> DirectedGraph:
+        """The paper's ``G_t``: union of ``E(start) .. E(start+length-1)``.
+
+        Definition 1 aggregates incoming neighbors over a ``T``-round
+        interval by taking the union of the per-round edge sets.
+        """
+        return window_union(self.window(start, length), self._n)
+
+    def edges_per_round(self) -> list[int]:
+        """Edge count of every recorded round, in order."""
+        return [len(g) for g in self._rounds]
+
+
+def window_union(graphs: Sequence[DirectedGraph], n: int | None = None) -> DirectedGraph:
+    """Union a sequence of per-round graphs into one static graph."""
+    if not graphs:
+        if n is None:
+            raise ValueError("cannot union an empty window without knowing n")
+        return DirectedGraph.empty(n)
+    size = graphs[0].n if n is None else n
+    edges: set[Edge] = set()
+    for g in graphs:
+        if g.n != size:
+            raise ValueError(f"window mixes graphs with n={g.n} and n={size}")
+        edges |= g.edges
+    return DirectedGraph(size, edges)

@@ -1,0 +1,101 @@
+"""Edge-set generators for the topologies used throughout the paper.
+
+These are plain functions returning edge lists (not graph objects) so
+adversaries can compose them cheaply: drop some, union others, then
+build the round's :class:`~repro.net.graph.DirectedGraph` once.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection, Sequence
+
+Edge = tuple[int, int]
+
+
+def empty_edges(n: int) -> list[Edge]:
+    """No links at all (the adversary silences the whole round)."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return []
+
+
+def complete_edges(n: int) -> list[Edge]:
+    """Every ordered pair ``(u, v)``, ``u != v``."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return [(u, v) for u in range(n) for v in range(n) if u != v]
+
+
+def cycle_edges(n: int, bidirectional: bool = True) -> list[Edge]:
+    """A ring ``0 -> 1 -> ... -> n-1 -> 0`` (both directions by default)."""
+    if n < 2:
+        raise ValueError(f"cycle needs n >= 2, got {n}")
+    edges = [(u, (u + 1) % n) for u in range(n)]
+    if bidirectional:
+        edges += [((u + 1) % n, u) for u in range(n)]
+    return edges
+
+
+def star_edges(n: int, center: int = 0, bidirectional: bool = True) -> list[Edge]:
+    """A star around ``center`` (center -> leaf, and back by default)."""
+    if n < 2:
+        raise ValueError(f"star needs n >= 2, got {n}")
+    if not (0 <= center < n):
+        raise ValueError(f"center {center} out of range for n={n}")
+    edges = [(center, v) for v in range(n) if v != center]
+    if bidirectional:
+        edges += [(v, center) for v in range(n) if v != center]
+    return edges
+
+
+def random_edges(n: int, p: float, rng: random.Random) -> list[Edge]:
+    """Each directed link is made reliable independently with probability ``p``.
+
+    This is the Section VII "probabilistic message adversary": a
+    directed Erdos-Renyi graph drawn fresh every round.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    return [
+        (u, v)
+        for u in range(n)
+        for v in range(n)
+        if u != v and rng.random() < p
+    ]
+
+
+def split_edges(n: int, groups: Sequence[Collection[int]]) -> list[Edge]:
+    """Complete communication *within* each group, none across groups.
+
+    The impossibility constructions (Theorems 9 and 10) partition nodes
+    into groups that only hear themselves; groups may overlap (Theorem
+    10 overlaps them in ``3f`` nodes), in which case a node belonging to
+    several groups hears from the union of its groups.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    edges: set[Edge] = set()
+    for group in groups:
+        members = sorted(set(group))
+        for u in members:
+            if not (0 <= u < n):
+                raise ValueError(f"group member {u} out of range for n={n}")
+        for u in members:
+            for v in members:
+                if u != v:
+                    edges.add((u, v))
+    return sorted(edges)
+
+
+def in_links_from(sources: Collection[int], target: int) -> list[Edge]:
+    """Directed links delivering from each of ``sources`` into ``target``."""
+    return [(u, target) for u in sorted(set(sources)) if u != target]
+
+
+def drop_incoming(edges: Collection[Edge], target: int, sources: Collection[int]) -> list[Edge]:
+    """Remove the links from ``sources`` into ``target`` (omission faults)."""
+    banned = {(u, target) for u in sources}
+    return [e for e in edges if e not in banned]

@@ -1,0 +1,95 @@
+"""Prior-work stability properties, for comparison with dynaDegree.
+
+Section II-B positions ``(T, D)``-dynaDegree against two earlier
+stability notions for dynamic graphs:
+
+- **T-interval connectivity** (Kuhn-Lynch-Oshman STOC'10): for every
+  ``T`` consecutive rounds there exists a *stable* connected spanning
+  subgraph -- i.e. the intersection of the round edge sets, viewed as
+  an undirected graph, is connected. (Their links are bidirectional;
+  we symmetrize by keeping the edges present in both directions.)
+- **Rooted spanning tree** (Charron-Bost et al. / Winkler et al.): in
+  every single round, the directed graph has at least one node that
+  reaches every other node.
+
+The paper's point is that these properties and dynaDegree are
+*incomparable*: the Figure 1 adversary satisfies (2,1)-dynaDegree but
+has rounds with no root at all; conversely a rotating directed star is
+rooted every round yet gives only (T, min(T, n-1))-dynaDegree.
+Experiment X5 runs algorithms across adversaries satisfying each
+property to make the incomparability executable.
+"""
+
+from __future__ import annotations
+
+from repro.net.dynamic import DynamicGraph
+from repro.net.graph import DirectedGraph, Edge
+
+
+def _stable_undirected_component_count(graphs: list[DirectedGraph]) -> int:
+    """Connected components of the symmetrized intersection of a window."""
+    if not graphs:
+        raise ValueError("window must contain at least one round")
+    n = graphs[0].n
+    stable: set[Edge] = set(graphs[0].edges)
+    for graph in graphs[1:]:
+        stable &= graph.edges
+    # Symmetrize: T-interval connectivity assumes bidirectional links,
+    # so only edges stable in both directions connect.
+    undirected = {(u, v) for (u, v) in stable if (v, u) in stable}
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in undirected:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    return len({find(v) for v in range(n)})
+
+
+def is_t_interval_connected(trace: DynamicGraph, window: int) -> bool:
+    """T-interval connectivity over every complete window of a trace.
+
+    Vacuously true for traces shorter than the window (mirroring the
+    dynaDegree checker's convention).
+    """
+    if window < 1:
+        raise ValueError(f"window T must be >= 1, got {window}")
+    complete = max(0, len(trace) - window + 1)
+    for start in range(complete):
+        if _stable_undirected_component_count(trace.window(start, window)) != 1:
+            return False
+    return True
+
+
+def is_rooted_every_round(trace: DynamicGraph) -> bool:
+    """The rooted-spanning-tree property: every round has a root."""
+    return all(trace.at(t).has_root() for t in range(len(trace)))
+
+
+def rooted_rounds(trace: DynamicGraph) -> list[bool]:
+    """Per-round root existence (diagnostic for property comparisons)."""
+    return [trace.at(t).has_root() for t in range(len(trace))]
+
+
+def property_profile(trace: DynamicGraph, windows: list[int]) -> dict[str, object]:
+    """Summary of all three stability notions on one trace.
+
+    Returns a dict with ``rooted_every_round``, ``rooted_fraction`` and
+    ``t_interval_connected`` (per requested window), used by the
+    stability-comparison experiment.
+    """
+    flags = rooted_rounds(trace)
+    return {
+        "rounds": len(trace),
+        "rooted_every_round": all(flags) if flags else True,
+        "rooted_fraction": (sum(flags) / len(flags)) if flags else 1.0,
+        "t_interval_connected": {
+            window: is_t_interval_connected(trace, window) for window in windows
+        },
+    }

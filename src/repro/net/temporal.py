@@ -1,0 +1,102 @@
+"""Temporal (multi-hop) reachability -- the paper's future-work probe.
+
+Section I restricts the paper to single-hop communication and leaves
+multi-hop "as an interesting future work". The natural multi-hop
+analogue of ``(T, D)``-dynaDegree counts *journeys* instead of direct
+links: how many distinct origins' round-``t`` information could reach a
+node by the end of a ``T``-round window, if every node relayed
+everything it knew (the information-flow upper bound).
+
+Formally, for a window ``E(t), ..., E(t+T-1)``, define
+``reach_0(v) = {v}`` and
+``reach_{i+1}(v) = reach_i(v) u U { reach_i(u) : (u, v) in E(t+i) }``;
+the window's reach set of ``v`` is ``reach_T(v)``. A trace satisfies
+``(T, D)``-**dynaReach** when ``|reach_T(v) - {v}| >= D`` for every
+fault-free ``v`` and every window.
+
+Direct links are one-hop journeys, so dynaReach dominates dynaDegree
+(property-tested). The gap between the two is exactly the room
+multi-hop relaying *could* exploit -- and experiment X8 shows that
+under anonymity DAC/DBAC cannot: quorum counting needs distinct
+*direct* ports, because relayed values carry no attributable origin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from repro.net.dynadegree import DynaDegreeVerdict, DynaDegreeViolation
+from repro.net.dynamic import DynamicGraph
+from repro.net.graph import DirectedGraph
+
+
+def window_reach_sets(window: list[DirectedGraph]) -> dict[int, frozenset[int]]:
+    """Origins whose start-of-window state can reach each node.
+
+    ``window`` is the per-round graph sequence; the result maps node ->
+    the set of origins (including itself) with a time-respecting path
+    to it within the window.
+    """
+    if not window:
+        raise ValueError("window must contain at least one round")
+    n = window[0].n
+    reach: list[set[int]] = [{v} for v in range(n)]
+    for graph in window:
+        if graph.n != n:
+            raise ValueError(f"window mixes graphs with n={graph.n} and n={n}")
+        step = [set(r) for r in reach]
+        for u, v in graph.edges:
+            step[v] |= reach[u]
+        reach = step
+    return {v: frozenset(reach[v]) for v in range(n)}
+
+
+def check_dynareach(
+    trace: DynamicGraph,
+    window: int,
+    degree: int,
+    fault_free: Collection[int] | None = None,
+    max_violations: int = 16,
+) -> DynaDegreeVerdict:
+    """Check ``(window, degree)``-dynaReach on a recorded trace.
+
+    Mirrors :func:`repro.net.dynadegree.check_dynadegree` (same verdict
+    type, same finite-trace conventions) with journeys in place of
+    direct links.
+    """
+    if window < 1:
+        raise ValueError(f"window T must be >= 1, got {window}")
+    if not (1 <= degree <= trace.n - 1):
+        raise ValueError(f"degree D must be in [1, n-1]=[1, {trace.n - 1}], got {degree}")
+    targets = set(range(trace.n)) if fault_free is None else set(fault_free)
+    complete = max(0, len(trace) - window + 1)
+    violations: list[DynaDegreeViolation] = []
+    for start in range(complete):
+        reach = window_reach_sets(trace.window(start, window))
+        for node in sorted(targets):
+            got = len(reach[node] - {node})
+            if got < degree:
+                violations.append(DynaDegreeViolation(start, node, got, degree))
+                if len(violations) >= max_violations:
+                    return DynaDegreeVerdict(
+                        False, window, degree, complete, tuple(violations)
+                    )
+    return DynaDegreeVerdict(not violations, window, degree, complete, tuple(violations))
+
+
+def max_reach_for_window(
+    trace: DynamicGraph,
+    window: int,
+    fault_free: Collection[int] | None = None,
+) -> int:
+    """Largest ``D`` such that ``(window, D)``-dynaReach holds."""
+    targets = set(range(trace.n)) if fault_free is None else set(fault_free)
+    complete = max(0, len(trace) - window + 1)
+    best = trace.n - 1
+    for start in range(complete):
+        reach = window_reach_sets(trace.window(start, window))
+        for node in targets:
+            best = min(best, len(reach[node] - {node}))
+            if best == 0:
+                return 0
+    return best

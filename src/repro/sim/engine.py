@@ -1,0 +1,333 @@
+"""The synchronous round engine.
+
+One round proceeds exactly as in Section II-A of the paper:
+
+1. every node that is still transmitting produces its broadcast
+   message (deterministically from its state); Byzantine strategies
+   may produce a different message per receiver;
+2. the message adversary -- shown an omniscient view of node states,
+   this round's broadcasts, and the fault plan -- chooses the reliable
+   link set ``E(t)``; messages sent over other links are lost;
+3. each message that traverses a chosen link ``(u, v)`` is delivered
+   to ``v`` tagged with ``v``'s local port for ``u``; in addition,
+   every alive node reliably receives its own message (self-delivery
+   cannot be disrupted by the adversary);
+4. non-faulty nodes consume their delivery batch (sorted by port) and
+   transition; Byzantine strategies observe their node's inbox.
+
+The engine is deliberately single-threaded and deterministic: given the
+same processes, adversary, ports, fault plan and seed, two runs produce
+bit-identical traces (asserted by property tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.adversary.base import MessageAdversary
+from repro.faults.base import FaultPlan
+from repro.net.graph import DirectedGraph
+from repro.net.ports import PortNumbering
+from repro.sim.messages import message_bits
+from repro.sim.metrics import MetricsCollector
+from repro.sim.node import ConsensusProcess, Delivery
+from repro.sim.rng import child_rng
+from repro.sim.trace import ExecutionTrace, RoundSnapshot
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one call to :meth:`Engine.run_round` did."""
+
+    round: int
+    graph: DirectedGraph
+    delivered: int
+    bits: int
+
+
+class EngineView:
+    """The omniscient per-round view handed to adversaries and Byzantine
+    strategies.
+
+    Exposes node states *at the beginning of the round* (before this
+    round's deliveries) plus the messages being broadcast -- exactly
+    the adversary's knowledge in the paper (states + deterministic
+    algorithm specification).
+    """
+
+    def __init__(self, engine: "Engine", t: int, broadcasts: Mapping[int, Any]) -> None:
+        self._engine = engine
+        self._t = t
+        self._broadcasts = dict(broadcasts)
+
+    @property
+    def round(self) -> int:
+        """The current round index."""
+        return self._t
+
+    @property
+    def n(self) -> int:
+        """Network size."""
+        return self._engine.n
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        """The execution's fault plan (adversaries may collude with faults)."""
+        return self._engine.fault_plan
+
+    @property
+    def ports(self) -> PortNumbering:
+        """The execution's port numberings.
+
+        The adversary is omniscient, so it may inspect how each node
+        labels its senders (it still cannot *change* the labels --
+        the communication layer is authenticated).
+        """
+        return self._engine.ports
+
+    def process(self, node: int) -> ConsensusProcess | None:
+        """The process object at ``node`` (``None`` for Byzantine nodes)."""
+        return self._engine.processes.get(node)
+
+    def value(self, node: int) -> float | None:
+        """Node's current scalar state, ``None`` for Byzantine nodes."""
+        proc = self._engine.processes.get(node)
+        return None if proc is None else proc.value
+
+    def phase(self, node: int) -> int | None:
+        """Node's current phase index, ``None`` for Byzantine nodes."""
+        proc = self._engine.processes.get(node)
+        return None if proc is None else proc.phase
+
+    def broadcast_of(self, node: int) -> Any | None:
+        """The message ``node`` is broadcasting this round (or ``None``)."""
+        return self._broadcasts.get(node)
+
+    def max_fault_free_phase(self) -> int:
+        """Highest phase among fault-free nodes (0 when none exist)."""
+        phases = [
+            self._engine.processes[v].phase for v in self._engine.fault_plan.fault_free
+        ]
+        return max(phases, default=0)
+
+    def live_senders(self) -> frozenset[int]:
+        """Nodes transmitting fully this round (crash model awareness)."""
+        return self._engine.fault_plan.live_senders(self._t)
+
+    def undecided_fault_free(self) -> frozenset[int]:
+        """Fault-free nodes that have not output yet."""
+        return frozenset(
+            v
+            for v in self._engine.fault_plan.fault_free
+            if not self._engine.processes[v].has_output()
+        )
+
+
+class Engine:
+    """Runs one execution: processes + adversary + ports + fault plan.
+
+    Parameters
+    ----------
+    processes:
+        ``node -> ConsensusProcess`` for every **non-Byzantine** node
+        (crash-faulty nodes run the algorithm until they die).
+    adversary:
+        The message adversary choosing ``E(t)``.
+    ports:
+        The execution's port numberings.
+    fault_plan:
+        Crash events and Byzantine strategies; defaults to fault-free.
+    f:
+        The fault bound the nodes were configured with (used to bind
+        Byzantine strategies; informational otherwise).
+    seed:
+        Root seed from which the adversary's and each Byzantine
+        strategy's private streams are derived.
+    record_trace:
+        Set ``False`` to skip snapshotting (large sweeps).
+    """
+
+    def __init__(
+        self,
+        processes: Mapping[int, ConsensusProcess],
+        adversary: MessageAdversary,
+        ports: PortNumbering,
+        fault_plan: FaultPlan | None = None,
+        f: int = 0,
+        seed: int = 0,
+        record_trace: bool = True,
+        byzantine_inputs: Mapping[int, float] | None = None,
+    ) -> None:
+        self.n = ports.n
+        self.ports = ports
+        self.fault_plan = fault_plan or FaultPlan.fault_free_plan(self.n)
+        if self.fault_plan.n != self.n:
+            raise ValueError(
+                f"fault plan is for n={self.fault_plan.n}, ports for n={self.n}"
+            )
+        self.processes: dict[int, ConsensusProcess] = dict(processes)
+        expected = self.fault_plan.non_byzantine
+        if set(self.processes) != set(expected):
+            raise ValueError(
+                "processes must cover exactly the non-Byzantine nodes "
+                f"{sorted(expected)}, got {sorted(self.processes)}"
+            )
+        self.adversary = adversary
+        self.adversary.setup(self.n, self.fault_plan, child_rng(seed, "adversary"))
+        byz_inputs = dict(byzantine_inputs or {})
+        for node, strategy in self.fault_plan.byzantine.items():
+            strategy.bind(
+                node,
+                self.n,
+                f,
+                byz_inputs.get(node, 0.0),
+                child_rng(seed, f"byzantine-{node}"),
+            )
+        self.metrics = MetricsCollector()
+        self.trace: ExecutionTrace | None = ExecutionTrace(self.n) if record_trace else None
+        self.observers: list[Callable[["Engine", RoundSnapshot], None]] = []
+        self._t = 0
+
+    @property
+    def current_round(self) -> int:
+        """Index of the next round to run."""
+        return self._t
+
+    def state_snapshots(self) -> dict[int, dict[str, Any]]:
+        """Adversary-visible snapshots of every non-Byzantine node."""
+        return {node: proc.state_snapshot() for node, proc in self.processes.items()}
+
+    # ------------------------------------------------------------------
+
+    def _collect_broadcasts(self, t: int) -> dict[int, Any]:
+        """Messages from non-Byzantine nodes still transmitting at ``t``."""
+        broadcasts: dict[int, Any] = {}
+        for node, proc in self.processes.items():
+            targets = self.fault_plan.send_targets(node, t)
+            if targets is not None and not targets:
+                continue  # crashed: silent
+            broadcasts[node] = proc.broadcast()
+        return broadcasts
+
+    def _byzantine_messages(
+        self, t: int, view: EngineView
+    ) -> dict[int, Mapping[int, Any] | Any]:
+        return {
+            node: strategy.messages(t, view)
+            for node, strategy in self.fault_plan.byzantine.items()
+        }
+
+    @staticmethod
+    def _byzantine_message_for(outgoing: Mapping[int, Any] | Any, receiver: int) -> Any | None:
+        if isinstance(outgoing, Mapping):
+            return outgoing.get(receiver)
+        return outgoing
+
+    def run_round(self) -> RoundRecord:
+        """Execute one synchronous round and return its record."""
+        t = self._t
+        broadcasts = self._collect_broadcasts(t)
+        view = EngineView(self, t, broadcasts)
+        byz_out = self._byzantine_messages(t, view)
+
+        graph = self.adversary.choose(t, view)
+        if graph.n != self.n:
+            raise ValueError(f"adversary chose a graph with n={graph.n}, expected {self.n}")
+
+        # Route messages along the chosen links.
+        inboxes: dict[int, list[tuple[int, Any]]] = {v: [] for v in range(self.n)}
+        delivered = 0
+        bits = 0
+        for u, v in graph.edges:
+            if self.fault_plan.is_byzantine(u):
+                message = self._byzantine_message_for(byz_out[u], v)
+            else:
+                message = broadcasts.get(u)
+                if message is not None:
+                    targets = self.fault_plan.send_targets(u, t)
+                    if targets is not None and v not in targets:
+                        message = None  # partial crash: this receiver missed out
+            if message is None:
+                continue
+            inboxes[v].append((u, message))
+            delivered += 1
+            bits += message_bits(message)
+
+        # Deliver to non-Byzantine nodes that still process, adding the
+        # reliable self-delivery.
+        for node, proc in self.processes.items():
+            if not self.fault_plan.processes_at(node, t):
+                continue
+            pairs = list(inboxes[node])
+            own = broadcasts.get(node)
+            if own is not None:
+                pairs.append((node, own))
+            batch = [
+                Delivery(self.ports.port_of(node, sender), message)
+                for sender, message in pairs
+            ]
+            batch.sort(key=lambda d: d.port)
+            proc.deliver(batch)
+
+        # Byzantine strategies observe their inbox with true sender IDs.
+        for node, strategy in self.fault_plan.byzantine.items():
+            strategy.observe(t, sorted(inboxes[node], key=lambda pair: pair[0]))
+
+        snapshot = RoundSnapshot(
+            round=t,
+            graph=graph,
+            states=self.state_snapshots(),
+            delivered=delivered,
+            bits=bits,
+            live_senders=self.fault_plan.live_senders(t),
+        )
+        if self.trace is not None:
+            self.trace.record(snapshot)
+        self.metrics.on_round(delivered, bits, broadcasts=len(broadcasts) + len(byz_out))
+        for observer in self.observers:
+            observer(self, snapshot)
+
+        self._t += 1
+        return RoundRecord(t, graph, delivered, bits)
+
+    def run(
+        self,
+        max_rounds: int,
+        stop_when: Callable[["Engine"], bool] | None = None,
+    ) -> int:
+        """Run rounds until ``stop_when`` fires or ``max_rounds`` elapse.
+
+        Returns the number of rounds actually executed. ``stop_when``
+        is evaluated *before* each round (so a vacuously-true condition
+        runs zero rounds) and checked again after the final round.
+        """
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        executed = 0
+        while executed < max_rounds:
+            if stop_when is not None and stop_when(self):
+                break
+            self.run_round()
+            executed += 1
+        return executed
+
+    # -- Convenience stop conditions -----------------------------------
+
+    def all_fault_free_output(self) -> bool:
+        """True once every fault-free node has produced its output."""
+        return all(
+            self.processes[v].has_output() for v in self.fault_plan.fault_free
+        )
+
+    def fault_free_values(self) -> dict[int, float]:
+        """Current scalar states of the fault-free nodes."""
+        return {v: self.processes[v].value for v in self.fault_plan.fault_free}
+
+    def fault_free_range(self) -> float:
+        """Spread of the fault-free states (0.0 when none exist)."""
+        values = list(self.fault_free_values().values())
+        if not values:
+            return 0.0
+        return max(values) - min(values)

@@ -1,0 +1,62 @@
+"""Message types and per-link bandwidth accounting.
+
+The paper assumes each node sends one message per round and each
+message carries at most ``O(log n)`` bits (Section II-A). The base
+message of both DAC and DBAC is a ``(value, phase)`` pair. The Section
+VII piggybacking extension appends up to ``k`` older ``(value, phase)``
+entries; the metrics layer charges for them so the bandwidth /
+convergence trade-off (experiment X2) can be measured.
+
+Bandwidth model: a value costs 64 bits (one fixed-point/float state), a
+phase index costs 32 bits. These constants are an accounting
+convention, not a claim about wire encodings; only *ratios* between
+configurations matter in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+VALUE_BITS = 64
+PHASE_BITS = 32
+
+
+@dataclass(frozen=True)
+class StateMessage:
+    """The broadcast of DAC/DBAC: the sender's state and phase index.
+
+    ``history`` is the optional piggyback payload of the Section VII
+    extension: older ``(value, phase)`` pairs, most recent first. Plain
+    DAC/DBAC always send ``history=()``.
+    """
+
+    value: float
+    phase: int
+    history: tuple[tuple[float, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.phase < 0:
+            raise ValueError(f"phase must be non-negative, got {self.phase}")
+
+    def bits(self) -> int:
+        """Size of this message under the accounting convention."""
+        base = VALUE_BITS + PHASE_BITS
+        return base + len(self.history) * (VALUE_BITS + PHASE_BITS)
+
+    def entries(self) -> tuple[tuple[float, int], ...]:
+        """All ``(value, phase)`` pairs carried: current state first."""
+        return ((self.value, self.phase),) + self.history
+
+
+def message_bits(message: object) -> int:
+    """Bits charged for an arbitrary message object.
+
+    :class:`StateMessage` knows its own size; anything else (baseline
+    algorithms with richer payloads, e.g. full-information vectors) may
+    supply a ``bits()`` method, and is otherwise charged a flat
+    ``VALUE_BITS`` as a floor.
+    """
+    bits_fn = getattr(message, "bits", None)
+    if callable(bits_fn):
+        return int(bits_fn())
+    return VALUE_BITS

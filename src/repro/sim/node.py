@@ -1,0 +1,96 @@
+"""The process protocol every consensus algorithm implements.
+
+A :class:`ConsensusProcess` is a *fault-free anonymous node*. The
+engine drives it with exactly the information the paper's model grants:
+
+- it knows ``n`` (network size), ``f`` (fault bound) and its own input;
+- once per round it produces the message it broadcasts;
+- at the end of the round it receives the batch of delivered messages,
+  each tagged only with the *local port* it arrived on (its own
+  message is always among them, on :meth:`self_port`).
+
+The engine never exposes global node IDs, round-graph information, or
+the identities behind ports -- anonymity holds by construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, NamedTuple
+
+
+class Delivery(NamedTuple):
+    """One received message: the local port it arrived on, and the payload."""
+
+    port: int
+    message: Any
+
+
+class ConsensusProcess(ABC):
+    """Base class for fault-free nodes running a consensus algorithm.
+
+    Parameters
+    ----------
+    n:
+        Network size (known to all nodes in the model).
+    f:
+        Upper bound on the number of faulty nodes (known to all nodes).
+    input_value:
+        This node's initial input ``x_i``.
+    self_port:
+        The local port on which this node's own broadcasts arrive.
+        (The paper's ``R_i[i] <- 1`` initialization is expressed through
+        this port.)
+    """
+
+    def __init__(self, n: int, f: int, input_value: float, self_port: int) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        if f < 0 or f >= n:
+            raise ValueError(f"need 0 <= f < n, got f={f}, n={n}")
+        if not (0 <= self_port < n):
+            raise ValueError(f"self_port {self_port} out of range for n={n}")
+        self.n = n
+        self.f = f
+        self.input_value = input_value
+        self.self_port = self_port
+
+    @abstractmethod
+    def broadcast(self) -> Any:
+        """The message this node broadcasts in the current round."""
+
+    @abstractmethod
+    def deliver(self, deliveries: list[Delivery]) -> None:
+        """Consume this round's received messages and transition state.
+
+        ``deliveries`` is sorted by ascending port number -- the fixed,
+        publicly-known processing order (DESIGN.md fidelity note 3).
+        It always contains this node's own message on ``self_port``.
+        """
+
+    @abstractmethod
+    def has_output(self) -> bool:
+        """Whether the node has irrevocably produced its output."""
+
+    @abstractmethod
+    def output(self) -> float:
+        """The decided output; only valid once :meth:`has_output` is true."""
+
+    # -- Introspection for the adversary / analysis layers ---------------
+    # The message adversary is allowed to read internal states (Section
+    # II-A). Algorithms expose their scalar state and phase through this
+    # uniform surface so generic adversaries work against any of them.
+
+    @property
+    def value(self) -> float:
+        """Current scalar state ``v_i`` (adversary-visible)."""
+        raise NotImplementedError
+
+    @property
+    def phase(self) -> int:
+        """Current phase index ``p_i`` (adversary-visible)."""
+        raise NotImplementedError
+
+    def state_snapshot(self) -> dict[str, Any]:
+        """A read-only snapshot of adversary-visible state."""
+        return {"value": self.value, "phase": self.phase, "output": self.has_output()}

@@ -1,0 +1,92 @@
+"""Trace persistence and replay.
+
+Executions are deterministic given their seeds, but a saved trace is
+still the right artifact for bug reports, cross-version comparisons,
+and postmortems of adversarial runs found by search: JSON in, JSON
+out, and a :class:`~repro.adversary.base.ScheduleAdversary` that
+replays the recorded link choices against fresh processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.adversary.base import ScheduleAdversary
+from repro.net.dynamic import EdgeSchedule
+from repro.net.graph import DirectedGraph
+from repro.sim.trace import ExecutionTrace, RoundSnapshot
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: ExecutionTrace) -> dict[str, Any]:
+    """A JSON-serializable representation of a trace."""
+    return {
+        "version": _FORMAT_VERSION,
+        "n": trace.n,
+        "rounds": [
+            {
+                "round": snap.round,
+                "edges": sorted(snap.graph.edges),
+                "states": {
+                    str(node): dict(state) for node, state in snap.states.items()
+                },
+                "delivered": snap.delivered,
+                "bits": snap.bits,
+                "live_senders": sorted(snap.live_senders),
+            }
+            for snap in trace.rounds
+        ],
+    }
+
+
+def trace_from_dict(payload: dict[str, Any]) -> ExecutionTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    n = int(payload["n"])
+    trace = ExecutionTrace(n)
+    for row in payload["rounds"]:
+        trace.record(
+            RoundSnapshot(
+                round=int(row["round"]),
+                graph=DirectedGraph(n, (tuple(e) for e in row["edges"])),
+                states={int(k): dict(v) for k, v in row["states"].items()},
+                delivered=int(row["delivered"]),
+                bits=int(row["bits"]),
+                live_senders=frozenset(int(v) for v in row["live_senders"]),
+            )
+        )
+    return trace
+
+
+def save_trace(trace: ExecutionTrace, path: str | Path) -> None:
+    """Write a trace as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=1))
+
+
+def load_trace(path: str | Path) -> ExecutionTrace:
+    """Read a trace saved by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def replay_adversary(
+    trace: ExecutionTrace,
+    promise: tuple[int, int] | None = None,
+    repeat: bool = False,
+) -> ScheduleAdversary:
+    """An adversary replaying the trace's recorded link choices.
+
+    Rounds beyond the recorded length are empty unless ``repeat`` loops
+    the recording. Replaying is how a violation found by stochastic
+    search (or by the model checker) is turned into a deterministic
+    regression test.
+    """
+    table = [sorted(trace.at(t).edges) for t in range(len(trace))]
+    if not table:
+        raise ValueError("cannot replay an empty trace")
+    schedule = EdgeSchedule.from_table(trace.n, table, repeat=repeat)
+    return ScheduleAdversary(schedule, promise=promise)

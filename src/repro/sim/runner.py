@@ -1,0 +1,210 @@
+"""Run orchestration: execute a consensus instance and judge it.
+
+:func:`run_consensus` wires an engine together, runs it to a stopping
+condition, and returns an :class:`ExecutionReport` containing verdicts
+for the paper's three correctness properties (termination, validity,
+epsilon-agreement), the measured per-phase convergence series, and an
+independent re-check of the adversary's ``(T, D)``-dynaDegree promise
+on the recorded trace.
+
+Two stopping modes reflect the two ways the paper's algorithms are
+read:
+
+- ``"output"`` -- paper-faithful: run until every fault-free node has
+  reached its termination phase ``p_end`` and output (Equations 2/6);
+- ``"oracle"`` -- run until an omniscient observer sees the fault-free
+  states within ``epsilon`` (used to measure how conservative the
+  ``p_end`` bounds are, especially DBAC's Equation 6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.adversary.base import MessageAdversary
+from repro.faults.base import FaultPlan
+from repro.net.dynadegree import check_dynadegree
+from repro.net.ports import PortNumbering
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricsCollector, PhaseRangeSeries
+from repro.sim.node import ConsensusProcess
+from repro.sim.trace import ExecutionTrace
+
+# Slack for floating-point comparisons in verdicts. Outputs sitting
+# exactly on the hull boundary should not fail validity to rounding.
+_FLOAT_SLACK = 1e-9
+
+
+@dataclass
+class ExecutionReport:
+    """Everything measured about one execution."""
+
+    n: int
+    f: int
+    epsilon: float
+    stop_mode: str
+    rounds: int
+    terminated: bool
+    inputs: dict[int, float]
+    outputs: dict[int, float]
+    output_spread: float
+    epsilon_agreement: bool
+    validity: bool
+    phase_ranges: list[float] = field(default_factory=list)
+    convergence_rates: list[float] = field(default_factory=list)
+    max_phase: int = 0
+    dynadegree_promise: tuple[int, int] | None = None
+    dynadegree_verified: bool | None = None
+    metrics: MetricsCollector | None = None
+    trace: ExecutionTrace | None = None
+
+    @property
+    def correct(self) -> bool:
+        """Termination, validity and epsilon-agreement all hold."""
+        return self.terminated and self.validity and self.epsilon_agreement
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "OK" if self.correct else "VIOLATION"
+        return (
+            f"[{verdict}] n={self.n} f={self.f} eps={self.epsilon:g} "
+            f"rounds={self.rounds} spread={self.output_spread:.3g} "
+            f"terminated={self.terminated} validity={self.validity} "
+            f"eps-agreement={self.epsilon_agreement}"
+        )
+
+
+def _watched_nodes(fault_plan: FaultPlan) -> frozenset[int]:
+    """Which nodes constitute ``V(p)`` (Definitions 5 vs Section V).
+
+    Pure-crash executions track every non-Byzantine node (crashed nodes
+    contribute the phases they reached); as soon as Byzantine nodes
+    exist, only fault-free nodes are tracked.
+    """
+    if fault_plan.byzantine:
+        return fault_plan.fault_free
+    return fault_plan.non_byzantine
+
+
+def _verify_promise(
+    adversary: MessageAdversary,
+    trace: ExecutionTrace | None,
+    fault_plan: FaultPlan,
+) -> tuple[tuple[int, int] | None, bool | None]:
+    promise = adversary.promised_dynadegree()
+    if promise is None or trace is None or len(trace) == 0:
+        return promise, None
+    window, degree = promise
+    verdict = check_dynadegree(
+        trace.dynamic_graph(),
+        window,
+        degree,
+        fault_free=fault_plan.fault_free,
+        senders_at=lambda t: trace.rounds[t].live_senders,
+    )
+    return promise, verdict.holds
+
+
+def run_consensus(
+    processes: Mapping[int, ConsensusProcess],
+    adversary: MessageAdversary,
+    ports: PortNumbering,
+    epsilon: float,
+    f: int = 0,
+    fault_plan: FaultPlan | None = None,
+    max_rounds: int = 100_000,
+    stop_mode: str = "output",
+    seed: int = 0,
+    record_trace: bool = True,
+    verify_promise: bool = True,
+) -> ExecutionReport:
+    """Run one consensus execution end to end and judge it.
+
+    Parameters
+    ----------
+    processes:
+        ``node -> process`` for every non-Byzantine node; each node's
+        ``input_value`` is taken as its input for the validity check.
+    epsilon:
+        The agreement tolerance the execution is judged against.
+    stop_mode:
+        ``"output"`` (wait for the algorithm's own termination) or
+        ``"oracle"`` (stop when global spread first dips to epsilon).
+    max_rounds:
+        Hard cap; an execution hitting the cap without stopping is
+        reported as non-terminating (``terminated=False``).
+    """
+    if stop_mode not in ("output", "oracle"):
+        raise ValueError(f"unknown stop_mode {stop_mode!r}")
+    plan = fault_plan or FaultPlan.fault_free_plan(ports.n)
+    engine = Engine(
+        processes,
+        adversary,
+        ports,
+        fault_plan=plan,
+        f=f,
+        seed=seed,
+        record_trace=record_trace,
+    )
+
+    series = PhaseRangeSeries(_watched_nodes(plan))
+    series.observe_states(engine.state_snapshots())
+    engine.observers.append(lambda _eng, snap: series.observe_states(snap.states))
+
+    if stop_mode == "output":
+        stop = Engine.all_fault_free_output
+    else:
+        stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
+
+    engine.run(max_rounds, stop_when=stop)
+    terminated = stop(engine)
+
+    inputs = {node: proc.input_value for node, proc in processes.items()}
+    if stop_mode == "output":
+        outputs = {
+            v: engine.processes[v].output()
+            for v in plan.fault_free
+            if engine.processes[v].has_output()
+        }
+    else:
+        outputs = engine.fault_free_values()
+
+    # With no outputs at all the safety properties are vacuous -- the
+    # failure is termination, and correct=False follows from that.
+    spread = 0.0
+    if outputs:
+        spread = max(outputs.values()) - min(outputs.values())
+    eps_agreement = not outputs or spread <= epsilon + _FLOAT_SLACK
+
+    hull_lo = min(inputs.values())
+    hull_hi = max(inputs.values())
+    validity = all(
+        hull_lo - _FLOAT_SLACK <= value <= hull_hi + _FLOAT_SLACK
+        for value in outputs.values()
+    )
+
+    promise, promise_ok = (
+        _verify_promise(adversary, engine.trace, plan) if verify_promise else (None, None)
+    )
+
+    return ExecutionReport(
+        n=ports.n,
+        f=f,
+        epsilon=epsilon,
+        stop_mode=stop_mode,
+        rounds=engine.current_round,
+        terminated=terminated,
+        inputs=inputs,
+        outputs=outputs,
+        output_spread=spread,
+        epsilon_agreement=eps_agreement,
+        validity=validity,
+        phase_ranges=series.range_series(),
+        convergence_rates=series.convergence_rates(),
+        max_phase=series.max_phase(),
+        dynadegree_promise=promise,
+        dynadegree_verified=promise_ok,
+        metrics=engine.metrics,
+        trace=engine.trace,
+    )

@@ -1,0 +1,71 @@
+"""Execution traces: everything the analysis layer needs, per round.
+
+A trace records, for every round, the adversary's chosen graph, each
+node's adversary-visible state snapshot after the round, and delivery
+accounting. Traces are what the dynaDegree checker runs on post-hoc,
+what convergence analysis reads, and what failure reports print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.dynamic import DynamicGraph
+from repro.net.graph import DirectedGraph
+
+
+@dataclass
+class RoundSnapshot:
+    """State of the system at the end of one round."""
+
+    round: int
+    graph: DirectedGraph
+    states: dict[int, dict[str, Any]]
+    delivered: int
+    bits: int
+    live_senders: frozenset[int]
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered per-round snapshots of one execution."""
+
+    n: int
+    rounds: list[RoundSnapshot] = field(default_factory=list)
+
+    def record(self, snapshot: RoundSnapshot) -> None:
+        """Append one round (engine-internal)."""
+        self.rounds.append(snapshot)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def at(self, t: int) -> DirectedGraph:
+        """The graph the adversary chose in round ``t``."""
+        return self.rounds[t].graph
+
+    def dynamic_graph(self) -> DynamicGraph:
+        """The recorded ``E(t)`` sequence as a :class:`DynamicGraph`."""
+        dyn = DynamicGraph(self.n)
+        for snap in self.rounds:
+            dyn.record(snap.graph)
+        return dyn
+
+    def phase_of(self, node: int, t: int) -> int | None:
+        """Node's phase at the end of round ``t`` (``None`` if not recorded)."""
+        state = self.rounds[t].states.get(node)
+        return None if state is None else state.get("phase")
+
+    def value_of(self, node: int, t: int) -> float | None:
+        """Node's state value at the end of round ``t``."""
+        state = self.rounds[t].states.get(node)
+        return None if state is None else state.get("value")
+
+    def total_bits(self) -> int:
+        """Total bits delivered across the whole execution."""
+        return sum(snap.bits for snap in self.rounds)
+
+    def total_delivered(self) -> int:
+        """Total messages delivered across the whole execution."""
+        return sum(snap.delivered for snap in self.rounds)

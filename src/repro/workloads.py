@@ -1,0 +1,354 @@
+"""Ready-made executions: the scenarios the paper reasons about.
+
+Each builder assembles a full execution -- processes, adversary, port
+numberings, fault plan -- and returns keyword arguments for
+:func:`repro.sim.runner.run_consensus`, so examples, tests and
+benchmarks share one vocabulary of scenarios:
+
+- :func:`build_dac_execution` -- DAC at its feasibility boundary:
+  ``n >= 2f + 1`` crash-faulty nodes under an enforcing
+  ``(T, floor(n/2))`` worst-case adversary;
+- :func:`build_dbac_execution` -- DBAC at its boundary:
+  ``n >= 5f + 1`` with equivocating Byzantine nodes under an enforcing
+  ``(T, floor((n+3f)/2))`` adversary;
+- :func:`theorem9_split_execution` -- the Theorem 9 necessity
+  construction (two silent halves);
+- :func:`theorem10_split_execution` -- the Theorem 10 necessity
+  construction (overlapping groups, two-faced Byzantine core).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adversary.constrained import (
+    LastMinuteQuorumAdversary,
+    RotatingQuorumAdversary,
+)
+from repro.adversary.split import (
+    IsolateThenConnectAdversary,
+    ReceiveSetsAdversary,
+    SplitGroupsAdversary,
+    halves_partition,
+    theorem10_groups,
+)
+from repro.core.dac import DACProcess
+from repro.core.dbac import DBACProcess
+from repro.core.phases import dac_end_phase, rounds_upper_bound
+from repro.faults.base import FaultPlan
+from repro.faults.byzantine import ByzantineStrategy, ExtremeByzantine, TwoFacedByzantine
+from repro.faults.crash import staggered_crashes
+from repro.net.ports import random_ports
+from repro.sim.rng import child_rng, spawn_inputs
+
+
+def dac_degree(n: int) -> int:
+    """The DAC sufficiency threshold ``D = floor(n/2)``."""
+    return n // 2
+
+
+def dbac_degree(n: int, f: int) -> int:
+    """The DBAC sufficiency threshold ``D = floor((n+3f)/2)``."""
+    return (n + 3 * f) // 2
+
+
+def _quorum_adversary(window: int, degree: int, selector: str):
+    if window == 1:
+        return RotatingQuorumAdversary(degree, selector=selector)
+    return LastMinuteQuorumAdversary(window, degree, selector=selector)
+
+
+def build_dac_execution(
+    n: int,
+    f: int,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    window: int = 1,
+    selector: str = "rotate",
+    crash_nodes: int | None = None,
+    crash_start: int = 1,
+    enable_jump: bool = True,
+    stop_mode: str = "output",
+    max_rounds: int | None = None,
+) -> dict[str, Any]:
+    """DAC under the enforcing ``(window, floor(n/2))`` adversary.
+
+    ``crash_nodes`` (default: ``f``) of the highest-numbered nodes
+    crash cleanly, staggered one per window starting at
+    ``crash_start``. Inputs are uniform on [0, 1] from ``seed``.
+    Returns kwargs for :func:`repro.sim.runner.run_consensus`.
+    """
+    if n < 2 * f + 1:
+        raise ValueError(f"DAC needs n >= 2f+1, got n={n}, f={f}")
+    num_crashes = f if crash_nodes is None else crash_nodes
+    if num_crashes > f:
+        raise ValueError(f"cannot crash {num_crashes} nodes with fault bound f={f}")
+    inputs = spawn_inputs(seed, n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    crashes = staggered_crashes(
+        range(n - num_crashes, n), first_round=crash_start, spacing=window
+    )
+    plan = FaultPlan(n, crashes=crashes)
+    processes = {
+        node: DACProcess(
+            n,
+            f,
+            inputs[node],
+            ports.self_port(node),
+            epsilon=epsilon,
+            enable_jump=enable_jump,
+        )
+        for node in plan.non_byzantine
+    }
+    bound = rounds_upper_bound(window, dac_end_phase(epsilon))
+    return {
+        "processes": processes,
+        "adversary": _quorum_adversary(window, dac_degree(n), selector),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": f,
+        "fault_plan": plan,
+        "stop_mode": stop_mode,
+        "max_rounds": max_rounds if max_rounds is not None else max(64, 4 * bound + 8 * window),
+        "seed": seed,
+    }
+
+
+def build_dbac_execution(
+    n: int,
+    f: int,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    window: int = 1,
+    selector: str = "nearest",
+    byzantine_factory=None,
+    end_phase: int | None = None,
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+) -> dict[str, Any]:
+    """DBAC under the enforcing ``(window, floor((n+3f)/2))`` adversary.
+
+    The ``f`` highest-numbered nodes are Byzantine
+    (:class:`~repro.faults.byzantine.ExtremeByzantine` equivocators by
+    default; pass ``byzantine_factory=lambda node: strategy`` to vary).
+    Default stopping is oracle mode -- Equation 6's ``p_end`` is
+    astronomically conservative (see DESIGN.md) -- pass ``end_phase``
+    plus ``stop_mode="output"`` for algorithm-local termination.
+    """
+    if n < 5 * f + 1:
+        raise ValueError(f"DBAC needs n >= 5f+1, got n={n}, f={f}")
+    inputs = spawn_inputs(seed, n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    byz: dict[int, ByzantineStrategy] = {}
+    for node in range(n - f, n):
+        byz[node] = byzantine_factory(node) if byzantine_factory else ExtremeByzantine()
+    plan = FaultPlan(n, byzantine=byz)
+    processes = {
+        node: DBACProcess(
+            n,
+            f,
+            inputs[node],
+            ports.self_port(node),
+            epsilon=epsilon,
+            end_phase=end_phase,
+        )
+        for node in plan.non_byzantine
+    }
+    return {
+        "processes": processes,
+        "adversary": _quorum_adversary(window, dbac_degree(n, f), selector),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": f,
+        "fault_plan": plan,
+        "stop_mode": stop_mode,
+        "max_rounds": max_rounds,
+        "seed": seed,
+    }
+
+
+def theorem9_split_execution(
+    n: int,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    eager_quorum: bool = True,
+    max_rounds: int = 400,
+) -> dict[str, Any]:
+    """The Theorem 9 construction: two silent halves, inputs 0 vs 1.
+
+    The adversary keeps the two halves internally complete and mutually
+    silent -- a ``(1, floor(n/2) - 1)``-dynaDegree trace, one short of
+    DAC's requirement. With ``eager_quorum=True`` the processes run the
+    proof's hypothetical algorithm (quorum lowered to ``floor(n/2)``,
+    which *does* terminate at this degree): both halves decide, 0 vs 1,
+    violating epsilon-agreement. With ``eager_quorum=False`` plain DAC
+    runs and simply never terminates (the other horn of the dilemma).
+    """
+    if n < 4:
+        raise ValueError(f"need n >= 4 for a meaningful split, got {n}")
+    group_a, group_b = halves_partition(n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    quorum = (n // 2) if eager_quorum else None
+    processes = {
+        node: DACProcess(
+            n,
+            0,
+            0.0 if node in group_a else 1.0,
+            ports.self_port(node),
+            epsilon=epsilon,
+            quorum_override=quorum,
+        )
+        for node in range(n)
+    }
+    return {
+        "processes": processes,
+        "adversary": SplitGroupsAdversary([group_a, group_b]),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": 0,
+        "fault_plan": FaultPlan.fault_free_plan(n),
+        "stop_mode": "output",
+        "max_rounds": max_rounds,
+        "seed": seed,
+    }
+
+
+def theorem10_split_execution(
+    f: int,
+    n: int | None = None,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    end_phase: int = 12,
+    eager_quorum: bool = True,
+    max_rounds: int = 2_000,
+) -> dict[str, Any]:
+    """The Theorem 10 construction: overlapping groups, two-faced core.
+
+    Group A (size ``D = floor((n+3f)/2)``) and group B overlap in
+    ``3f`` middle nodes; the central ``f`` are Byzantine and run the
+    honest algorithm twice -- facing A as an honest node with input 0,
+    facing B as one with input 1. The adversary pins every honest
+    node's *listening set* inside one group (input-0 overlap nodes
+    listen to A, input-1 ones to B), producing a
+    ``(1, D - 1)``-dynaDegree trace -- one short of DBAC's requirement.
+
+    With ``eager_quorum=True`` the processes run the proof's
+    hypothetical algorithm (quorum lowered to ``D``, the most any
+    algorithm can wait for at this degree): both sides terminate,
+    A-listeners deciding near 0 and B-listeners near 1 --
+    epsilon-agreement violated. With ``eager_quorum=False`` plain DBAC
+    runs and its A-side never reaches quorum -- termination violated.
+    """
+    if f < 1:
+        raise ValueError(f"Theorem 10 scenario needs f >= 1, got {f}")
+    size = (5 * f + 1) if n is None else n
+    group_a, group_b, byz_nodes = theorem10_groups(size, f)
+    ports = random_ports(size, child_rng(seed, "ports"))
+
+    # Inputs per the proof: 0 below the Byzantine band, 1 above it.
+    low_end = (size - f) // 2  # nodes 0 .. low_end-1 have input 0
+    high_start = (size + f) // 2  # nodes high_start .. size-1 have input 1
+    degree = (size + 3 * f) // 2
+    quorum = degree if eager_quorum else None
+
+    # Honest listening assignment: input-0 nodes hear group A, input-1
+    # nodes hear group B; the Byzantine band (omitted) hears everyone.
+    receive_sets: dict[int, frozenset[int]] = {}
+    for node in range(size):
+        if node in byz_nodes:
+            continue
+        receive_sets[node] = group_a if node < low_end else group_b
+
+    def dbac_factory(n_: int, f_: int, input_value: float, self_port: int) -> DBACProcess:
+        return DBACProcess(
+            n_,
+            f_,
+            input_value,
+            self_port,
+            epsilon=epsilon,
+            end_phase=end_phase,
+            quorum_override=quorum,
+        )
+
+    listeners_a = frozenset(v for v in receive_sets if receive_sets[v] is group_a)
+    listeners_b = frozenset(v for v in receive_sets if receive_sets[v] is group_b)
+    byz = {
+        node: TwoFacedByzantine(
+            dbac_factory,
+            group_a,
+            group_b,
+            input_a=0.0,
+            input_b=1.0,
+            listeners_a=listeners_a,
+            listeners_b=listeners_b,
+        )
+        for node in byz_nodes
+    }
+    plan = FaultPlan(size, byzantine=byz)
+    processes = {
+        node: dbac_factory(
+            size,
+            f,
+            0.0 if node < high_start else 1.0,
+            ports.self_port(node),
+        )
+        for node in plan.non_byzantine
+    }
+    return {
+        "processes": processes,
+        "adversary": ReceiveSetsAdversary(receive_sets),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": f,
+        "fault_plan": plan,
+        "stop_mode": "output",
+        "max_rounds": max_rounds,
+        "seed": seed,
+    }
+
+
+def theorem9_part2_execution(
+    n: int,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    isolation_rounds: int = 32,
+    max_rounds: int = 200,
+) -> dict[str, Any]:
+    """Theorem 9, second construction: ``n <= 2f`` beats any finite ``T``.
+
+    With ``n = 2f`` an algorithm must be able to decide after
+    communicating with only ``f`` nodes (all others may have crashed),
+    i.e. quorum ``n/2``. The adversary isolates the two halves just
+    long enough for that decision (``isolation_rounds`` rounds covers
+    the eager algorithm's ``p_end`` phases) and then restores the
+    complete graph forever. The resulting trace satisfies
+    ``(isolation_rounds + 1, n - 1)``-dynaDegree -- maximal stability
+    for a window the algorithm cannot know -- yet outputs are 0 vs 1.
+    """
+    if n < 4 or n % 2 != 0:
+        raise ValueError(f"need even n >= 4 (n = 2f construction), got {n}")
+    f = n // 2
+    group_a, group_b = halves_partition(n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    processes = {
+        node: DACProcess(
+            n,
+            f,
+            0.0 if node in group_a else 1.0,
+            ports.self_port(node),
+            epsilon=epsilon,
+            quorum_override=n // 2,
+        )
+        for node in range(n)
+    }
+    return {
+        "processes": processes,
+        "adversary": IsolateThenConnectAdversary([group_a, group_b], isolation_rounds),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": f,
+        "fault_plan": FaultPlan.fault_free_plan(n),
+        "stop_mode": "output",
+        "max_rounds": max_rounds,
+        "seed": seed,
+    }

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.ports import identity_ports, random_ports
+from repro.sim.rng import child_rng
+
+
+@pytest.fixture
+def ports5():
+    """Identity ports for a 5-node network."""
+    return identity_ports(5)
+
+
+@pytest.fixture
+def ports9():
+    """Identity ports for a 9-node network."""
+    return identity_ports(9)
+
+
+@pytest.fixture
+def shuffled_ports9():
+    """Random (but deterministic) ports for a 9-node network."""
+    return random_ports(9, child_rng(1234, "test-ports"))
+

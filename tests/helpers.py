@@ -1,0 +1,10 @@
+"""Shared plain-function helpers for tests (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+
+def spread_inputs(n: int) -> list[float]:
+    """Evenly spread inputs over [0, 1] -- range exactly 1.0."""
+    if n == 1:
+        return [0.0]
+    return [i / (n - 1) for i in range(n)]

@@ -1,0 +1,80 @@
+"""Unit tests for the prior-stability-property adversaries."""
+
+import pytest
+
+from repro.adversary.comparative import RootedStarAdversary, StableSpanningTreeAdversary
+from repro.faults.base import FaultPlan
+from repro.net.dynadegree import max_degree_for_window
+from repro.net.dynamic import DynamicGraph
+from repro.net.properties import is_rooted_every_round, is_t_interval_connected
+from repro.sim.rng import child_rng
+
+
+def trace_of(adversary, n, rounds):
+    adversary.setup(n, FaultPlan.fault_free_plan(n), child_rng(0, "adv"))
+    dyn = DynamicGraph(n)
+    for t in range(rounds):
+        dyn.record(adversary.choose(t, None))
+    return dyn
+
+
+class TestRootedStar:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            RootedStarAdversary("spiral")
+
+    def test_rooted_every_round_all_modes(self):
+        for mode in ("fixed", "rotate", "random"):
+            trace = trace_of(RootedStarAdversary(mode), 5, 8)
+            assert is_rooted_every_round(trace), mode
+
+    def test_fixed_root_pins_dynadegree_at_one(self):
+        trace = trace_of(RootedStarAdversary("fixed"), 6, 12)
+        # The root itself hears nobody, so global max D is 0; excluding
+        # the root, everyone has exactly one (always the same) sender.
+        assert max_degree_for_window(trace, 6) == 0
+        assert max_degree_for_window(trace, 6, fault_free=range(1, 6)) == 1
+
+    def test_rotation_accumulates_distinct_senders(self):
+        # Rotation means a window of T rounds supplies ~T distinct
+        # in-neighbors: dynaDegree grows with the window.
+        trace = trace_of(RootedStarAdversary("rotate"), 6, 12)
+        d2 = max_degree_for_window(trace, 2)
+        d5 = max_degree_for_window(trace, 5)
+        assert d5 > d2
+        assert d5 >= 4  # 5 rounds, at most one of them rooted at self
+
+    def test_star_shape(self):
+        trace = trace_of(RootedStarAdversary("fixed"), 5, 1)
+        g = trace.at(0)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+        for v in range(1, 5):
+            assert g.in_neighbors(v) == {0}
+
+    def test_promise_is_minimal(self):
+        assert RootedStarAdversary().promised_dynadegree() == (1, 1)
+
+
+class TestStableSpanningTree:
+    def test_t_interval_connected_for_all_windows(self):
+        trace = trace_of(StableSpanningTreeAdversary(), 6, 10)
+        for window in (1, 3, 10):
+            assert is_t_interval_connected(trace, window)
+
+    def test_dynadegree_stuck_at_one_forever(self):
+        trace = trace_of(StableSpanningTreeAdversary(), 6, 12)
+        # Endpoints have in-degree 1 no matter the window.
+        assert max_degree_for_window(trace, 12) == 1
+
+    def test_path_shape(self):
+        trace = trace_of(StableSpanningTreeAdversary(), 4, 1)
+        g = trace.at(0)
+        assert g.in_neighbors(0) == {1}
+        assert g.in_neighbors(1) == {0, 2}
+        assert g.in_neighbors(3) == {2}
+
+    def test_static(self):
+        adv = StableSpanningTreeAdversary()
+        trace = trace_of(adv, 5, 3)
+        assert trace.at(0) == trace.at(2)

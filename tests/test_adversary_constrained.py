@@ -1,0 +1,156 @@
+"""Unit tests for the enforcing worst-case adversaries.
+
+The central contract: whatever these adversaries do, the recorded trace
+must satisfy the promised (T, D)-dynaDegree -- checked here with the
+independent checker, including under crashes.
+"""
+
+import pytest
+
+from repro.adversary.constrained import (
+    LastMinuteQuorumAdversary,
+    PhaseSkewAdversary,
+    RotatingQuorumAdversary,
+)
+from repro.core.dac import DACProcess
+from repro.faults.base import FaultPlan
+from repro.faults.crash import staggered_crashes
+from repro.net.dynadegree import check_dynadegree
+from repro.net.ports import identity_ports
+from repro.sim.engine import Engine
+
+from tests.helpers import spread_inputs
+
+
+def run_with(adversary, n, f=0, fault_plan=None, rounds=30):
+    ports = identity_ports(n)
+    plan = fault_plan or FaultPlan.fault_free_plan(n)
+    inputs = spread_inputs(n)
+    procs = {
+        v: DACProcess(n, f, inputs[v], ports.self_port(v), epsilon=1e-4)
+        for v in plan.non_byzantine
+    }
+    engine = Engine(procs, adversary, ports, fault_plan=plan, f=f)
+    engine.run(rounds)
+    assert engine.trace is not None
+    return engine
+
+
+class TestValidation:
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError, match="D must be >= 1"):
+            RotatingQuorumAdversary(0)
+
+    def test_bad_selector_rejected(self):
+        with pytest.raises(ValueError, match="selector"):
+            RotatingQuorumAdversary(2, selector="weird")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="T must be >= 1"):
+            LastMinuteQuorumAdversary(0, 2)
+
+
+class TestRotatingQuorum:
+    def test_promise_holds_fault_free(self):
+        n = 7
+        engine = run_with(RotatingQuorumAdversary(3), n)
+        verdict = check_dynadegree(engine.trace.dynamic_graph(), 1, 3)
+        assert verdict.holds
+
+    def test_exactly_degree_links_per_node(self):
+        n = 7
+        engine = run_with(RotatingQuorumAdversary(3), n)
+        for snap in engine.trace.rounds:
+            for v in range(n):
+                assert snap.graph.in_degree(v) == 3
+
+    def test_neighborhood_rotates(self):
+        n = 7
+        engine = run_with(RotatingQuorumAdversary(3), n, rounds=4)
+        hoods = [engine.trace.at(t).in_neighbors(0) for t in range(4)]
+        assert len(set(hoods)) > 1
+
+    def test_promise_holds_with_crashes_counting_live_senders(self):
+        n = 9
+        f = 4
+        plan = FaultPlan(n, crashes=staggered_crashes(range(5, 9), first_round=2))
+        engine = run_with(RotatingQuorumAdversary(4), n, f=f, fault_plan=plan, rounds=25)
+        trace = engine.trace
+        verdict = check_dynadegree(
+            trace.dynamic_graph(),
+            1,
+            4,
+            fault_free=plan.fault_free,
+            senders_at=lambda t: trace.rounds[t].live_senders,
+        )
+        assert verdict.holds
+
+    def test_all_selectors_keep_promise(self):
+        n = 8
+        for selector in ("rotate", "nearest", "random"):
+            engine = run_with(RotatingQuorumAdversary(4, selector=selector), n)
+            verdict = check_dynadegree(engine.trace.dynamic_graph(), 1, 4)
+            assert verdict.holds, selector
+
+
+class TestLastMinuteQuorum:
+    def test_silent_until_window_end(self):
+        n = 6
+        engine = run_with(LastMinuteQuorumAdversary(3, 3), n, rounds=9)
+        sizes = engine.trace.dynamic_graph().edges_per_round()
+        assert sizes[0] == 0 and sizes[1] == 0 and sizes[2] > 0
+        assert sizes[3] == 0 and sizes[5] > 0
+
+    def test_promise_holds_on_sliding_windows(self):
+        n = 6
+        engine = run_with(LastMinuteQuorumAdversary(3, 3), n, rounds=20)
+        verdict = check_dynadegree(engine.trace.dynamic_graph(), 3, 3)
+        assert verdict.holds
+
+    def test_promise_tuple(self):
+        assert LastMinuteQuorumAdversary(4, 2).promised_dynadegree() == (4, 2)
+        assert RotatingQuorumAdversary(2).promised_dynadegree() == (1, 2)
+
+    def test_window_one_equals_every_round(self):
+        n = 5
+        engine = run_with(LastMinuteQuorumAdversary(1, 2), n, rounds=6)
+        assert all(count > 0 for count in engine.trace.dynamic_graph().edges_per_round())
+
+
+class TestPhaseSkew:
+    def test_promise_holds(self):
+        n = 9
+        adv = PhaseSkewAdversary(4, slow={6, 7, 8}, window=3)
+        engine = run_with(adv, n, rounds=18)
+        verdict = check_dynadegree(engine.trace.dynamic_graph(), 3, 4)
+        assert verdict.holds
+
+    def test_fast_nodes_fed_every_round(self):
+        n = 9
+        adv = PhaseSkewAdversary(4, slow={6, 7, 8}, window=3)
+        engine = run_with(adv, n, rounds=6)
+        for snap in engine.trace.rounds:
+            for v in range(6):
+                assert snap.graph.in_degree(v) == 4
+
+    def test_slow_nodes_fed_once_per_window(self):
+        n = 9
+        adv = PhaseSkewAdversary(4, slow={6, 7, 8}, window=3)
+        engine = run_with(adv, n, rounds=9)
+        for t, snap in enumerate(engine.trace.rounds):
+            degree = snap.graph.in_degree(7)
+            if (t + 1) % 3 == 0:
+                assert degree == 4
+            else:
+                assert degree == 0
+
+    def test_needs_enough_fast_nodes(self):
+        adv = PhaseSkewAdversary(4, slow={2, 3, 4, 5, 6, 7, 8}, window=2)
+        with pytest.raises(ValueError, match="fast nodes"):
+            run_with(adv, 9, rounds=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="D must be >= 1"):
+            PhaseSkewAdversary(0, slow=set())
+        with pytest.raises(ValueError, match="T must be >= 1"):
+            PhaseSkewAdversary(2, slow=set(), window=0)

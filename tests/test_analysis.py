@@ -1,0 +1,126 @@
+"""Unit tests for the analysis package (verdicts, convergence, stats)."""
+
+import math
+
+import pytest
+
+from repro.analysis.agreement import cross_group_gap, groupwise_spread, judge_outputs
+from repro.analysis.convergence import (
+    fit_geometric_rate,
+    phases_until,
+    summarize_rates,
+)
+from repro.analysis.statistics import mean_confidence_interval, summarize
+
+
+class TestJudgeOutputs:
+    def test_agreeing_valid_outputs(self):
+        verdict = judge_outputs(
+            {0: 0.50, 1: 0.51}, {0: 0.0, 1: 1.0}, epsilon=0.05
+        )
+        assert verdict.correct
+        assert verdict.spread == pytest.approx(0.01)
+        assert verdict.hull == (0.0, 1.0)
+
+    def test_disagreement_detected(self):
+        verdict = judge_outputs({0: 0.0, 1: 1.0}, {0: 0.0, 1: 1.0}, epsilon=0.1)
+        assert not verdict.epsilon_agreement
+        assert verdict.validity
+
+    def test_validity_violation_detected(self):
+        verdict = judge_outputs({0: 1.5}, {0: 0.0, 1: 1.0}, epsilon=1.0)
+        assert not verdict.validity
+        assert not verdict.correct
+
+    def test_boundary_outputs_are_valid(self):
+        verdict = judge_outputs({0: 0.0, 1: 1.0}, {0: 0.0, 1: 1.0}, epsilon=2.0)
+        assert verdict.validity
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            judge_outputs({}, {0: 0.5}, 0.1)
+        with pytest.raises(ValueError):
+            judge_outputs({0: 0.5}, {}, 0.1)
+
+
+class TestGroupAnalysis:
+    def test_groupwise_spread(self):
+        outputs = {0: 0.0, 1: 0.02, 2: 1.0, 3: 0.98}
+        spreads = groupwise_spread(
+            outputs, {"a": frozenset({0, 1}), "b": frozenset({2, 3})}
+        )
+        assert spreads["a"] == pytest.approx(0.02)
+        assert spreads["b"] == pytest.approx(0.02)
+
+    def test_groupwise_ignores_missing_nodes(self):
+        spreads = groupwise_spread({0: 0.5}, {"a": frozenset({0, 9})})
+        assert spreads["a"] == 0.0
+
+    def test_cross_group_gap(self):
+        outputs = {0: 0.0, 1: 0.1, 2: 0.9, 3: 1.0}
+        gap = cross_group_gap(outputs, frozenset({0, 1}), frozenset({2, 3}))
+        assert gap == pytest.approx(0.8)
+
+    def test_cross_group_gap_empty_side(self):
+        assert cross_group_gap({0: 0.5}, frozenset({0}), frozenset({9})) == 0.0
+
+
+class TestConvergence:
+    def test_summarize_rates(self):
+        stats = summarize_rates([0.5, 0.4, 0.6])
+        assert stats["max"] == 0.6
+        assert stats["min"] == 0.4
+        assert stats["mean"] == pytest.approx(0.5)
+        assert stats["phases"] == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize_rates([])["phases"] == 0.0
+
+    def test_fit_recovers_geometric_decay(self):
+        series = [1.0 * 0.5**p for p in range(8)]
+        assert fit_geometric_rate(series) == pytest.approx(0.5, rel=1e-9)
+
+    def test_fit_needs_two_points(self):
+        assert fit_geometric_rate([1.0]) is None
+        assert fit_geometric_rate([0.0, 0.0]) is None
+
+    def test_fit_ignores_collapsed_tail(self):
+        series = [1.0, 0.5, 0.25, 0.0, 0.0]
+        assert fit_geometric_rate(series) == pytest.approx(0.5, rel=1e-9)
+
+    def test_phases_until(self):
+        assert phases_until([1.0, 0.4, 0.1], 0.4) == 1
+        assert phases_until([1.0, 0.9], 0.1) is None
+
+
+class TestStatistics:
+    def test_mean_ci_basic(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert low < mean < high
+
+    def test_single_sample_degenerate(self):
+        mean, low, high = mean_confidence_interval([5.0])
+        assert mean == low == high == 5.0
+
+    def test_known_width(self):
+        samples = [0.0, 2.0]  # mean 1, s = sqrt(2), se = 1
+        mean, low, high = mean_confidence_interval(samples, confidence=0.95)
+        assert high - mean == pytest.approx(1.96, rel=1e-3)
+
+    def test_summary_object(self):
+        s = summarize([1.0, 1.0, 1.0])
+        assert s.mean == 1.0
+        assert s.std == 0.0
+        assert s.count == 3
+        assert "n=3" in str(s)
+
+    def test_std_is_sample_std(self):
+        s = summarize([0.0, 2.0])
+        assert s.std == pytest.approx(math.sqrt(2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError, match="confidence"):
+            mean_confidence_interval([1.0], confidence=0.5)

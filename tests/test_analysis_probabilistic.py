@@ -1,0 +1,82 @@
+"""Unit tests for the probabilistic-adversary analytic model."""
+
+import math
+
+import pytest
+
+from repro.analysis.probabilistic import (
+    binomial_tail,
+    expected_rounds_for_degree,
+    expected_rounds_per_phase,
+    predicted_rounds_to_epsilon,
+    prob_round_degree,
+)
+
+
+class TestBinomialTail:
+    def test_certainties(self):
+        assert binomial_tail(5, 0.5, 0) == 1.0
+        assert binomial_tail(5, 0.5, 6) == 0.0
+        assert binomial_tail(5, 1.0, 5) == pytest.approx(1.0)
+        assert binomial_tail(5, 0.0, 1) == 0.0
+
+    def test_symmetry_at_half(self):
+        # P[Bin(4, .5) >= 3] = P[Bin(4, .5) <= 1] = (1 + 4) / 16.
+        assert binomial_tail(4, 0.5, 3) == pytest.approx(5 / 16)
+
+    def test_monotone_in_p(self):
+        tails = [binomial_tail(8, p, 4) for p in (0.2, 0.4, 0.6, 0.8)]
+        assert tails == sorted(tails)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="trials"):
+            binomial_tail(-1, 0.5, 0)
+        with pytest.raises(ValueError, match="probability"):
+            binomial_tail(3, 1.5, 0)
+
+
+class TestRoundDegree:
+    def test_matches_direct_computation(self):
+        # n=4: in-links ~ Bin(3, p); P[>= 2] = 3p^2(1-p) + p^3.
+        p = 0.4
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert prob_round_degree(4, p, 2) == pytest.approx(expected)
+
+    def test_expected_rounds_geometric(self):
+        q = prob_round_degree(4, 0.4, 2)
+        assert expected_rounds_for_degree(4, 0.4, 2) == pytest.approx(1 / q)
+
+    def test_impossible_degree_infinite(self):
+        assert expected_rounds_for_degree(4, 0.0, 1) == math.inf
+
+
+class TestRoundsPerPhase:
+    def test_zero_need(self):
+        assert expected_rounds_per_phase(5, 0.5, 1) == 0.0
+
+    def test_impossible_quorum_infinite(self):
+        assert expected_rounds_per_phase(5, 0.5, 6) == math.inf
+        assert expected_rounds_per_phase(5, 0.0, 3) == math.inf
+
+    def test_p_one_is_one_round(self):
+        assert expected_rounds_per_phase(5, 1.0, 3) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_p(self):
+        values = [expected_rounds_per_phase(9, p, 5) for p in (0.2, 0.4, 0.6, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_geometric_special_case(self):
+        # quorum 2 over n=2: one sender heard with prob p per round; the
+        # expectation is exactly 1/p.
+        assert expected_rounds_per_phase(2, 0.25, 2) == pytest.approx(4.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="quorum"):
+            expected_rounds_per_phase(5, 0.5, 0)
+
+
+class TestPrediction:
+    def test_scales_with_phases(self):
+        one = predicted_rounds_to_epsilon(9, 0.5, 5, 1)
+        ten = predicted_rounds_to_epsilon(9, 0.5, 5, 10)
+        assert ten == pytest.approx(10 * one)

@@ -1,0 +1,50 @@
+"""Tests for the markdown report renderer."""
+
+from repro.bench.cli import main as bench_main
+from repro.bench.markdown import report_to_markdown, table_to_markdown
+from repro.bench.tables import TableResult
+
+
+def sample_table(passed=True):
+    table = TableResult("T1", "demo | with pipe", ["a", "b"])
+    table.add_row("x|y", 1.5)
+    table.add_note("footnote")
+    if not passed:
+        table.fail("reason")
+    return table
+
+
+class TestTableToMarkdown:
+    def test_structure(self):
+        md = table_to_markdown(sample_table())
+        lines = md.splitlines()
+        assert lines[0].startswith("## T1")
+        assert "Status: PASS" in md
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "> footnote" in md
+
+    def test_pipes_escaped_in_cells(self):
+        md = table_to_markdown(sample_table())
+        assert "x\\|y" in md
+
+    def test_fail_badge(self):
+        md = table_to_markdown(sample_table(passed=False))
+        assert "**FAIL**" in md
+
+
+class TestReportToMarkdown:
+    def test_summary_then_sections(self):
+        md = report_to_markdown([sample_table(), sample_table(passed=False)])
+        assert md.startswith("# Experiment results")
+        # Summary table lists both, sections follow.
+        assert md.count("## T1") == 2
+        assert "**FAIL**" in md
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = bench_main(["-e", "F1", "--markdown", str(path)])
+        assert rc == 0
+        content = path.read_text()
+        assert "# Experiment results (quick grid)" in content
+        assert "## F1" in content

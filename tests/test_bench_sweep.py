@@ -1,0 +1,92 @@
+"""Unit tests for the parameter-sweep driver."""
+
+import pytest
+
+from repro.bench.sweep import Sweep, SweepRecord
+
+
+def fake_runner(n, window, seed):
+    """Deterministic pseudo-result for assertions."""
+    return n * 100 + window * 10 + seed
+
+
+class TestSweep:
+    def test_cells_cartesian_product(self):
+        sweep = Sweep(grid={"n": [5, 9], "window": [1, 3]})
+        cells = sweep.cells()
+        assert len(cells) == 4
+        assert {"n": 5, "window": 3} in cells
+
+    def test_run_covers_grid_times_repeats(self):
+        sweep = Sweep(grid={"n": [5, 9], "window": [1, 3]}, repeats=3)
+        records = sweep.run(fake_runner)
+        assert len(records) == 12
+        assert sweep.records == records
+
+    def test_seeds_increment_per_trial(self):
+        sweep = Sweep(grid={"n": [5], "window": [1]}, repeats=3, seed0=10)
+        records = sweep.run(fake_runner)
+        assert [r.seed for r in records] == [10, 11, 12]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one parameter"):
+            Sweep(grid={})
+        with pytest.raises(ValueError, match="repeats"):
+            Sweep(grid={"n": [1]}, repeats=0)
+
+    def test_record_param_lookup(self):
+        record = SweepRecord((("n", 5), ("window", 3)), 0, 42)
+        assert record.param("n") == 5
+        with pytest.raises(KeyError):
+            record.param("zap")
+
+
+class TestAggregation:
+    def make_sweep(self):
+        sweep = Sweep(grid={"n": [5, 9], "window": [1, 3]}, repeats=2)
+        sweep.run(fake_runner)
+        return sweep
+
+    def test_group_by_single_param(self):
+        groups = self.make_sweep().group_by("n")
+        assert set(groups) == {(5,), (9,)}
+        assert all(len(records) == 4 for records in groups.values())
+
+    def test_group_by_two_params(self):
+        groups = self.make_sweep().group_by("n", "window")
+        assert len(groups) == 4
+        assert all(len(records) == 2 for records in groups.values())
+
+    def test_summarize_by(self):
+        stats = self.make_sweep().summarize_by("n", "window")
+        # n=5, window=1, seeds 0 and 1 -> results 510 and 511.
+        assert stats[(5, 1)].mean == pytest.approx(510.5)
+        assert stats[(5, 1)].count == 2
+
+    def test_to_table(self):
+        table = self.make_sweep().to_table("n", "window", title="demo")
+        assert table.headers[:2] == ["n", "window"]
+        assert len(table.rows) == 4
+        assert table.passed
+
+    def test_custom_value_projection(self):
+        sweep = Sweep(grid={"n": [5]}, repeats=2)
+        sweep.run(lambda n, seed: {"rounds": seed + 1})
+        stats = sweep.summarize_by("n", value=lambda r: float(r.result["rounds"]))
+        assert stats[(5,)].mean == pytest.approx(1.5)
+
+
+class TestRealWorkloadIntegration:
+    def test_sweep_over_dac_executions(self):
+        from repro.sim.runner import run_consensus
+        from repro.workloads import build_dac_execution
+
+        sweep = Sweep(grid={"window": [1, 2]}, repeats=2)
+        sweep.run(
+            lambda window, seed: run_consensus(
+                **build_dac_execution(n=5, f=2, epsilon=1e-2, seed=seed, window=window)
+            ).rounds
+        )
+        stats = sweep.summarize_by("window")
+        # Rounds scale with the window under the last-minute adversary.
+        assert stats[(2,)].mean > stats[(1,)].mean

@@ -1,0 +1,80 @@
+"""Tests for both command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.cli import main as scenario_main
+
+
+class TestScenarioCli:
+    def test_dac_succeeds(self, capsys):
+        rc = scenario_main(["dac", "--n", "5", "--f", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[OK]" in out
+
+    def test_dac_verbose_prints_details(self, capsys):
+        rc = scenario_main(["dac", "--n", "5", "-v"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "outputs" in out and "rates" in out
+
+    def test_dbac_succeeds(self, capsys):
+        rc = scenario_main(["dbac", "--n", "6", "--f", "1", "--strategy", "extreme"])
+        assert rc == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_theorem9_reports_expected_violation(self, capsys):
+        rc = scenario_main(["theorem9", "--n", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0  # the violation IS the expected outcome
+        assert "[VIOLATION]" in out
+
+    def test_theorem9_plain_stalls(self, capsys):
+        rc = scenario_main(["theorem9", "--n", "6", "--plain"])
+        assert rc == 0
+        assert "terminated=False" in capsys.readouterr().out
+
+    def test_theorem10_reports_expected_violation(self, capsys):
+        rc = scenario_main(["theorem10", "--f", "1"])
+        assert rc == 0
+        assert "[VIOLATION]" in capsys.readouterr().out
+
+    def test_figure1_runs(self, capsys):
+        rc = scenario_main(["figure1"])
+        assert rc == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_save_trace_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        rc = scenario_main(["dac", "--n", "5", "--save-trace", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["n"] == 5
+        assert payload["rounds"]
+
+    def test_default_f_derived_from_n(self, capsys):
+        rc = scenario_main(["dac", "--n", "7"])
+        assert rc == 0
+        assert "f=3" in capsys.readouterr().out
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        rc = bench_main(["--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for experiment_id in ("F1", "E1", "I4", "X7", "S1"):
+            assert experiment_id in out
+
+    def test_single_experiment(self, capsys):
+        rc = bench_main(["-e", "F1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out and "Figure 1" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            bench_main(["-e", "Z9"])

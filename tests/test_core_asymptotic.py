@@ -1,0 +1,91 @@
+"""Unit tests for the asymptotic averaging baseline (Sec. II-D cat. ii)."""
+
+import pytest
+
+from repro.adversary.comparative import RootedStarAdversary
+from repro.adversary.base import StaticAdversary
+from repro.core.asymptotic import AsymptoticAveragingProcess
+from repro.net.ports import identity_ports
+from repro.sim.messages import StateMessage
+from repro.sim.node import Delivery
+from repro.sim.runner import run_consensus
+
+from tests.helpers import spread_inputs
+
+
+class TestProcess:
+    def test_never_outputs(self):
+        p = AsymptoticAveragingProcess(3, 0, 0.5, 0)
+        assert not p.has_output()
+        with pytest.raises(RuntimeError, match="never outputs"):
+            p.output()
+
+    def test_midpoint_rule(self):
+        p = AsymptoticAveragingProcess(3, 0, 0.0, 0)
+        p.deliver([
+            Delivery(0, StateMessage(0.0, 0)),
+            Delivery(1, StateMessage(1.0, 0)),
+        ])
+        assert p.value == 0.5
+
+    def test_mean_rule(self):
+        p = AsymptoticAveragingProcess(3, 0, 0.0, 0, combine="mean")
+        p.deliver([
+            Delivery(0, StateMessage(0.0, 0)),
+            Delivery(1, StateMessage(0.9, 0)),
+            Delivery(2, StateMessage(0.3, 0)),
+        ])
+        assert p.value == pytest.approx(0.4)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="combine"):
+            AsymptoticAveragingProcess(3, 0, 0.0, 0, combine="median")
+
+    def test_empty_round_keeps_state(self):
+        p = AsymptoticAveragingProcess(3, 0, 0.7, 0)
+        p.deliver([])
+        assert p.value == 0.7
+        assert p.phase == 1
+
+
+class TestConvergence:
+    def test_converges_on_complete_graph(self):
+        n = 6
+        ports = identity_ports(n)
+        inputs = spread_inputs(n)
+        procs = {
+            v: AsymptoticAveragingProcess(n, 0, inputs[v], v) for v in range(n)
+        }
+        report = run_consensus(
+            procs,
+            StaticAdversary(),
+            ports,
+            epsilon=1e-3,
+            stop_mode="oracle",
+            max_rounds=50,
+        )
+        assert report.terminated
+        assert report.validity
+
+    def test_converges_under_fixed_rooted_star(self):
+        # The Charron-Bost et al. regime: rooted every round suffices
+        # for asymptotic averaging (here: everyone is pulled to the
+        # root's value), even though DAC would starve.
+        n = 6
+        ports = identity_ports(n)
+        inputs = spread_inputs(n)
+        procs = {
+            v: AsymptoticAveragingProcess(n, 0, inputs[v], v) for v in range(n)
+        }
+        report = run_consensus(
+            procs,
+            RootedStarAdversary("fixed"),
+            ports,
+            epsilon=1e-3,
+            stop_mode="oracle",
+            max_rounds=100,
+        )
+        assert report.terminated
+        # Everyone converged to the root's input.
+        for value in report.outputs.values():
+            assert value == pytest.approx(inputs[0], abs=1e-2)

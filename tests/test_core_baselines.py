@@ -1,0 +1,158 @@
+"""Unit tests for the baseline algorithms."""
+
+import pytest
+
+from repro.adversary.base import StaticAdversary
+from repro.core.baselines import (
+    FloodMinProcess,
+    IteratedMidpointProcess,
+    MajorityVoteProcess,
+    TrimmedMeanProcess,
+)
+from repro.net.ports import identity_ports
+from repro.sim.engine import Engine
+from repro.sim.messages import StateMessage
+from repro.sim.node import Delivery
+
+from tests.helpers import spread_inputs
+
+
+def run_on_complete(factory, n, inputs, rounds):
+    ports = identity_ports(n)
+    procs = {v: factory(v, inputs[v], ports.self_port(v)) for v in range(n)}
+    engine = Engine(procs, StaticAdversary(), ports)
+    engine.run(rounds)
+    return procs
+
+
+class TestIteratedMidpoint:
+    def test_halves_range_per_round_on_complete_graph(self):
+        n = 5
+        inputs = spread_inputs(n)
+        procs = run_on_complete(
+            lambda v, x, p: IteratedMidpointProcess(n, 0, x, p, num_rounds=4),
+            n,
+            inputs,
+            rounds=3,
+        )
+        values = [procs[v].value for v in range(n)]
+        spread = max(values) - min(values)
+        assert spread <= 1.0 * 0.5**3 + 1e-12
+
+    def test_outputs_after_budget(self):
+        n = 4
+        procs = run_on_complete(
+            lambda v, x, p: IteratedMidpointProcess(n, 0, x, p, num_rounds=2),
+            n,
+            spread_inputs(n),
+            rounds=2,
+        )
+        assert all(procs[v].has_output() for v in range(n))
+
+    def test_zero_rounds_outputs_input(self):
+        p = IteratedMidpointProcess(3, 0, 0.7, 0, num_rounds=0)
+        assert p.has_output() and p.output() == 0.7
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IteratedMidpointProcess(3, 0, 0.0, 0, num_rounds=-1)
+
+    def test_empty_round_keeps_value(self):
+        p = IteratedMidpointProcess(3, 0, 0.7, 0, num_rounds=5)
+        p.deliver([])
+        assert p.value == 0.7
+        assert p.phase == 1
+
+
+class TestTrimmedMean:
+    def test_clips_f_extremes_per_side(self):
+        p = TrimmedMeanProcess(5, 1, 0.5, 0, num_rounds=3)
+        batch = [
+            Delivery(0, StateMessage(0.5, 0)),
+            Delivery(1, StateMessage(-100.0, 0)),
+            Delivery(2, StateMessage(0.4, 0)),
+            Delivery(3, StateMessage(0.6, 0)),
+            Delivery(4, StateMessage(100.0, 0)),
+        ]
+        p.deliver(batch)
+        # Trimmed: [0.4, 0.5, 0.6] -> midpoint 0.5.
+        assert p.value == pytest.approx(0.5)
+
+    def test_too_few_values_keeps_state(self):
+        p = TrimmedMeanProcess(5, 2, 0.5, 0, num_rounds=3)
+        p.deliver([Delivery(1, StateMessage(9.0, 0))])  # 1 <= 2f: no update
+        assert p.value == 0.5
+
+    def test_converges_on_complete_graph(self):
+        n = 7
+        procs = run_on_complete(
+            lambda v, x, p: TrimmedMeanProcess(n, 1, x, p, num_rounds=6),
+            n,
+            spread_inputs(n),
+            rounds=6,
+        )
+        outs = [procs[v].output() for v in range(n)]
+        assert max(outs) - min(outs) < 0.05
+
+
+class TestFloodMin:
+    def test_agrees_on_min_with_reliable_links(self):
+        n = 5
+        inputs = [0.3, 0.9, 0.1, 0.7, 0.5]
+        procs = run_on_complete(
+            lambda v, x, p: FloodMinProcess(n, 0, x, p),
+            n,
+            inputs,
+            rounds=n - 1,
+        )
+        assert {procs[v].output() for v in range(n)} == {0.1}
+
+    def test_default_budget_is_n_minus_1(self):
+        assert FloodMinProcess(7, 0, 0.0, 0).num_rounds == 6
+
+    def test_min_is_monotone(self):
+        p = FloodMinProcess(4, 0, 0.5, 0, num_rounds=5)
+        p.deliver([Delivery(1, StateMessage(0.9, 0))])
+        assert p.value == 0.5
+        p.deliver([Delivery(2, StateMessage(0.2, 0))])
+        assert p.value == 0.2
+
+
+class TestMajorityVote:
+    def test_majority_of_observed(self):
+        n = 5
+        inputs = [1.0, 1.0, 1.0, 0.0, 0.0]
+        procs = run_on_complete(
+            lambda v, x, p: MajorityVoteProcess(n, 0, x, p),
+            n,
+            inputs,
+            rounds=n - 1,
+        )
+        assert {procs[v].output() for v in range(n)} == {1.0}
+
+    def test_tie_breaks_to_zero(self):
+        n = 4
+        inputs = [1.0, 1.0, 0.0, 0.0]
+        procs = run_on_complete(
+            lambda v, x, p: MajorityVoteProcess(n, 0, x, p),
+            n,
+            inputs,
+            rounds=n - 1,
+        )
+        assert {procs[v].output() for v in range(n)} == {0.0}
+
+    def test_tracks_latest_value_per_port(self):
+        p = MajorityVoteProcess(3, 0, 0.0, 0, num_rounds=4)
+        p.deliver([Delivery(1, StateMessage(1.0, 0)), Delivery(2, StateMessage(1.0, 0))])
+        assert p.value == 1.0  # two 1s vs one 0
+
+
+class TestStateKeys:
+    def test_all_baselines_have_hashable_keys(self):
+        for proc in (
+            IteratedMidpointProcess(3, 0, 0.0, 0),
+            TrimmedMeanProcess(4, 1, 0.0, 0),
+            FloodMinProcess(3, 0, 0.0, 0),
+            MajorityVoteProcess(3, 0, 0.0, 0),
+        ):
+            hash(proc.state_key())

@@ -1,0 +1,194 @@
+"""Unit tests for DAC (Algorithm 1), exercised message by message.
+
+These tests drive a single DACProcess directly through deliver() calls,
+pinning the pseudo-code's semantics: the jump rule (lines 5-8), the
+per-port once-per-phase rule (line 9), the quorum update (lines 12-15),
+RESET/STORE, and output at p_end.
+"""
+
+import pytest
+
+from repro.core.dac import DACProcess
+from repro.sim.messages import StateMessage
+from repro.sim.node import Delivery
+
+
+def dac(n=5, f=0, x=0.5, port=0, eps=0.25, **kwargs):
+    # eps=0.25 -> p_end = 2: small enough to reach in unit tests.
+    return DACProcess(n, f, x, port, epsilon=eps, **kwargs)
+
+
+def msg(value, phase):
+    return StateMessage(value, phase)
+
+
+class TestInitialization:
+    def test_initial_state(self):
+        p = dac(x=0.3)
+        assert p.value == 0.3
+        assert p.phase == 0
+        assert p.received_count == 1  # R_i[i] = 1
+        assert not p.has_output()
+
+    def test_quorum_is_majority(self):
+        assert dac(n=5).quorum == 3
+        assert dac(n=6).quorum == 4
+        assert dac(n=9).quorum == 5
+
+    def test_quorum_override(self):
+        assert dac(n=6, quorum_override=3).quorum == 3
+        with pytest.raises(ValueError, match="quorum"):
+            dac(quorum_override=0)
+
+    def test_zero_end_phase_outputs_input_immediately(self):
+        p = dac(eps=2.0)
+        assert p.has_output()
+        assert p.output() == 0.5
+
+    def test_broadcast_carries_state(self):
+        p = dac(x=0.7)
+        out = p.broadcast()
+        assert out.value == 0.7 and out.phase == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DACProcess(0, 0, 0.0, 0)
+        with pytest.raises(ValueError):
+            DACProcess(3, 3, 0.0, 0)
+        with pytest.raises(ValueError):
+            DACProcess(3, 0, 0.0, 5)
+        with pytest.raises(ValueError, match="non-negative"):
+            dac(end_phase=-1)
+
+
+class TestQuorumUpdate:
+    def test_advances_on_majority(self):
+        p = dac(n=5, x=0.0)  # quorum 3: self + 2 others
+        p.deliver([Delivery(1, msg(1.0, 0)), Delivery(2, msg(0.5, 0))])
+        assert p.phase == 1
+        # Midpoint of extremes seen: min(0.0), max(1.0) -> 0.5.
+        assert p.value == 0.5
+
+    def test_own_value_anchors_extremes(self):
+        # RESET folds v_i into v_min/v_max, so the update includes it.
+        p = dac(n=5, x=0.0)
+        p.deliver([Delivery(1, msg(0.8, 0)), Delivery(2, msg(1.0, 0))])
+        assert p.value == 0.5  # (0.0 + 1.0) / 2
+
+    def test_no_advance_below_quorum(self):
+        p = dac(n=5, x=0.0)
+        p.deliver([Delivery(1, msg(1.0, 0))])
+        assert p.phase == 0
+        assert p.received_count == 2
+
+    def test_same_port_counted_once_per_phase(self):
+        # Line 9: R_i[j] gate.
+        p = dac(n=5, x=0.0)
+        p.deliver([Delivery(1, msg(1.0, 0))])
+        p.deliver([Delivery(1, msg(1.0, 0)), Delivery(1, msg(0.9, 0))])
+        assert p.phase == 0
+        assert p.received_count == 2
+
+    def test_lower_phase_messages_ignored(self):
+        p = dac(n=5, x=0.0, eps=0.25)
+        p.deliver([Delivery(1, msg(1.0, 0)), Delivery(2, msg(0.5, 0))])
+        assert p.phase == 1
+        p.deliver([Delivery(3, msg(0.0, 0))])  # stale phase
+        assert p.received_count == 1
+        assert p.phase == 1
+
+    def test_quorum_state_resets_each_phase(self):
+        p = dac(n=5, x=0.0)
+        p.deliver([Delivery(1, msg(1.0, 0)), Delivery(2, msg(0.5, 0))])
+        assert p.phase == 1 and p.received_count == 1
+        # Ports 1 and 2 may count again in the new phase.
+        p.deliver([Delivery(1, msg(0.5, 1)), Delivery(2, msg(0.5, 1))])
+        assert p.phase == 2
+
+    def test_self_message_filtered_by_bit_vector(self):
+        # The engine always delivers the node's own message; R_i[i]=1
+        # means it never stores or double-counts it.
+        p = dac(n=5, x=0.0, port=0)
+        p.deliver([Delivery(0, msg(0.0, 0))])
+        assert p.received_count == 1
+        p.deliver([Delivery(0, msg(0.0, 0)), Delivery(1, msg(1.0, 0)), Delivery(2, msg(1.0, 0))])
+        assert p.phase == 1
+
+
+class TestJumpRule:
+    def test_jump_copies_state(self):
+        p = dac(n=5, x=0.0, eps=0.25)
+        p.deliver([Delivery(3, msg(0.9, 1))])
+        assert p.phase == 1
+        assert p.value == 0.9
+
+    def test_jump_resets_quorum_tracking(self):
+        p = dac(n=5, x=0.0)
+        p.deliver([Delivery(1, msg(1.0, 0))])  # port 1 marked in phase 0
+        p.deliver([Delivery(2, msg(0.9, 1))])  # jump to phase 1
+        assert p.received_count == 1
+        # Port 1 counts fresh in phase 1.
+        p.deliver([Delivery(1, msg(0.5, 1)), Delivery(3, msg(0.7, 1))])
+        assert p.phase == 2
+
+    def test_jump_to_end_phase_outputs_copied_value(self):
+        p = dac(n=5, x=0.0, eps=0.25)  # p_end = 2
+        p.deliver([Delivery(1, msg(0.42, 2))])
+        assert p.has_output()
+        assert p.output() == 0.42
+
+    def test_jump_disabled_ignores_future_phases(self):
+        p = dac(n=5, x=0.0, enable_jump=False)
+        p.deliver([Delivery(3, msg(0.9, 1))])
+        assert p.phase == 0
+        assert p.value == 0.0
+        assert p.received_count == 1
+
+    def test_mid_batch_jump_then_same_phase_counting(self):
+        # After a jump mid-batch, later messages of the new phase count.
+        p = dac(n=5, x=0.0)
+        batch = [
+            Delivery(1, msg(0.9, 1)),  # jump to 1
+            Delivery(2, msg(0.5, 1)),  # counts in phase 1
+            Delivery(3, msg(0.6, 1)),  # completes quorum 3 -> phase 2
+        ]
+        p.deliver(batch)
+        assert p.phase == 2
+        assert p.value == pytest.approx((0.5 + 0.9) / 2)
+
+
+class TestOutput:
+    def test_reaches_end_phase_and_freezes(self):
+        p = dac(n=3, x=0.0, eps=0.25)  # quorum 2, p_end 2
+        p.deliver([Delivery(1, msg(1.0, 0))])
+        p.deliver([Delivery(1, msg(1.0, 1))])
+        assert p.has_output()
+        frozen = p.output()
+        # Further messages change nothing.
+        p.deliver([Delivery(2, msg(0.0, 2)), Delivery(1, msg(0.0, 2))])
+        assert p.output() == frozen
+        assert p.phase == p.end_phase
+
+    def test_output_before_termination_raises(self):
+        p = dac()
+        with pytest.raises(RuntimeError, match="not terminated"):
+            p.output()
+
+    def test_keeps_broadcasting_after_output(self):
+        p = dac(n=3, x=0.0, eps=0.25)
+        p.deliver([Delivery(1, msg(1.0, 2))])  # jump straight to p_end
+        assert p.has_output()
+        out = p.broadcast()
+        assert out.phase == p.end_phase
+        assert out.value == p.output()
+
+
+class TestStateKey:
+    def test_distinguishes_states(self):
+        a, b = dac(x=0.0), dac(x=0.0)
+        assert a.state_key() == b.state_key()
+        a.deliver([Delivery(1, msg(1.0, 0))])
+        assert a.state_key() != b.state_key()
+
+    def test_hashable(self):
+        hash(dac().state_key())

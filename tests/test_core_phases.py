@@ -1,0 +1,99 @@
+"""Unit tests for the phase math (Equations 2 and 6, rate bounds)."""
+
+import math
+
+import pytest
+
+from repro.core.phases import (
+    dac_convergence_rate,
+    dac_end_phase,
+    dbac_convergence_rate,
+    dbac_end_phase,
+    measured_phases_to_epsilon,
+    rounds_upper_bound,
+)
+
+
+class TestRates:
+    def test_dac_rate_is_half(self):
+        assert dac_convergence_rate() == 0.5
+
+    def test_dbac_rate_formula(self):
+        assert dbac_convergence_rate(1) == 0.5
+        assert dbac_convergence_rate(2) == 0.75
+        assert dbac_convergence_rate(10) == pytest.approx(1 - 2**-10)
+
+    def test_dbac_rate_validation(self):
+        with pytest.raises(ValueError):
+            dbac_convergence_rate(0)
+
+
+class TestDacEndPhase:
+    def test_equation2_values(self):
+        # p_end = log2(1/eps) for unit initial range.
+        assert dac_end_phase(0.5) == 1
+        assert dac_end_phase(0.25) == 2
+        assert dac_end_phase(1e-3) == 10  # 2^-10 ~ 9.77e-4 <= 1e-3
+
+    def test_guarantee_holds(self):
+        for eps in (0.3, 0.1, 1e-2, 1e-5):
+            p = dac_end_phase(eps)
+            assert 0.5**p <= eps
+            if p > 0:
+                assert 0.5 ** (p - 1) > eps
+
+    def test_wide_initial_range(self):
+        assert dac_end_phase(0.5, initial_range=4.0) == 3
+
+    def test_epsilon_covering_range_means_zero_phases(self):
+        assert dac_end_phase(1.0) == 0
+        assert dac_end_phase(2.0, initial_range=1.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            dac_end_phase(0.0)
+
+
+class TestDbacEndPhase:
+    def test_equation6_guarantee(self):
+        for n in (2, 5, 8):
+            rate = 1 - 2.0**-n
+            p = dbac_end_phase(0.01, n)
+            assert rate**p <= 0.01
+
+    def test_matches_formula(self):
+        n, eps = 6, 1e-2
+        expected = math.ceil(math.log(eps) / math.log(1 - 2.0**-n))
+        assert dbac_end_phase(eps, n) == expected
+
+    def test_grows_exponentially_in_n(self):
+        assert dbac_end_phase(0.1, 10) > 100 * dbac_end_phase(0.1, 3)
+
+    def test_zero_when_epsilon_covers_range(self):
+        assert dbac_end_phase(1.5, 5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            dbac_end_phase(-0.1, 4)
+
+
+class TestRoundsBound:
+    def test_product(self):
+        assert rounds_upper_bound(3, 10) == 30
+        assert rounds_upper_bound(1, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="T must be >= 1"):
+            rounds_upper_bound(0, 5)
+        with pytest.raises(ValueError, match="non-negative"):
+            rounds_upper_bound(1, -1)
+
+
+class TestMeasuredPhases:
+    def test_finds_first_phase_within_epsilon(self):
+        series = [1.0, 0.5, 0.25, 0.1, 0.01]
+        assert measured_phases_to_epsilon(series, 0.25) == 2
+        assert measured_phases_to_epsilon(series, 1.0) == 0
+
+    def test_none_when_never_reached(self):
+        assert measured_phases_to_epsilon([1.0, 0.9], 0.5) is None

@@ -1,0 +1,110 @@
+"""Unit tests for the Section VII piggyback extension."""
+
+import pytest
+
+from repro.adversary.base import StaticAdversary
+from repro.core.dac import DACProcess
+from repro.core.piggyback import PiggybackDACProcess
+from repro.net.ports import identity_ports
+from repro.sim.engine import Engine
+from repro.sim.messages import StateMessage
+from repro.sim.node import Delivery
+
+from tests.helpers import spread_inputs
+
+
+def pb(n=5, f=0, x=0.5, port=0, k=2, eps=0.25, **kwargs):
+    return PiggybackDACProcess(n, f, x, port, epsilon=eps, k=k, **kwargs)
+
+
+class TestBroadcast:
+    def test_initially_no_history(self):
+        out = pb().broadcast()
+        assert out.history == ()
+
+    def test_relays_received_states(self):
+        p = pb(x=0.0, k=2)
+        p.deliver([Delivery(1, StateMessage(0.9, 0))])
+        out = p.broadcast()
+        assert (0.9, 0) in out.history
+
+    def test_history_capped_at_k(self):
+        p = pb(n=9, x=0.0, k=2)
+        for port, value in enumerate([0.1, 0.2, 0.3, 0.35], start=1):
+            p.deliver([Delivery(port, StateMessage(value, 0))])
+        assert len(p.broadcast().history) <= 2
+
+    def test_own_message_not_relayed(self):
+        p = pb(x=0.3, port=0)
+        p.deliver([Delivery(0, StateMessage(0.3, 0))])
+        assert p.broadcast().history == ()
+
+    def test_k_zero_is_plain_dac_messages(self):
+        p = pb(k=0)
+        p.deliver([Delivery(1, StateMessage(0.9, 0))])
+        assert p.broadcast().history == ()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be non-negative"):
+            pb(k=-1)
+
+
+class TestRelayAbsorption:
+    def test_relayed_future_phase_triggers_jump(self):
+        p = pb(n=5, x=0.0, k=2, eps=0.25)
+        relayed = StateMessage(0.5, 0, history=((0.8, 1),))
+        p.deliver([Delivery(1, relayed)])
+        assert p.phase == 1
+        assert p.value == 0.8
+
+    def test_relayed_current_phase_widens_extremes(self):
+        # Port budget untouched, but the midpoint update sees the
+        # relayed extreme.
+        p = pb(n=5, x=0.0, k=2, eps=0.25)
+        batch = [
+            Delivery(1, StateMessage(0.2, 0, history=((0.9, 0),))),
+            Delivery(2, StateMessage(0.3, 0)),
+        ]
+        p.deliver(batch)  # quorum 3 reached: self + ports 1, 2
+        # Extremes: min 0.0 (self), max 0.9 (relayed) -> 0.45.
+        assert p.value == pytest.approx(0.45)
+
+    def test_relayed_entry_does_not_count_toward_quorum(self):
+        p = pb(n=5, x=0.0, k=2)
+        # One port carrying two relayed entries: still only 2 of 3 quorum.
+        p.deliver([Delivery(1, StateMessage(0.2, 0, history=((0.4, 0), (0.6, 0))))])
+        assert p.phase == 0
+        assert p.received_count == 2
+
+    def test_jump_disabled_also_disables_relay_jumps(self):
+        p = pb(n=5, x=0.0, k=2, enable_jump=False)
+        p.deliver([Delivery(1, StateMessage(0.5, 0, history=((0.8, 3),)))])
+        assert p.phase == 0
+
+
+class TestEquivalenceWithDAC:
+    def test_k0_behaves_exactly_like_dac(self):
+        n = 7
+        ports = identity_ports(n)
+        inputs = spread_inputs(n)
+
+        def run(factory):
+            procs = {v: factory(v) for v in range(n)}
+            engine = Engine(procs, StaticAdversary(), ports)
+            engine.run(12)
+            return [(procs[v].value, procs[v].phase) for v in range(n)]
+
+        dac_states = run(
+            lambda v: DACProcess(n, 0, inputs[v], v, epsilon=1e-2)
+        )
+        pb_states = run(
+            lambda v: PiggybackDACProcess(n, 0, inputs[v], v, epsilon=1e-2, k=0)
+        )
+        assert dac_states == pb_states
+
+    def test_state_key_includes_relay_buffer(self):
+        a, b = pb(x=0.0), pb(x=0.0)
+        assert a.state_key() == b.state_key()
+        a.deliver([Delivery(1, StateMessage(0.9, 0))])
+        b.deliver([Delivery(1, StateMessage(0.9, 0))])
+        assert a.state_key() == b.state_key()

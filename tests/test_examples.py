@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run clean (deliverable guard).
+
+Each example is executed in-process (imported as __main__-style module
+run) with stdout captured; a failure in any example is a release
+blocker, not a docs nit.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_the_promised_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # deliverable (b): at least three
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    # Examples use only the installed package and stdlib; run them as
+    # scripts so their __main__ guard fires.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    # No example should print a failure marker.
+    assert "Traceback" not in out
+    assert "UNEXPECTED" not in out

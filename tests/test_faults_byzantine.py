@@ -1,0 +1,185 @@
+"""Unit tests for Byzantine strategies, including the two-faced core."""
+
+import random
+
+import pytest
+
+from repro.core.dbac import DBACProcess
+from repro.faults.base import FaultPlan
+from repro.faults.byzantine import (
+    BothFaces,
+    ExtremeByzantine,
+    FixedValueByzantine,
+    PhaseLiarByzantine,
+    RandomByzantine,
+    TwoFacedByzantine,
+)
+from repro.sim.messages import StateMessage
+
+
+class FakeView:
+    """Minimal stand-in for EngineView."""
+
+    def __init__(self, max_phase=3, byzantine=frozenset()):
+        self._max_phase = max_phase
+        self.fault_plan = FaultPlan(8)
+        self._byz = byzantine
+
+    def max_fault_free_phase(self):
+        return self._max_phase
+
+
+def bind(strategy, node=7, n=8, f=1, input_value=0.0, seed=0):
+    strategy.bind(node, n, f, input_value, random.Random(seed))
+    return strategy
+
+
+class TestFixedValue:
+    def test_tracks_phase(self):
+        s = bind(FixedValueByzantine(0.25))
+        msg = s.messages(0, FakeView(max_phase=5))
+        assert msg == StateMessage(0.25, 5)
+
+    def test_pinned_phase(self):
+        s = bind(FixedValueByzantine(0.25, phase_mode=2))
+        assert s.messages(0, FakeView(max_phase=9)).phase == 2
+
+    def test_bad_phase_mode_rejected(self):
+        with pytest.raises(ValueError, match="phase_mode"):
+            FixedValueByzantine(0.0, phase_mode="sometimes")
+
+
+class TestExtreme:
+    def test_equivocates_by_parity(self):
+        s = bind(ExtremeByzantine())
+        out = s.messages(0, FakeView())
+        assert out[0].value == 0.0 and out[2].value == 0.0
+        assert out[1].value == 1.0 and out[3].value == 1.0
+        assert s.node not in out
+
+    def test_custom_extremes(self):
+        s = bind(ExtremeByzantine(low=-5.0, high=5.0))
+        out = s.messages(0, FakeView())
+        assert {m.value for m in out.values()} == {-5.0, 5.0}
+
+
+class TestRandom:
+    def test_messages_in_range_and_plausible_phase(self):
+        s = bind(RandomByzantine())
+        out = s.messages(0, FakeView(max_phase=4))
+        assert len(out) == 7
+        for msg in out.values():
+            assert 0.0 <= msg.value <= 1.0
+            assert 0 <= msg.phase <= 5
+
+    def test_deterministic_per_seed(self):
+        a = bind(RandomByzantine(), seed=5).messages(0, FakeView())
+        b = bind(RandomByzantine(), seed=5).messages(0, FakeView())
+        assert a == b
+
+
+class TestPhaseLiar:
+    def test_leads_the_max_phase(self):
+        s = bind(PhaseLiarByzantine(value=1.0, phase_lead=100))
+        msg = s.messages(0, FakeView(max_phase=7))
+        assert msg.phase == 107
+        assert msg.value == 1.0
+
+    def test_negative_lead_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PhaseLiarByzantine(phase_lead=-1)
+
+
+class TestTwoFaced:
+    def make(self, n=6, f=1):
+        group_a = frozenset({0, 1, 2, 3})
+        group_b = frozenset({1, 2, 3, 4, 5})
+        listeners_a = frozenset({0, 1})
+        listeners_b = frozenset({3, 4, 5})
+
+        def factory(n_, f_, x, port):
+            return DBACProcess(n_, f_, x, port, end_phase=10, quorum_override=4)
+
+        strategy = TwoFacedByzantine(
+            factory,
+            group_a,
+            group_b,
+            input_a=0.0,
+            input_b=1.0,
+            listeners_a=listeners_a,
+            listeners_b=listeners_b,
+        )
+        return bind(strategy, node=2, n=n, f=f)
+
+    def test_faces_start_at_their_inputs(self):
+        s = self.make()
+        out = s.messages(0, FakeView())
+        assert out[0].value == 0.0  # listener of A
+        assert out[1].value == 0.0
+        assert out[4].value == 1.0  # listener of B
+        assert out[5].value == 1.0
+
+    def test_unassigned_receiver_gets_face_a(self):
+        s = self.make()
+        out = s.messages(0, FakeView())
+        # Node 3 is in listeners_b here; remove ambiguity by checking a
+        # node outside both listener sets after reconstruction.
+        strategy = TwoFacedByzantine(
+            lambda n_, f_, x, p: DBACProcess(n_, f_, x, p, end_phase=10),
+            {0, 1, 2},
+            {3, 4, 5},
+            input_a=0.0,
+            input_b=1.0,
+            listeners_a={0},
+            listeners_b={4},
+        )
+        bind(strategy, node=2, n=6, f=1)
+        out = strategy.messages(0, FakeView())
+        assert out[5].value == 0.0  # neither listener set -> face A
+
+    def test_byzantine_peers_get_both_faces(self):
+        class ViewWithByz(FakeView):
+            def __init__(self):
+                super().__init__()
+                self.fault_plan = FaultPlan(
+                    6,
+                    byzantine={
+                        2: FixedValueByzantine(0.0),
+                        3: FixedValueByzantine(0.0),
+                    },
+                )
+
+        s = self.make()
+        out = s.messages(0, ViewWithByz())
+        assert isinstance(out[3], BothFaces)
+        assert out[3].face_a.value == 0.0
+        assert out[3].face_b.value == 1.0
+
+    def test_observe_routes_messages_to_faces(self):
+        s = self.make()
+        s.messages(0, FakeView())  # materialize round-0 broadcasts
+        # Group A senders 0,1 say 0.2; group B senders 4,5 say 0.8.
+        s.observe(
+            0,
+            [
+                (0, StateMessage(0.2, 0)),
+                (1, StateMessage(0.2, 0)),
+                (4, StateMessage(0.8, 0)),
+                (5, StateMessage(0.8, 0)),
+            ],
+        )
+        # Face A heard {self 0.0, 0.2, 0.2} -> still phase 0 (quorum 4
+        # needs one more); feed another A sender to trigger an update.
+        s.messages(1, FakeView())
+        s.observe(1, [(0, StateMessage(0.2, 0)), (1, StateMessage(0.2, 0)), (3, StateMessage(0.4, 0))])
+        assert s._face_a is not None
+        assert s._face_a.phase >= 1
+
+    def test_faces_see_only_their_group(self):
+        s = self.make()
+        s.messages(0, FakeView())
+        # A message from node 4 (group B only) must not reach face A.
+        s.observe(0, [(4, StateMessage(0.9, 0))])
+        assert s._face_a is not None and s._face_b is not None
+        assert s._face_a.received_count == 1  # self only
+        assert s._face_b.received_count == 2  # self + node 4

@@ -1,0 +1,67 @@
+"""Unit tests for crash events and schedules."""
+
+import pytest
+
+from repro.faults.crash import (
+    CrashEvent,
+    partial_crash,
+    simultaneous_crashes,
+    staggered_crashes,
+)
+
+
+class TestCrashEvent:
+    def test_clean_crash_timeline(self):
+        event = CrashEvent(node=2, round=3)
+        assert event.sends_fully_at(2)
+        assert not event.sends_fully_at(3)
+        assert event.send_targets_at(2) is None
+        assert event.send_targets_at(3) == frozenset()
+        assert event.send_targets_at(4) == frozenset()
+        assert event.processes_at(2)
+        assert not event.processes_at(3)
+
+    def test_partial_crash_whitelist_only_at_crash_round(self):
+        event = CrashEvent(node=1, round=2, receivers=frozenset({0, 3}))
+        assert event.send_targets_at(1) is None
+        assert event.send_targets_at(2) == frozenset({0, 3})
+        assert event.send_targets_at(3) == frozenset()
+        assert not event.sends_fully_at(2)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CrashEvent(0, -1)
+
+    def test_self_delivery_in_whitelist_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            CrashEvent(1, 0, receivers=frozenset({1}))
+
+    def test_dead_on_arrival(self):
+        event = CrashEvent(0, 0)
+        assert event.send_targets_at(0) == frozenset()
+        assert not event.processes_at(0)
+
+
+class TestSchedules:
+    def test_staggered(self):
+        events = staggered_crashes([4, 2, 7], first_round=3, spacing=2)
+        assert events[2].round == 3
+        assert events[4].round == 5
+        assert events[7].round == 7
+
+    def test_staggered_negative_spacing_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            staggered_crashes([1], spacing=-1)
+
+    def test_staggered_deduplicates(self):
+        events = staggered_crashes([1, 1, 2])
+        assert set(events) == {1, 2}
+
+    def test_simultaneous(self):
+        events = simultaneous_crashes([0, 1], at_round=5)
+        assert all(e.round == 5 for e in events.values())
+
+    def test_partial_crash_helper(self):
+        event = partial_crash(3, 1, receivers=[0, 2])
+        assert event.receivers == frozenset({0, 2})
+        assert event.round == 1

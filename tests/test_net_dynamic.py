@@ -1,0 +1,112 @@
+"""Unit tests for repro.net.dynamic: schedules, traces, window unions."""
+
+import pytest
+
+from repro.net.dynamic import DynamicGraph, EdgeSchedule, window_union
+from repro.net.graph import DirectedGraph
+
+
+class TestEdgeSchedule:
+    def test_function_schedule(self):
+        sched = EdgeSchedule(3, lambda t: [(0, 1)] if t % 2 == 0 else [])
+        assert sched.edges_at(0) == [(0, 1)]
+        assert sched.edges_at(1) == []
+        assert sched.edges_at(2) == [(0, 1)]
+
+    def test_graph_at_builds_graph(self):
+        sched = EdgeSchedule(3, lambda t: [(0, 1), (1, 2)])
+        g = sched.graph_at(5)
+        assert isinstance(g, DirectedGraph)
+        assert len(g) == 2
+
+    def test_negative_round_rejected(self):
+        sched = EdgeSchedule(3, lambda t: [])
+        with pytest.raises(ValueError, match="non-negative"):
+            sched.edges_at(-1)
+
+    def test_table_schedule_repeats(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 1)], [(1, 2)]], repeat=True)
+        assert sched.edges_at(0) == [(0, 1)]
+        assert sched.edges_at(1) == [(1, 2)]
+        assert sched.edges_at(2) == [(0, 1)]
+        assert sched.edges_at(7) == [(1, 2)]
+
+    def test_table_schedule_without_repeat_goes_silent(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 1)]], repeat=False)
+        assert sched.edges_at(0) == [(0, 1)]
+        assert sched.edges_at(1) == []
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError, match="at least one round"):
+            EdgeSchedule.from_table(3, [])
+
+
+class TestDynamicGraph:
+    def test_record_and_read_back(self):
+        dyn = DynamicGraph(3)
+        g0 = DirectedGraph(3, [(0, 1)])
+        g1 = DirectedGraph(3, [(1, 2)])
+        dyn.record(g0)
+        dyn.record(g1)
+        assert len(dyn) == 2
+        assert dyn.at(0) == g0
+        assert dyn.at(1) == g1
+
+    def test_record_size_mismatch_rejected(self):
+        dyn = DynamicGraph(3)
+        with pytest.raises(ValueError, match="expected 3"):
+            dyn.record(DirectedGraph(4))
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            DynamicGraph(0)
+
+    def test_window_slicing(self):
+        dyn = DynamicGraph(2)
+        for _ in range(5):
+            dyn.record(DirectedGraph(2, [(0, 1)]))
+        assert len(dyn.window(1, 3)) == 3
+        with pytest.raises(ValueError, match="invalid window"):
+            dyn.window(-1, 2)
+        with pytest.raises(ValueError, match="invalid window"):
+            dyn.window(0, 0)
+
+    def test_window_union_is_papers_G_t(self):
+        # G_t := (V, E(t) u E(t+1)): the figure-1 style aggregation.
+        dyn = DynamicGraph(3)
+        dyn.record(DirectedGraph(3, [(0, 1)]))
+        dyn.record(DirectedGraph(3, [(1, 2)]))
+        dyn.record(DirectedGraph(3))
+        u01 = dyn.window_union(0, 2)
+        assert set(u01.edges) == {(0, 1), (1, 2)}
+        u12 = dyn.window_union(1, 2)
+        assert set(u12.edges) == {(1, 2)}
+
+    def test_from_schedule_materializes(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 1)], []])
+        dyn = DynamicGraph.from_schedule(sched, 4)
+        assert len(dyn) == 4
+        assert len(dyn.at(0)) == 1
+        assert len(dyn.at(1)) == 0
+
+    def test_edges_per_round(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 1), (1, 0)], []])
+        dyn = DynamicGraph.from_schedule(sched, 4)
+        assert dyn.edges_per_round() == [2, 0, 2, 0]
+
+
+class TestWindowUnion:
+    def test_union_of_graphs(self):
+        graphs = [DirectedGraph(3, [(0, 1)]), DirectedGraph(3, [(2, 1)])]
+        u = window_union(graphs)
+        assert set(u.edges) == {(0, 1), (2, 1)}
+
+    def test_empty_window_needs_n(self):
+        with pytest.raises(ValueError, match="without knowing n"):
+            window_union([])
+        u = window_union([], n=4)
+        assert u.n == 4 and len(u) == 0
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError, match="mixes graphs"):
+            window_union([DirectedGraph(3), DirectedGraph(4)])

@@ -1,0 +1,261 @@
+"""Unit tests for the synchronous round engine.
+
+Uses small scripted processes (recorders/echoers) rather than the real
+algorithms so each engine behavior is pinned in isolation: delivery
+along chosen links, self-delivery, port tagging and ordering, crash
+semantics (clean and partial), Byzantine equivocation, and trace
+recording.
+"""
+
+import pytest
+
+from repro.adversary.base import ScheduleAdversary, StaticAdversary
+from repro.faults.base import FaultPlan
+from repro.faults.byzantine import ByzantineStrategy
+from repro.faults.crash import CrashEvent, partial_crash
+from repro.net.dynamic import EdgeSchedule
+from repro.net.graph import DirectedGraph
+from repro.net.ports import PortNumbering, identity_ports
+from repro.sim.engine import Engine
+from repro.sim.messages import StateMessage
+from repro.sim.node import ConsensusProcess
+
+
+class RecorderProcess(ConsensusProcess):
+    """Broadcasts its ID-tagged value; records everything delivered."""
+
+    def __init__(self, n, f, input_value, self_port):
+        super().__init__(n, f, input_value, self_port)
+        self.inbox_log: list[list] = []
+
+    def broadcast(self):
+        return StateMessage(self.input_value, 0)
+
+    def deliver(self, deliveries):
+        self.inbox_log.append(list(deliveries))
+
+    def has_output(self):
+        return False
+
+    def output(self):
+        raise RuntimeError("recorder never outputs")
+
+    @property
+    def value(self):
+        return self.input_value
+
+    @property
+    def phase(self):
+        return 0
+
+
+def make_engine(n, adversary, fault_plan=None, ports=None, f=0):
+    ports = ports or identity_ports(n)
+    plan = fault_plan or FaultPlan.fault_free_plan(n)
+    processes = {
+        v: RecorderProcess(n, f, float(v), ports.self_port(v))
+        for v in plan.non_byzantine
+    }
+    engine = Engine(processes, adversary, ports, fault_plan=plan, f=f)
+    return engine, processes
+
+
+class TestDelivery:
+    def test_messages_follow_chosen_links(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 2)]])
+        engine, procs = make_engine(3, ScheduleAdversary(sched))
+        engine.run_round()
+        # Node 2 hears node 0 (port 0) plus itself (port 2).
+        ports_seen = [d.port for d in procs[2].inbox_log[0]]
+        assert ports_seen == [0, 2]
+        # Node 1 hears only itself.
+        assert [d.port for d in procs[1].inbox_log[0]] == [1]
+
+    def test_self_delivery_is_reliable(self):
+        # Even with an empty graph, everyone hears themselves.
+        sched = EdgeSchedule.from_table(3, [[]])
+        engine, procs = make_engine(3, ScheduleAdversary(sched))
+        engine.run_round()
+        for v in range(3):
+            batch = procs[v].inbox_log[0]
+            assert len(batch) == 1
+            assert batch[0].port == v
+            assert batch[0].message.value == float(v)
+
+    def test_deliveries_sorted_by_port(self):
+        tables = [
+            [2, 1, 0],  # node 0 sees sender 0 on port 2, sender 2 on port 0
+            [0, 1, 2],
+            [0, 1, 2],
+        ]
+        ports = PortNumbering(tables)
+        engine, procs = make_engine(3, StaticAdversary(), ports=ports)
+        engine.run_round()
+        batch = procs[0].inbox_log[0]
+        assert [d.port for d in batch] == sorted(d.port for d in batch)
+        # Port 0 at node 0 is sender 2.
+        assert batch[0].message.value == 2.0
+
+    def test_metrics_count_link_deliveries_not_self(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        engine.run_round()
+        # Complete graph on 3 nodes: 6 link deliveries.
+        assert engine.metrics.delivered == 6
+        assert engine.metrics.bits == 6 * StateMessage(0.0, 0).bits()
+
+    def test_adversary_graph_size_checked(self):
+        class BadAdversary(StaticAdversary):
+            def choose(self, t, view):
+                return DirectedGraph(2)
+
+        engine, _ = make_engine(3, BadAdversary(DirectedGraph.complete(3)))
+        with pytest.raises(ValueError, match="adversary chose"):
+            engine.run_round()
+
+
+class TestCrashSemantics:
+    def test_clean_crash_silences_and_freezes(self):
+        plan = FaultPlan(3, crashes={2: CrashEvent(2, 1)})
+        engine, procs = make_engine(3, StaticAdversary(), fault_plan=plan)
+        engine.run_round()  # round 0: node 2 alive
+        engine.run_round()  # round 1: node 2 crashed
+        # Round 0: node 0 heard 1, 2, self.
+        assert len(procs[0].inbox_log[0]) == 3
+        # Round 1: node 0 hears 1 and self only.
+        assert [d.port for d in procs[0].inbox_log[1]] == [0, 1]
+        # Node 2 processed round 0 but not round 1.
+        assert len(procs[2].inbox_log) == 1
+
+    def test_dead_on_arrival(self):
+        plan = FaultPlan(3, crashes={1: CrashEvent(1, 0)})
+        engine, procs = make_engine(3, StaticAdversary(), fault_plan=plan)
+        engine.run_round()
+        assert [d.port for d in procs[0].inbox_log[0]] == [0, 2]
+        assert procs[1].inbox_log == []
+
+    def test_partial_crash_reaches_only_whitelist(self):
+        plan = FaultPlan(4, crashes={3: partial_crash(3, 0, receivers={0})})
+        engine, procs = make_engine(4, StaticAdversary(), fault_plan=plan)
+        engine.run_round()
+        # Node 0 got node 3's last message; nodes 1 and 2 did not.
+        assert 3 in [d.port for d in procs[0].inbox_log[0]]
+        assert 3 not in [d.port for d in procs[1].inbox_log[0]]
+        assert 3 not in [d.port for d in procs[2].inbox_log[0]]
+
+    def test_processes_must_cover_non_byzantine(self):
+        plan = FaultPlan(3, crashes={2: CrashEvent(2, 1)})
+        ports = identity_ports(3)
+        procs = {0: RecorderProcess(3, 0, 0.0, 0)}  # missing 1 and 2
+        with pytest.raises(ValueError, match="cover exactly"):
+            Engine(procs, StaticAdversary(), ports, fault_plan=plan)
+
+
+class EquivocatorStrategy(ByzantineStrategy):
+    """Sends value == receiver id (distinct lie per receiver)."""
+
+    def messages(self, t, view):
+        return {
+            r: StateMessage(float(r), 0) for r in range(self.n) if r != self.node
+        }
+
+
+class UniformStrategy(ByzantineStrategy):
+    """Sends the same fixed message to everyone."""
+
+    def messages(self, t, view):
+        return StateMessage(99.0, 0)
+
+
+class TestByzantineSemantics:
+    def test_equivocation_per_receiver(self):
+        plan = FaultPlan(3, byzantine={2: EquivocatorStrategy()})
+        engine, procs = make_engine(3, StaticAdversary(), fault_plan=plan, f=1)
+        engine.run_round()
+        v0 = [d.message.value for d in procs[0].inbox_log[0] if d.port == 2]
+        v1 = [d.message.value for d in procs[1].inbox_log[0] if d.port == 2]
+        assert v0 == [0.0] and v1 == [1.0]
+
+    def test_uniform_strategy_broadcast(self):
+        plan = FaultPlan(3, byzantine={2: UniformStrategy()})
+        engine, procs = make_engine(3, StaticAdversary(), fault_plan=plan, f=1)
+        engine.run_round()
+        for v in (0, 1):
+            lies = [d.message.value for d in procs[v].inbox_log[0] if d.port == 2]
+            assert lies == [99.0]
+
+    def test_byzantine_observe_sees_true_senders(self):
+        class Spy(UniformStrategy):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def observe(self, t, received):
+                self.seen.append([s for s, _ in received])
+
+        spy = Spy()
+        plan = FaultPlan(3, byzantine={2: spy})
+        engine, _ = make_engine(3, StaticAdversary(), fault_plan=plan, f=1)
+        engine.run_round()
+        assert spy.seen == [[0, 1]]
+
+    def test_byzantine_strategy_bound_to_node(self):
+        strategy = UniformStrategy()
+        plan = FaultPlan(4, byzantine={3: strategy})
+        make_engine(4, StaticAdversary(), fault_plan=plan, f=1)
+        assert strategy.node == 3
+        assert strategy.n == 4
+        assert strategy.f == 1
+
+
+class TestRunLoop:
+    def test_run_respects_max_rounds(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        assert engine.run(5) == 5
+        assert engine.current_round == 5
+
+    def test_stop_condition_checked_before_rounds(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        assert engine.run(10, stop_when=lambda e: True) == 0
+
+    def test_stop_condition_mid_run(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        executed = engine.run(10, stop_when=lambda e: e.current_round >= 3)
+        assert executed == 3
+
+    def test_negative_max_rounds_rejected(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        with pytest.raises(ValueError, match="non-negative"):
+            engine.run(-1)
+
+    def test_trace_records_rounds(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        engine.run(4)
+        assert engine.trace is not None
+        assert len(engine.trace) == 4
+        assert engine.trace.rounds[0].graph == DirectedGraph.complete(3)
+
+    def test_trace_disabled(self):
+        ports = identity_ports(3)
+        procs = {v: RecorderProcess(3, 0, 0.0, v) for v in range(3)}
+        engine = Engine(procs, StaticAdversary(), ports, record_trace=False)
+        engine.run(3)
+        assert engine.trace is None
+        assert engine.metrics.rounds == 3
+
+    def test_observers_called_per_round(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        calls = []
+        engine.observers.append(lambda eng, snap: calls.append(snap.round))
+        engine.run(3)
+        assert calls == [0, 1, 2]
+
+    def test_fault_plan_size_checked(self):
+        ports = identity_ports(3)
+        procs = {v: RecorderProcess(3, 0, 0.0, v) for v in range(3)}
+        with pytest.raises(ValueError, match="fault plan"):
+            Engine(procs, StaticAdversary(), ports, fault_plan=FaultPlan(4))
+
+    def test_fault_free_values_and_range(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        assert engine.fault_free_values() == {0: 0.0, 1: 1.0, 2: 2.0}
+        assert engine.fault_free_range() == 2.0

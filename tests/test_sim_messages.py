@@ -1,0 +1,56 @@
+"""Unit tests for repro.sim.messages: payloads and bit accounting."""
+
+import pytest
+
+from repro.sim.messages import PHASE_BITS, VALUE_BITS, StateMessage, message_bits
+
+
+class TestStateMessage:
+    def test_fields(self):
+        msg = StateMessage(0.5, 3)
+        assert msg.value == 0.5
+        assert msg.phase == 3
+        assert msg.history == ()
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StateMessage(0.1, -1)
+
+    def test_immutability(self):
+        msg = StateMessage(0.5, 1)
+        with pytest.raises(AttributeError):
+            msg.value = 0.9
+
+    def test_base_bits(self):
+        assert StateMessage(0.0, 0).bits() == VALUE_BITS + PHASE_BITS
+
+    def test_piggyback_bits_scale_linearly(self):
+        base = StateMessage(0.0, 0).bits()
+        one = StateMessage(0.0, 0, ((0.5, 1),)).bits()
+        three = StateMessage(0.0, 0, ((0.5, 1), (0.2, 2), (0.9, 0))).bits()
+        per_entry = one - base
+        assert per_entry == VALUE_BITS + PHASE_BITS
+        assert three == base + 3 * per_entry
+
+    def test_entries_lists_current_first(self):
+        msg = StateMessage(0.7, 2, ((0.1, 1),))
+        assert msg.entries() == ((0.7, 2), (0.1, 1))
+
+    def test_hashable(self):
+        assert len({StateMessage(0.1, 0), StateMessage(0.1, 0)}) == 1
+
+
+class TestMessageBits:
+    def test_state_message_uses_own_accounting(self):
+        msg = StateMessage(0.3, 2, ((0.1, 1),))
+        assert message_bits(msg) == msg.bits()
+
+    def test_unknown_payload_gets_floor(self):
+        assert message_bits("hello") == VALUE_BITS
+
+    def test_duck_typed_bits(self):
+        class Custom:
+            def bits(self):
+                return 7
+
+        assert message_bits(Custom()) == 7

@@ -1,0 +1,96 @@
+"""Unit tests for repro.sim.metrics: counters and the V(p) series."""
+
+from repro.sim.metrics import MetricsCollector, PhaseRangeSeries
+
+
+class TestMetricsCollector:
+    def test_accumulates(self):
+        m = MetricsCollector()
+        m.on_round(delivered=4, bits=400, broadcasts=5)
+        m.on_round(delivered=2, bits=200, broadcasts=5)
+        assert m.rounds == 2
+        assert m.delivered == 6
+        assert m.bits == 600
+        assert m.broadcasts == 10
+        assert m.per_round_delivered == [4, 2]
+        assert m.per_round_bits == [400, 200]
+
+    def test_mean_bits(self):
+        m = MetricsCollector()
+        assert m.mean_bits_per_round == 0.0
+        m.on_round(1, 100, 1)
+        m.on_round(1, 300, 1)
+        assert m.mean_bits_per_round == 200.0
+
+
+def states(mapping):
+    """Build a snapshot dict: node -> {value, phase}."""
+    return {node: {"value": v, "phase": p} for node, (v, p) in mapping.items()}
+
+
+class TestPhaseRangeSeries:
+    def test_initial_states_fill_phase0(self):
+        series = PhaseRangeSeries([0, 1, 2])
+        series.observe_states(states({0: (0.0, 0), 1: (0.5, 0), 2: (1.0, 0)}))
+        assert sorted(series.multiset(0)) == [0.0, 0.5, 1.0]
+        assert series.range_of(0) == 1.0
+
+    def test_phase_transition_recorded_once(self):
+        series = PhaseRangeSeries([0])
+        series.observe_states(states({0: (0.2, 0)}))
+        series.observe_states(states({0: (0.2, 0)}))  # no transition
+        series.observe_states(states({0: (0.6, 1)}))  # to phase 1
+        series.observe_states(states({0: (0.6, 1)}))  # stable
+        assert series.multiset(0) == [0.2]
+        assert series.multiset(1) == [0.6]
+
+    def test_jump_fills_skipped_phases(self):
+        # Definition 6: a jump from 0 to 3 writes the landing value
+        # into phases 1, 2 and 3.
+        series = PhaseRangeSeries([0])
+        series.observe_states(states({0: (0.1, 0)}))
+        series.observe_states(states({0: (0.8, 3)}))
+        for p in (1, 2, 3):
+            assert series.multiset(p) == [0.8]
+
+    def test_unwatched_nodes_ignored(self):
+        series = PhaseRangeSeries([0])
+        series.observe_states(states({0: (0.5, 0), 9: (0.9, 0)}))
+        assert series.multiset(0) == [0.5]
+
+    def test_missing_watched_node_skipped(self):
+        # Crashed nodes simply disappear from snapshots.
+        series = PhaseRangeSeries([0, 1])
+        series.observe_states(states({0: (0.5, 0)}))
+        assert series.multiset(0) == [0.5]
+
+    def test_range_series_and_rates(self):
+        series = PhaseRangeSeries([0, 1])
+        series.observe_states(states({0: (0.0, 0), 1: (1.0, 0)}))
+        series.observe_states(states({0: (0.25, 1), 1: (0.75, 1)}))
+        series.observe_states(states({0: (0.5, 2), 1: (0.5, 2)}))
+        assert series.range_series() == [1.0, 0.5, 0.0]
+        assert series.convergence_rates() == [0.5, 0.0]
+
+    def test_rates_skip_collapsed_phases(self):
+        series = PhaseRangeSeries([0, 1])
+        series.observe_states(states({0: (0.5, 0), 1: (0.5, 0)}))
+        series.observe_states(states({0: (0.5, 1), 1: (0.5, 1)}))
+        assert series.convergence_rates() == []
+
+    def test_interval_of(self):
+        series = PhaseRangeSeries([0, 1])
+        series.observe_states(states({0: (0.2, 0), 1: (0.9, 0)}))
+        assert series.interval_of(0) == (0.2, 0.9)
+        assert series.interval_of(5) is None
+
+    def test_max_phase(self):
+        series = PhaseRangeSeries([0])
+        assert series.max_phase() == 0
+        series.observe_states(states({0: (0.1, 0)}))
+        series.observe_states(states({0: (0.1, 4)}))
+        assert series.max_phase() == 4
+
+    def test_watched_exposed(self):
+        series = PhaseRangeSeries([3, 1])
+        assert series.watched == frozenset({1, 3})

@@ -1,0 +1,92 @@
+"""Unit tests for trace persistence and replay."""
+
+import pytest
+
+from repro.adversary.base import StaticAdversary
+from repro.adversary.random_adv import RandomLinkAdversary
+from repro.core.dac import DACProcess
+from repro.net.ports import identity_ports
+from repro.sim.persistence import (
+    load_trace,
+    replay_adversary,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.sim.runner import run_consensus
+from repro.sim.trace import ExecutionTrace
+
+from tests.helpers import spread_inputs
+
+
+def run_dac(adversary, n=5, seed=3, max_rounds=20):
+    ports = identity_ports(n)
+    inputs = spread_inputs(n)
+    procs = {
+        v: DACProcess(n, 0, inputs[v], v, epsilon=1e-2) for v in range(n)
+    }
+    return run_consensus(
+        procs, adversary, ports, epsilon=1e-2, max_rounds=max_rounds, seed=seed
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        report = run_dac(RandomLinkAdversary(0.5))
+        original = report.trace
+        rebuilt = trace_from_dict(trace_to_dict(original))
+        assert len(rebuilt) == len(original)
+        for t in range(len(original)):
+            assert rebuilt.at(t) == original.at(t)
+            assert rebuilt.rounds[t].states == original.rounds[t].states
+            assert rebuilt.rounds[t].delivered == original.rounds[t].delivered
+            assert rebuilt.rounds[t].bits == original.rounds[t].bits
+            assert rebuilt.rounds[t].live_senders == original.rounds[t].live_senders
+
+    def test_file_round_trip(self, tmp_path):
+        report = run_dac(StaticAdversary())
+        path = tmp_path / "trace.json"
+        save_trace(report.trace, path)
+        rebuilt = load_trace(path)
+        assert len(rebuilt) == len(report.trace)
+        assert rebuilt.at(0) == report.trace.at(0)
+
+    def test_version_checked(self):
+        payload = trace_to_dict(ExecutionTrace(3))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            trace_from_dict(payload)
+
+
+class TestReplay:
+    def test_replay_reproduces_the_execution(self):
+        # Record a stochastic run, then replay its links against fresh
+        # processes: outputs must match exactly (the algorithms are
+        # deterministic given deliveries).
+        first = run_dac(RandomLinkAdversary(0.5))
+        replayed = run_dac(replay_adversary(first.trace))
+        assert replayed.outputs == first.outputs
+        assert replayed.rounds == first.rounds
+        for t in range(min(first.rounds, replayed.rounds)):
+            assert replayed.trace.at(t) == first.trace.at(t)
+
+    def test_replay_goes_silent_past_recording(self):
+        first = run_dac(StaticAdversary(), max_rounds=3)
+        adv = replay_adversary(first.trace)
+        follow = run_dac(adv, max_rounds=6)
+        assert len(follow.trace.at(4)) == 0  # beyond the recording
+
+    def test_replay_can_loop(self):
+        first = run_dac(StaticAdversary(), max_rounds=2)
+        adv = replay_adversary(first.trace, repeat=True)
+        follow = run_dac(adv, max_rounds=6)
+        assert follow.trace.at(4) == first.trace.at(0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            replay_adversary(ExecutionTrace(3))
+
+    def test_promise_passthrough(self):
+        first = run_dac(StaticAdversary(), max_rounds=2)
+        adv = replay_adversary(first.trace, promise=(1, 4))
+        assert adv.promised_dynadegree() == (1, 4)

@@ -1,0 +1,132 @@
+"""Unit tests for the ready-made execution builders."""
+
+import pytest
+
+from repro.sim.runner import run_consensus
+from repro.workloads import (
+    build_dac_execution,
+    build_dbac_execution,
+    dac_degree,
+    dbac_degree,
+    theorem9_part2_execution,
+    theorem9_split_execution,
+    theorem10_split_execution,
+)
+
+
+class TestDegreeThresholds:
+    def test_dac_degree(self):
+        assert dac_degree(9) == 4
+        assert dac_degree(10) == 5
+
+    def test_dbac_degree(self):
+        assert dbac_degree(6, 1) == 4
+        assert dbac_degree(11, 2) == 8
+        assert dbac_degree(16, 3) == 12
+
+
+class TestBuildDac:
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ValueError, match="2f"):
+            build_dac_execution(n=8, f=4)
+
+    def test_crash_budget_enforced(self):
+        with pytest.raises(ValueError, match="fault bound"):
+            build_dac_execution(n=9, f=2, crash_nodes=3)
+
+    def test_default_crashes_f_nodes(self):
+        ex = build_dac_execution(n=9, f=4)
+        assert len(ex["fault_plan"].crashes) == 4
+        assert set(ex["fault_plan"].crashes) == {5, 6, 7, 8}
+
+    def test_processes_cover_all_nodes(self):
+        ex = build_dac_execution(n=7, f=3)
+        assert set(ex["processes"]) == set(range(7))
+
+    def test_window_selects_adversary(self):
+        ex1 = build_dac_execution(n=5, f=0, window=1)
+        ex3 = build_dac_execution(n=5, f=0, window=3)
+        assert ex1["adversary"].promised_dynadegree() == (1, 2)
+        assert ex3["adversary"].promised_dynadegree() == (3, 2)
+
+    def test_runs_correctly(self):
+        report = run_consensus(**build_dac_execution(n=7, f=3, epsilon=1e-2, seed=1))
+        assert report.correct
+        assert report.dynadegree_verified
+
+
+class TestBuildDbac:
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ValueError, match="5f"):
+            build_dbac_execution(n=10, f=2)
+
+    def test_byzantine_assignment(self):
+        ex = build_dbac_execution(n=11, f=2)
+        assert set(ex["fault_plan"].byzantine) == {9, 10}
+        assert set(ex["processes"]) == set(range(9))
+
+    def test_custom_byzantine_factory(self):
+        from repro.faults.byzantine import FixedValueByzantine
+
+        ex = build_dbac_execution(
+            n=6, f=1, byzantine_factory=lambda node: FixedValueByzantine(0.0)
+        )
+        assert isinstance(ex["fault_plan"].byzantine[5], FixedValueByzantine)
+
+    def test_runs_correctly_oracle(self):
+        report = run_consensus(**build_dbac_execution(n=6, f=1, epsilon=5e-2, seed=3))
+        assert report.terminated
+        assert report.validity
+        assert report.epsilon_agreement
+
+
+class TestTheoremScenarios:
+    def test_theorem9_eager_disagrees(self):
+        report = run_consensus(**theorem9_split_execution(n=8, seed=0))
+        assert report.terminated
+        assert not report.epsilon_agreement
+        outputs = set(report.outputs.values())
+        assert 0.0 in outputs and 1.0 in outputs
+
+    def test_theorem9_plain_dac_stalls(self):
+        report = run_consensus(
+            **theorem9_split_execution(n=8, seed=0, eager_quorum=False, max_rounds=150)
+        )
+        assert not report.terminated
+        assert report.outputs == {}
+
+    def test_theorem9_needs_reasonable_n(self):
+        with pytest.raises(ValueError, match="n >= 4"):
+            theorem9_split_execution(n=3)
+
+    def test_theorem9_part2_disagrees_despite_stability(self):
+        report = run_consensus(**theorem9_part2_execution(n=8, seed=1))
+        assert report.terminated
+        assert not report.epsilon_agreement
+
+    def test_theorem9_part2_needs_even_n(self):
+        with pytest.raises(ValueError, match="even"):
+            theorem9_part2_execution(n=7)
+
+    def test_theorem10_eager_disagrees(self):
+        report = run_consensus(**theorem10_split_execution(f=1, seed=2))
+        assert report.terminated
+        assert not report.epsilon_agreement
+        # Exclusive listeners land on opposite sides.
+        assert report.outputs[0] < 0.1
+        assert report.outputs[5] > 0.9
+
+    def test_theorem10_plain_dbac_stalls(self):
+        report = run_consensus(
+            **theorem10_split_execution(f=1, seed=2, eager_quorum=False, max_rounds=150)
+        )
+        assert not report.terminated
+
+    def test_theorem10_trace_is_one_short_of_required(self):
+        ex = theorem10_split_execution(f=1, seed=2)
+        promise = ex["adversary"].promised_dynadegree()
+        assert promise == (1, dbac_degree(6, 1) - 1)
+
+    def test_theorem10_needs_faults(self):
+        with pytest.raises(ValueError, match="f >= 1"):
+            theorem10_split_execution(f=0)
