@@ -26,18 +26,22 @@ def summarize_rates(rates: Sequence[float]) -> dict[str, float]:
     }
 
 
-def fit_geometric_rate(range_series: Sequence[float], floor: float = 1e-12) -> float | None:
+def fit_geometric_rate(
+    range_series: Sequence[float | None], floor: float = 1e-12
+) -> float | None:
     """Least-squares geometric rate of a decaying range series.
 
     Fits ``log(range_p) ~ log(range_0) + p * log(rho)`` over the phases
     with range above ``floor`` and returns ``rho``. ``None`` when fewer
     than two usable points exist. A pure geometric decay (e.g. DAC on a
-    clean network) recovers its rate exactly.
+    clean network) recovers its rate exactly. Empty phases (``None``
+    entries of an aligned series) contribute no point but keep their
+    neighbours at the correct phase index.
     """
     points = [
         (p, math.log(r))
         for p, r in enumerate(range_series)
-        if r > floor
+        if r is not None and r > floor
     ]
     if len(points) < 2:
         return None
@@ -51,9 +55,13 @@ def fit_geometric_rate(range_series: Sequence[float], floor: float = 1e-12) -> f
     return math.exp(slope)
 
 
-def phases_until(range_series: Sequence[float], epsilon: float) -> int | None:
-    """Index of the first phase with range <= epsilon (``None`` if never)."""
+def phases_until(range_series: Sequence[float | None], epsilon: float) -> int | None:
+    """Index of the first phase with range <= epsilon (``None`` if never).
+
+    Empty phases (``None`` entries of an aligned series) are skipped:
+    an unrecorded range is no evidence of convergence.
+    """
     for phase, spread in enumerate(range_series):
-        if spread <= epsilon:
+        if spread is not None and spread <= epsilon:
             return phase
     return None

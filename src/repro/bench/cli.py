@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench.cli                 # run everything, quick grid
     python -m repro.bench.cli --full          # full grids (slower)
     python -m repro.bench.cli -e E1 -e I4     # selected experiments
+    python -m repro.bench.cli --workers 4     # parallel sweep default
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import sys
 import time
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.sim.parallel import set_default_workers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,7 +47,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="additionally write the results as a markdown report",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="default worker processes for sweep-based experiments "
+        "(0 = one per CPU); results are identical for every worker count",
+    )
     args = parser.parse_args(argv)
+
+    # Experiments built on repro.bench.sweep.Sweep pick this default up
+    # without every experiment function growing a workers parameter.
+    set_default_workers(args.workers)
 
     if args.list:
         for experiment_id in EXPERIMENTS:

@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     experiment_i2,
     experiment_i4,
     experiment_s1,
+    experiment_s2,
     experiment_x1,
     experiment_x2,
     experiment_x3,
@@ -47,6 +48,7 @@ EXPERIMENTS: dict[str, Callable[[bool], TableResult]] = {
     "X7": experiment_x7,
     "X8": experiment_x8,
     "S1": experiment_s1,
+    "S2": experiment_s2,
 }
 
 

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.analysis.statistics import Summary, summarize
 from repro.bench.tables import TableResult
+from repro.sim.parallel import TrialSpec, run_trials
 
 
 @dataclass(frozen=True)
@@ -45,7 +46,11 @@ class SweepRecord:
         for key, value in self.params:
             if key == name:
                 return value
-        raise KeyError(f"no parameter {name!r} in {self.params}")
+        available = ", ".join(repr(key) for key, _ in self.params) or "<none>"
+        raise KeyError(
+            f"no parameter {name!r} in record {self.params!r} "
+            f"(seed={self.seed}; available parameters: {available})"
+        )
 
 
 @dataclass
@@ -82,29 +87,60 @@ class Sweep:
             out.append(dict(zip(names, combo)))
         return out
 
-    def run(self, fn: Callable[..., Any]) -> list[SweepRecord]:
+    def run(
+        self, fn: Callable[..., Any], *, workers: int | None = None
+    ) -> list[SweepRecord]:
         """Execute ``fn(**params, seed=...)`` over the whole grid.
+
+        ``workers`` fans independent trials out over a process pool
+        (see :mod:`repro.sim.parallel`): ``1`` runs serially
+        in-process, ``0`` means one worker per CPU, and ``None`` (the
+        default) uses the process-wide default (serial unless a CLI
+        ``--workers`` flag raised it). Seeds are scheduled before any
+        dispatch and results are collected in grid order, so the
+        records are identical -- same results, same order -- for every
+        worker count; parallelism is purely a speed knob. ``fn`` must
+        be picklable (a module-level function) when more than one
+        worker is used.
 
         Results are collected into :attr:`records` (appending across
         multiple ``run`` calls) and returned.
         """
-        new_records = []
-        for cell in self.cells():
-            for trial in range(self.repeats):
-                seed = self.seed0 + trial
-                result = fn(**cell, seed=seed)
-                record = SweepRecord(tuple(sorted(cell.items())), seed, result)
-                new_records.append(record)
+        specs = [
+            TrialSpec(tuple(sorted(cell.items())), self.seed0 + trial)
+            for cell in self.cells()
+            for trial in range(self.repeats)
+        ]
+        results = run_trials(fn, specs, workers=workers)
+        new_records = [
+            SweepRecord(spec.params, spec.seed, result)
+            for spec, result in zip(specs, results)
+        ]
         self.records.extend(new_records)
         return new_records
 
     # -- Aggregation -----------------------------------------------------
 
     def group_by(self, *names: str) -> dict[tuple, list[SweepRecord]]:
-        """Bucket the records by the given parameter names."""
+        """Bucket the records by the given parameter names.
+
+        Raises ``ValueError`` when any accumulated record lacks one of
+        the names. That happens when :meth:`run` was called more than
+        once over different grids (records append across runs): group
+        only by parameters common to every grid, or use a fresh Sweep
+        per grid.
+        """
         groups: dict[tuple, list[SweepRecord]] = {}
         for record in self.records:
-            key = tuple(record.param(name) for name in names)
+            try:
+                key = tuple(record.param(name) for name in names)
+            except KeyError as exc:
+                raise ValueError(
+                    f"cannot group heterogeneous records by {names!r}: "
+                    f"{exc.args[0]}. Records accumulated from runs over "
+                    "different grids can only be grouped by their common "
+                    "parameters."
+                ) from exc
             groups.setdefault(key, []).append(record)
         return groups
 

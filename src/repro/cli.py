@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli theorem10 --f 1
     python -m repro.cli figure1
     python -m repro.cli dac --save-trace run.json
+    python -m repro.cli sweep --n 5 9 13 --window 1 2 --repeats 5 --workers 4
 
 Exit status is 0 when the run's verdict matches the theory (correct
 for the positive scenarios, violating for the impossibility ones).
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.adversary.periodic import figure1_adversary
 from repro.core.dac import DACProcess
@@ -52,7 +54,7 @@ def _print_report(report: ExecutionReport, verbose: bool) -> None:
         print(f"  inputs  : { {k: round(v, 4) for k, v in sorted(report.inputs.items())} }")
         print(f"  outputs : { {k: round(v, 4) for k, v in sorted(report.outputs.items())} }")
         print(f"  promise : {report.dynadegree_promise} verified={report.dynadegree_verified}")
-        print(f"  ranges  : {[round(r, 5) for r in report.phase_ranges]}")
+        print(f"  ranges  : {[None if r is None else round(r, 5) for r in report.phase_ranges]}")
         print(f"  rates   : {[round(r, 4) for r in report.convergence_rates]}")
         if report.metrics:
             print(
@@ -118,6 +120,43 @@ def _cmd_theorem10(args: argparse.Namespace) -> int:
     _maybe_save(report, args.save_trace)
     expected = (not report.epsilon_agreement) if not args.plain else (not report.terminated)
     return 0 if expected else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweep import Sweep
+    from repro.workloads import run_dac_trial
+
+    if args.save_trace:
+        print("error: sweep runs untraced; --save-trace is not supported here")
+        return 2
+    sweep = Sweep(
+        # epsilon rides along as a single-value grid dimension so every
+        # trial honors the common --epsilon flag (and records carry it).
+        grid={"n": args.n, "window": args.window, "epsilon": [args.epsilon]},
+        repeats=args.repeats,
+        seed0=args.seed,
+    )
+    started = time.perf_counter()
+    sweep.run(run_dac_trial, workers=args.workers)
+    elapsed = time.perf_counter() - started
+    table = sweep.to_table(
+        "n",
+        "window",
+        title=f"DAC rounds to output (boundary adversary, eps={args.epsilon:g})",
+        value=lambda record: float(record.result["rounds"]),
+    )
+    print(table.render())
+    if args.verbose:
+        for record in sweep.records:
+            cell = ", ".join(f"{k}={v}" for k, v in record.params)
+            print(f"  {cell}, seed={record.seed}: {record.result}")
+    trials = len(sweep.records)
+    print(
+        f"  {trials} trials in {elapsed:.2f}s "
+        f"({trials / elapsed:.1f} trials/s, workers={args.workers})"
+    )
+    ok = all(record.result["correct"] for record in sweep.records)
+    return 0 if ok else 1
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -186,6 +225,23 @@ def build_parser() -> argparse.ArgumentParser:
         "figure1", parents=[common], help="DAC on the paper's Figure 1 adversary"
     )
     p_fig.set_defaults(fn=_cmd_figure1)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="DAC grid sweep, optionally fanned out over worker processes",
+    )
+    p_sweep.add_argument("--n", type=int, nargs="+", default=[5, 9])
+    p_sweep.add_argument("--window", type=int, nargs="+", default=[1])
+    p_sweep.add_argument("--repeats", type=int, default=3)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (0 = one per CPU); "
+        "records are identical for every worker count",
+    )
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     return parser
 

@@ -95,14 +95,17 @@ def rounds_upper_bound(window: int, end_phase: int) -> int:
     return window * end_phase
 
 
-def measured_phases_to_epsilon(range_series: list[float], epsilon: float) -> int | None:
+def measured_phases_to_epsilon(
+    range_series: list[float | None], epsilon: float
+) -> int | None:
     """First phase whose recorded range is within ``epsilon``.
 
     Utility for experiments comparing the analytic ``p_end`` against
     what an execution actually needed; ``None`` when the series never
-    got there.
+    got there. Delegates to :func:`repro.analysis.convergence.phases_until`
+    (one implementation of the search, including the skip over empty
+    ``None`` phases of an aligned series).
     """
-    for phase, spread in enumerate(range_series):
-        if spread <= epsilon:
-            return phase
-    return None
+    from repro.analysis.convergence import phases_until
+
+    return phases_until(range_series, epsilon)

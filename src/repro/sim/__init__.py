@@ -16,10 +16,16 @@ Anonymity is structural: algorithm code receives ``(port, message)``
 pairs and has no channel through which a global ID could leak.
 """
 
-from repro.sim.engine import Engine, EngineView, RoundRecord
+from repro.sim.engine import Engine, EngineView, RoundRecord, RunResult
 from repro.sim.messages import StateMessage, message_bits
 from repro.sim.metrics import MetricsCollector, PhaseRangeSeries
 from repro.sim.node import ConsensusProcess, Delivery
+from repro.sim.parallel import (
+    TrialSpec,
+    resolve_workers,
+    run_trials,
+    set_default_workers,
+)
 from repro.sim.persistence import load_trace, replay_adversary, save_trace
 from repro.sim.rng import child_rng, derive_seed
 from repro.sim.runner import ExecutionReport, run_consensus
@@ -29,6 +35,11 @@ __all__ = [
     "Engine",
     "EngineView",
     "RoundRecord",
+    "RunResult",
+    "TrialSpec",
+    "run_trials",
+    "resolve_workers",
+    "set_default_workers",
     "StateMessage",
     "message_bits",
     "MetricsCollector",

@@ -47,6 +47,38 @@ class RoundRecord:
     bits: int
 
 
+class RunResult(int):
+    """Round count returned by :meth:`Engine.run`, with early-stop info.
+
+    Behaves exactly like the plain ``int`` number of rounds executed
+    (so arithmetic and comparisons keep working), and carries
+    ``stopped``: whether ``stop_when`` held when the run ended --
+    either because it fired before a round, or via the documented
+    final check after the last round.
+    """
+
+    stopped: bool
+
+    def __new__(cls, rounds: int, stopped: bool) -> "RunResult":
+        result = super().__new__(cls, rounds)
+        result.stopped = stopped
+        return result
+
+    @property
+    def rounds(self) -> int:
+        """The number of rounds executed (the integer value itself)."""
+        return int(self)
+
+    def __getnewargs__(self) -> tuple[int, bool]:
+        # int subclasses with a multi-argument __new__ need this for
+        # pickle/copy -- and results containing a RunResult must ship
+        # between the parallel layer's worker processes.
+        return (int(self), self.stopped)
+
+    def __repr__(self) -> str:
+        return f"RunResult(rounds={int(self)}, stopped={self.stopped})"
+
+
 class EngineView:
     """The omniscient per-round view handed to adversaries and Byzantine
     strategies.
@@ -189,6 +221,16 @@ class Engine:
         self.trace: ExecutionTrace | None = ExecutionTrace(self.n) if record_trace else None
         self.observers: list[Callable[["Engine", RoundSnapshot], None]] = []
         self._t = 0
+        # Inbox lists are allocated once and cleared per round; rebuilding
+        # the node -> list mapping every round dominated small-n rounds.
+        self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n)]
+        # Per-receiver port rows (P_node(sender) for every sender),
+        # precomputed so the delivery loop indexes a list instead of
+        # making an O(n^2)-per-round stream of port_of calls.
+        self._port_rows: dict[int, list[int]] = {
+            node: [ports.port_of(node, sender) for sender in range(self.n)]
+            for node in self.processes
+        }
 
     @property
     def current_round(self) -> int:
@@ -201,15 +243,32 @@ class Engine:
 
     # ------------------------------------------------------------------
 
-    def _collect_broadcasts(self, t: int) -> dict[int, Any]:
-        """Messages from non-Byzantine nodes still transmitting at ``t``."""
+    def _collect_broadcasts(
+        self, t: int
+    ) -> tuple[dict[int, Any], dict[int, tuple[Any, frozenset[int] | None, int]]]:
+        """Messages from non-Byzantine nodes still transmitting at ``t``.
+
+        Returns the plain ``node -> message`` mapping (what the
+        adversary's view shows) plus per-sender routing metadata --
+        ``node -> (message, receiver whitelist or None, message bits)``
+        -- computed once per round so the O(n^2) edge loop does no
+        per-edge fault-plan or size accounting calls.
+        """
         broadcasts: dict[int, Any] = {}
+        meta: dict[int, tuple[Any, frozenset[int] | None, int]] = {}
+        fault_plan = self.fault_plan
         for node, proc in self.processes.items():
-            targets = self.fault_plan.send_targets(node, t)
+            targets = fault_plan.send_targets(node, t)
             if targets is not None and not targets:
                 continue  # crashed: silent
-            broadcasts[node] = proc.broadcast()
-        return broadcasts
+            message = proc.broadcast()
+            broadcasts[node] = message
+            # A None broadcast is a deliberately silent round: the view
+            # still shows the node as broadcasting None, but nothing is
+            # routed (and self-delivery skips it too).
+            if message is not None:
+                meta[node] = (message, targets, message_bits(message))
+        return broadcasts, meta
 
     def _byzantine_messages(
         self, t: int, view: EngineView
@@ -226,9 +285,17 @@ class Engine:
         return outgoing
 
     def run_round(self) -> RoundRecord:
-        """Execute one synchronous round and return its record."""
+        """Execute one synchronous round and return its record.
+
+        When no trace is being recorded and no observers are registered
+        the engine takes a *fast path*: per-round state snapshots are
+        never materialized (they existed only to feed those consumers),
+        which removes the O(n) snapshot cost from every round. The
+        node transitions themselves are identical on both paths.
+        """
         t = self._t
-        broadcasts = self._collect_broadcasts(t)
+        fault_plan = self.fault_plan
+        broadcasts, send_meta = self._collect_broadcasts(t)
         view = EngineView(self, t, broadcasts)
         byz_out = self._byzantine_messages(t, view)
 
@@ -236,58 +303,82 @@ class Engine:
         if graph.n != self.n:
             raise ValueError(f"adversary chose a graph with n={graph.n}, expected {self.n}")
 
-        # Route messages along the chosen links.
-        inboxes: dict[int, list[tuple[int, Any]]] = {v: [] for v in range(self.n)}
+        # Route messages along the chosen links, sender-major so each
+        # sender's metadata is resolved once, not once per edge. Inbox
+        # lists are preallocated in __init__ and reused across rounds;
+        # the (sender, message) pair is immutable and safely shared by
+        # every receiver's inbox. Inbox *order* is free to differ from
+        # edge-set order: delivery batches are sorted by port and
+        # Byzantine observations by sender, both total orders.
+        inboxes = self._inboxes
+        for box in inboxes:
+            box.clear()
         delivered = 0
         bits = 0
-        for u, v in graph.edges:
-            if self.fault_plan.is_byzantine(u):
-                message = self._byzantine_message_for(byz_out[u], v)
-            else:
-                message = broadcasts.get(u)
-                if message is not None:
-                    targets = self.fault_plan.send_targets(u, t)
-                    if targets is not None and v not in targets:
-                        message = None  # partial crash: this receiver missed out
-            if message is None:
-                continue
-            inboxes[v].append((u, message))
-            delivered += 1
-            bits += message_bits(message)
+        for u, (message, targets, message_size) in send_meta.items():
+            receivers = graph.out_neighbors(u)
+            pair = (u, message)
+            count = 0
+            for v in receivers:
+                if targets is not None and v not in targets:
+                    continue  # partial crash: this receiver missed out
+                inboxes[v].append(pair)
+                count += 1
+            delivered += count
+            bits += message_size * count
+        for u, outgoing in byz_out.items():
+            for v in graph.out_neighbors(u):
+                message = self._byzantine_message_for(outgoing, v)
+                if message is None:
+                    continue
+                inboxes[v].append((u, message))
+                delivered += 1
+                bits += message_bits(message)
 
         # Deliver to non-Byzantine nodes that still process, adding the
-        # reliable self-delivery.
+        # reliable self-delivery. Ports are a bijection per receiver,
+        # so sorting the (port, message) tuples never compares messages
+        # and needs no key function. Delivery instances are built via
+        # tuple.__new__, skipping the namedtuple constructor wrapper in
+        # this O(n^2)-per-round loop.
+        new_delivery = tuple.__new__
+        port_rows = self._port_rows
         for node, proc in self.processes.items():
-            if not self.fault_plan.processes_at(node, t):
+            if not fault_plan.processes_at(node, t):
                 continue
-            pairs = list(inboxes[node])
+            row = port_rows[node]
+            batch = [
+                new_delivery(Delivery, (row[sender], message))
+                for sender, message in inboxes[node]
+            ]
             own = broadcasts.get(node)
             if own is not None:
-                pairs.append((node, own))
-            batch = [
-                Delivery(self.ports.port_of(node, sender), message)
-                for sender, message in pairs
-            ]
-            batch.sort(key=lambda d: d.port)
+                batch.append(Delivery(row[node], own))
+            batch.sort()
             proc.deliver(batch)
 
         # Byzantine strategies observe their inbox with true sender IDs.
-        for node, strategy in self.fault_plan.byzantine.items():
+        for node, strategy in fault_plan.byzantine.items():
             strategy.observe(t, sorted(inboxes[node], key=lambda pair: pair[0]))
 
-        snapshot = RoundSnapshot(
-            round=t,
-            graph=graph,
-            states=self.state_snapshots(),
-            delivered=delivered,
-            bits=bits,
-            live_senders=self.fault_plan.live_senders(t),
-        )
-        if self.trace is not None:
-            self.trace.record(snapshot)
+        # Snapshots exist solely for the trace and observers; skip them
+        # entirely (fast path) when neither is attached.
+        snapshot = None
+        if self.trace is not None or self.observers:
+            snapshot = RoundSnapshot(
+                round=t,
+                graph=graph,
+                states=self.state_snapshots(),
+                delivered=delivered,
+                bits=bits,
+                live_senders=fault_plan.live_senders(t),
+            )
+            if self.trace is not None:
+                self.trace.record(snapshot)
         self.metrics.on_round(delivered, bits, broadcasts=len(broadcasts) + len(byz_out))
-        for observer in self.observers:
-            observer(self, snapshot)
+        if snapshot is not None:
+            for observer in self.observers:
+                observer(self, snapshot)
 
         self._t += 1
         return RoundRecord(t, graph, delivered, bits)
@@ -296,22 +387,32 @@ class Engine:
         self,
         max_rounds: int,
         stop_when: Callable[["Engine"], bool] | None = None,
-    ) -> int:
+    ) -> RunResult:
         """Run rounds until ``stop_when`` fires or ``max_rounds`` elapse.
 
-        Returns the number of rounds actually executed. ``stop_when``
-        is evaluated *before* each round (so a vacuously-true condition
-        runs zero rounds) and checked again after the final round.
+        Returns a :class:`RunResult`: an ``int`` equal to the number of
+        rounds actually executed, whose ``stopped`` attribute records
+        whether ``stop_when`` held when the run ended. ``stop_when`` is
+        evaluated *before* each round (so a vacuously-true condition
+        runs zero rounds) and checked again after the final round --
+        callers need no manual re-check to learn whether the cap or the
+        condition ended the run.
         """
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
         executed = 0
+        stopped = False
         while executed < max_rounds:
             if stop_when is not None and stop_when(self):
+                stopped = True
                 break
             self.run_round()
             executed += 1
-        return executed
+        else:
+            # The documented final check: the last round (or the state
+            # handed in when max_rounds == 0) may already satisfy it.
+            stopped = stop_when(self) if stop_when is not None else False
+        return RunResult(executed, stopped)
 
     # -- Convenience stop conditions -----------------------------------
 

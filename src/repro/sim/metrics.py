@@ -95,6 +95,17 @@ class PhaseRangeSeries:
                     self._values_by_phase.setdefault(p, []).append(value)
             self._last_phase[node] = phase
 
+    def record(self, phase: int, value: float) -> None:
+        """Append ``value`` directly to ``V(phase)``.
+
+        Seam for replaying externally recorded series (loaded traces,
+        hand-built scenarios). Unlike :meth:`observe_states`, direct
+        recording does not apply Definition 6's jump-filling, so the
+        resulting series may contain empty middle phases --
+        :meth:`range_series` keeps those aligned as ``None`` entries.
+        """
+        self._values_by_phase.setdefault(int(phase), []).append(float(value))
+
     def multiset(self, phase: int) -> list[float]:
         """The recorded ``V(phase)`` in chronological order."""
         return list(self._values_by_phase.get(phase, []))
@@ -110,30 +121,36 @@ class PhaseRangeSeries:
             return None
         return max(values) - min(values)
 
-    def range_series(self) -> list[float]:
-        """``range(V(p))`` for ``p = 0 .. max complete phase``.
+    def range_series(self) -> list[float | None]:
+        """``range(V(p))`` for every ``p = 0 .. max_phase()``, aligned.
 
-        Stops at the last phase every watched-and-recorded node reached
-        is not required -- ranges of partially-filled phases are still
-        meaningful upper-bound witnesses, so all non-empty phases are
-        included.
+        Index ``p`` of the returned list is always phase ``p``; a phase
+        with no recorded states yields ``None`` instead of being
+        dropped, so consumers pairing adjacent entries (convergence
+        rates, decay fits) never silently pair non-adjacent phases.
+        Engine-driven series have no empty middle phases (Definition 6
+        fills jumped-over phases with the landing value), but series
+        fed via :meth:`record` may. Partially-filled phases are still
+        included -- their ranges remain meaningful upper-bound
+        witnesses.
         """
-        return [
-            self.range_of(p) or 0.0
-            for p in range(self.max_phase() + 1)
-            if self._values_by_phase.get(p)
-        ]
+        if not self._values_by_phase:
+            return []
+        return [self.range_of(p) for p in range(self.max_phase() + 1)]
 
     def convergence_rates(self) -> list[float]:
         """Measured per-phase rates ``range(V(p+1)) / range(V(p))``.
 
-        Phases whose predecessor range is (numerically) zero are
-        skipped: once collapsed, the ratio is undefined and agreement
-        already holds.
+        Pairs involving an empty phase (``None`` in the aligned
+        :meth:`range_series`) are undefined and skipped explicitly, as
+        are phases whose predecessor range is (numerically) zero: once
+        collapsed, the ratio is undefined and agreement already holds.
         """
         series = self.range_series()
         rates = []
         for before, after in zip(series, series[1:]):
+            if before is None or after is None:
+                continue  # undefined pair: one side has no recorded states
             if before > 1e-15:
                 rates.append(after / before)
         return rates

@@ -1,0 +1,121 @@
+"""Parallel trial execution: fan independent simulations over processes.
+
+Sweeps and repeated scenario runs are embarrassingly parallel: every
+trial is a pure function of its parameter assignment and seed (the
+engine is deterministic by construction, see :mod:`repro.sim.engine`).
+This module is the single place that turns a list of such trials into
+results using a :class:`concurrent.futures.ProcessPoolExecutor`, with
+two guarantees that make ``workers=N`` a pure speed knob:
+
+- **deterministic seeding** -- every trial's seed lives in its
+  :class:`TrialSpec`, fixed *before* any work is dispatched, so the
+  schedule (which worker runs what, and when) cannot influence it;
+- **order-stable collection** -- results come back in spec order
+  regardless of completion order, so records built from them are
+  identical to a serial run's, element for element.
+
+Trial functions must be picklable (module-level functions, not lambdas
+or closures) when ``workers > 1``; the serial path has no such
+restriction, which keeps ad-hoc lambdas working for ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+# Process-wide default consulted when ``workers=None`` is requested.
+# CLI entry points set this from their ``--workers`` flag so library
+# code (e.g. experiments built on repro.bench.sweep.Sweep) picks the
+# value up without threading it through every call site.
+_default_workers = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the process-wide worker default (``0`` means all CPUs)."""
+    global _default_workers
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> int:
+    """The current process-wide worker default."""
+    return _default_workers
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` request to a concrete positive count.
+
+    ``None`` means "use the process-wide default" (see
+    :func:`set_default_workers`); ``0`` means "one per CPU".
+    """
+    if workers is None:
+        workers = _default_workers
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One schedulable unit: keyword parameters plus the trial's seed."""
+
+    params: tuple[tuple[str, Any], ...]
+    seed: int
+
+    def kwargs(self) -> dict[str, Any]:
+        """The parameter assignment as keyword arguments."""
+        return dict(self.params)
+
+
+def _invoke(payload: tuple[Callable[..., Any], TrialSpec]) -> Any:
+    """Worker-side entry point: run one trial (must be module-level)."""
+    fn, spec = payload
+    return fn(**spec.kwargs(), seed=spec.seed)
+
+
+def run_trials(
+    fn: Callable[..., Any],
+    specs: Sequence[TrialSpec],
+    workers: int | None = 1,
+) -> list[Any]:
+    """Run ``fn(**spec.params, seed=spec.seed)`` for every spec, in order.
+
+    With one resolved worker (or at most one spec) this runs serially
+    in-process -- no pool, no pickling requirement. Otherwise trials
+    fan out over a process pool; results return in the order of
+    ``specs`` (never completion order), and each trial's seed is taken
+    from its spec, so for deterministic ``fn`` the output is identical
+    to the serial path's.
+    """
+    count = resolve_workers(workers)
+    specs = list(specs)
+    if count <= 1 or len(specs) <= 1:
+        return [fn(**spec.kwargs(), seed=spec.seed) for spec in specs]
+    payloads = [(fn, spec) for spec in specs]
+    # Check shippability of *every* payload up front (an unpicklable
+    # parameter may appear in any spec, not just the first), so a
+    # pickling failure is diagnosed as such -- and so exceptions raised
+    # *by* fn inside workers propagate untouched instead of being
+    # mislabelled.
+    try:
+        pickle.dumps(payloads)
+    except Exception as exc:
+        raise ValueError(
+            f"workers={count} requires a picklable trial function and "
+            f"parameters, but {fn!r} (or a spec's parameters) could not "
+            "be shipped to worker processes; use a module-level function "
+            "and picklable parameter values, or run with workers=1"
+        ) from exc
+    max_workers = min(count, len(specs))
+    # Chunking amortizes IPC for large grids without hurting balance.
+    chunksize = max(1, len(specs) // (max_workers * 4))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_invoke, payloads, chunksize=chunksize))

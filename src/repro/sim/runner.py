@@ -51,7 +51,7 @@ class ExecutionReport:
     output_spread: float
     epsilon_agreement: bool
     validity: bool
-    phase_ranges: list[float] = field(default_factory=list)
+    phase_ranges: list[float | None] = field(default_factory=list)
     convergence_rates: list[float] = field(default_factory=list)
     max_phase: int = 0
     dynadegree_promise: tuple[int, int] | None = None
@@ -118,6 +118,7 @@ def run_consensus(
     seed: int = 0,
     record_trace: bool = True,
     verify_promise: bool = True,
+    track_phases: bool = True,
 ) -> ExecutionReport:
     """Run one consensus execution end to end and judge it.
 
@@ -134,6 +135,13 @@ def run_consensus(
     max_rounds:
         Hard cap; an execution hitting the cap without stopping is
         reported as non-terminating (``terminated=False``).
+    track_phases:
+        Set ``False`` to skip the per-phase ``V(p)`` bookkeeping (the
+        report's ``phase_ranges``/``convergence_rates`` come back
+        empty). Combined with ``record_trace=False`` this leaves the
+        engine with no snapshot consumers at all, enabling its fast
+        path -- the right configuration for large sweeps that only
+        read verdicts and round counts.
     """
     if stop_mode not in ("output", "oracle"):
         raise ValueError(f"unknown stop_mode {stop_mode!r}")
@@ -149,16 +157,16 @@ def run_consensus(
     )
 
     series = PhaseRangeSeries(_watched_nodes(plan))
-    series.observe_states(engine.state_snapshots())
-    engine.observers.append(lambda _eng, snap: series.observe_states(snap.states))
+    if track_phases:
+        series.observe_states(engine.state_snapshots())
+        engine.observers.append(lambda _eng, snap: series.observe_states(snap.states))
 
     if stop_mode == "output":
         stop = Engine.all_fault_free_output
     else:
         stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
 
-    engine.run(max_rounds, stop_when=stop)
-    terminated = stop(engine)
+    terminated = engine.run(max_rounds, stop_when=stop).stopped
 
     inputs = {node: proc.input_value for node, proc in processes.items()}
     if stop_mode == "output":

@@ -352,3 +352,41 @@ def theorem9_part2_execution(
         "max_rounds": max_rounds,
         "seed": seed,
     }
+
+
+def run_dac_trial(
+    n: int,
+    f: int | None = None,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "rotate",
+    seed: int = 0,
+    fast: bool = True,
+) -> dict[str, Any]:
+    """One boundary DAC execution reduced to a small, picklable summary.
+
+    The module-level trial function for parallel sweeps
+    (:mod:`repro.sim.parallel` requires picklable callables): builds
+    the standard ``n >= 2f + 1`` execution, runs it -- untraced and
+    without phase bookkeeping by default, so the engine takes its fast
+    path -- and returns plain scalars that ship cheaply between
+    processes. ``f`` defaults to the boundary ``(n - 1) // 2``.
+    """
+    from repro.sim.runner import run_consensus  # local import: runner is heavy
+
+    if f is None:
+        f = (n - 1) // 2
+    report = run_consensus(
+        **build_dac_execution(
+            n=n, f=f, epsilon=epsilon, seed=seed, window=window, selector=selector
+        ),
+        record_trace=not fast,
+        verify_promise=not fast,
+        track_phases=not fast,
+    )
+    return {
+        "rounds": report.rounds,
+        "spread": report.output_spread,
+        "terminated": report.terminated,
+        "correct": report.correct,
+    }

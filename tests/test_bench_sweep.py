@@ -40,6 +40,21 @@ class TestSweep:
         with pytest.raises(KeyError):
             record.param("zap")
 
+    def test_param_error_names_record_and_available_keys(self):
+        record = SweepRecord((("n", 5), ("window", 3)), seed=7, result=42)
+        with pytest.raises(KeyError, match=r"'n', 'window'") as excinfo:
+            record.param("zap")
+        message = str(excinfo.value)
+        assert "seed=7" in message and "'zap'" in message
+
+    def test_run_with_workers_matches_serial(self):
+        grid = {"n": [5, 9], "window": [1, 3]}
+        serial = Sweep(grid=grid, repeats=2)
+        parallel = Sweep(grid=grid, repeats=2)
+        serial.run(fake_runner, workers=1)
+        parallel.run(fake_runner, workers=2)
+        assert serial.records == parallel.records
+
 
 class TestAggregation:
     def make_sweep(self):
@@ -68,6 +83,30 @@ class TestAggregation:
         assert table.headers[:2] == ["n", "window"]
         assert len(table.rows) == 4
         assert table.passed
+
+    def test_heterogeneous_records_grouping_raises_clearly(self):
+        # Regression: two run() calls over differing grids used to make
+        # group_by/summarize_by die with an opaque KeyError deep inside
+        # record.param; the guard now names the offending parameter and
+        # explains the heterogeneity.
+        sweep = Sweep(grid={"n": [5]}, repeats=1)
+        sweep.run(lambda n, seed: n)
+        sweep.grid = {"window": [1, 2]}
+        sweep.run(lambda window, seed: window)
+        with pytest.raises(ValueError, match="heterogeneous") as excinfo:
+            sweep.group_by("n")
+        assert "'n'" in str(excinfo.value)
+        with pytest.raises(ValueError, match="heterogeneous"):
+            sweep.summarize_by("window")
+
+    def test_heterogeneous_records_group_by_common_param(self):
+        # Grouping by a parameter present in every record still works.
+        sweep = Sweep(grid={"n": [5], "window": [1]}, repeats=1)
+        sweep.run(fake_runner)
+        sweep.grid = {"n": [9], "window": [2]}
+        sweep.run(fake_runner)
+        groups = sweep.group_by("n")
+        assert set(groups) == {(5,), (9,)}
 
     def test_custom_value_projection(self):
         sweep = Sweep(grid={"n": [5]}, repeats=2)

@@ -60,6 +60,43 @@ class TestScenarioCli:
         assert rc == 0
         assert "f=3" in capsys.readouterr().out
 
+    def test_sweep_runs_grid(self, capsys):
+        rc = scenario_main(
+            ["sweep", "--n", "5", "7", "--window", "1", "--repeats", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 trials" in out
+        assert "DAC rounds to output" in out
+
+    def test_sweep_with_workers(self, capsys):
+        rc = scenario_main(
+            ["sweep", "--n", "5", "--repeats", "2", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workers=2" in out
+
+    def test_sweep_honors_epsilon(self, capsys):
+        # A looser tolerance terminates in fewer phases -> fewer rounds.
+        scenario_main(["sweep", "--n", "9", "--repeats", "1", "--epsilon", "0.2"])
+        loose = capsys.readouterr().out
+        scenario_main(["sweep", "--n", "9", "--repeats", "1", "--epsilon", "1e-6"])
+        tight = capsys.readouterr().out
+        assert "eps=0.2" in loose and "eps=1e-06" in tight
+        assert loose != tight
+
+    def test_sweep_rejects_save_trace(self, capsys):
+        rc = scenario_main(["sweep", "--n", "5", "--save-trace", "x.json"])
+        assert rc == 2
+        assert "not supported" in capsys.readouterr().out
+
+    def test_sweep_verbose_prints_records(self, capsys):
+        rc = scenario_main(["sweep", "--n", "5", "--repeats", "1", "-v"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "seed=0" in out and "'rounds'" in out
+
 
 class TestBenchCli:
     def test_list(self, capsys):
@@ -78,3 +115,13 @@ class TestBenchCli:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError, match="unknown experiment"):
             bench_main(["-e", "Z9"])
+
+    def test_workers_flag_sets_sweep_default(self, capsys):
+        from repro.sim.parallel import get_default_workers, set_default_workers
+
+        try:
+            rc = bench_main(["--list", "--workers", "2"])
+            assert rc == 0
+            assert get_default_workers() == 2
+        finally:
+            set_default_workers(1)

@@ -71,6 +71,30 @@ class TestDelivery:
         # Node 1 hears only itself.
         assert [d.port for d in procs[1].inbox_log[0]] == [1]
 
+    def test_none_broadcast_is_a_silent_round(self):
+        # Regression: a process returning None from broadcast() sends
+        # nothing -- no (sender, None) deliveries, no self-delivery,
+        # no bits charged -- matching the self-delivery convention.
+        class MuteProcess(RecorderProcess):
+            def broadcast(self):
+                return None
+
+        ports = identity_ports(3)
+        procs = {
+            0: MuteProcess(3, 0, 0.0, 0),
+            1: RecorderProcess(3, 0, 1.0, 1),
+            2: RecorderProcess(3, 0, 2.0, 2),
+        }
+        engine = Engine(procs, StaticAdversary(), ports)
+        record = engine.run_round()
+        # Only nodes 1 and 2 put a message on the wire (to 2 receivers
+        # each on the complete graph).
+        assert record.delivered == 4
+        for receiver in range(3):
+            batch = procs[receiver].inbox_log[0]
+            assert all(d.message is not None for d in batch)
+            assert 0 not in [d.port for d in batch]  # identity ports
+
     def test_self_delivery_is_reliable(self):
         # Even with an empty graph, everyone hears themselves.
         sched = EdgeSchedule.from_table(3, [[]])
@@ -222,6 +246,38 @@ class TestRunLoop:
         executed = engine.run(10, stop_when=lambda e: e.current_round >= 3)
         assert executed == 3
 
+    def test_run_result_reports_early_stop(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        result = engine.run(10, stop_when=lambda e: e.current_round >= 3)
+        assert result == 3 and result.rounds == 3
+        assert result.stopped
+
+    def test_stop_checked_after_final_round(self):
+        # Regression: the docstring always promised a final check, but
+        # the loop used to end at max_rounds without one -- callers had
+        # to re-evaluate stop_when manually to learn the run succeeded.
+        engine, _ = make_engine(3, StaticAdversary())
+        result = engine.run(3, stop_when=lambda e: e.current_round >= 3)
+        assert result == 3
+        assert result.stopped  # the *final* round satisfied the condition
+
+    def test_cap_without_stop_is_not_stopped(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        result = engine.run(2, stop_when=lambda e: e.current_round >= 99)
+        assert result == 2
+        assert not result.stopped
+
+    def test_no_stop_condition_never_stopped(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        result = engine.run(4)
+        assert result == 4
+        assert not result.stopped
+
+    def test_zero_rounds_still_checks_condition(self):
+        engine, _ = make_engine(3, StaticAdversary())
+        assert engine.run(0, stop_when=lambda e: True).stopped
+        assert not engine.run(0, stop_when=lambda e: False).stopped
+
     def test_negative_max_rounds_rejected(self):
         engine, _ = make_engine(3, StaticAdversary())
         with pytest.raises(ValueError, match="non-negative"):
@@ -241,6 +297,22 @@ class TestRunLoop:
         engine.run(3)
         assert engine.trace is None
         assert engine.metrics.rounds == 3
+
+    def test_fast_path_skips_snapshots_but_not_observers(self):
+        # With a trace disabled the engine only materializes snapshots
+        # when observers are registered -- and those observers still see
+        # every round.
+        ports = identity_ports(3)
+        procs = {v: RecorderProcess(3, 0, 0.0, v) for v in range(3)}
+        engine = Engine(procs, StaticAdversary(), ports, record_trace=False)
+        seen = []
+        engine.observers.append(lambda eng, snap: seen.append(snap.round))
+        engine.run(2)
+        assert seen == [0, 1]
+        engine.observers.clear()
+        engine.run(2)  # now truly snapshot-free
+        assert seen == [0, 1]
+        assert engine.metrics.rounds == 4
 
     def test_observers_called_per_round(self):
         engine, _ = make_engine(3, StaticAdversary())

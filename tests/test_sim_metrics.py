@@ -1,5 +1,7 @@
 """Unit tests for repro.sim.metrics: counters and the V(p) series."""
 
+import pytest
+
 from repro.sim.metrics import MetricsCollector, PhaseRangeSeries
 
 
@@ -77,6 +79,49 @@ class TestPhaseRangeSeries:
         series.observe_states(states({0: (0.5, 0), 1: (0.5, 0)}))
         series.observe_states(states({0: (0.5, 1), 1: (0.5, 1)}))
         assert series.convergence_rates() == []
+
+    def test_empty_series_has_empty_range_series(self):
+        assert PhaseRangeSeries([0]).range_series() == []
+
+    def test_record_feeds_phases_directly(self):
+        series = PhaseRangeSeries([0])
+        series.record(0, 0.25)
+        series.record(0, 0.75)
+        assert series.multiset(0) == [0.25, 0.75]
+        assert series.range_of(0) == 0.5
+
+    def test_empty_middle_phase_stays_aligned(self):
+        # Regression: a jump over a phase nobody recorded used to be
+        # silently dropped from range_series, so index p no longer
+        # meant phase p and convergence_rates paired phases 0 and 2.
+        series = PhaseRangeSeries([0, 1])
+        series.record(0, 0.0)
+        series.record(0, 1.0)
+        series.record(2, 0.4)  # phase 1 recorded by nobody
+        series.record(2, 0.6)
+        assert series.range_series() == [1.0, None, pytest.approx(0.2)]
+
+    def test_rates_skip_pairs_with_empty_phase(self):
+        # Neither (0, 1) nor (1, 2) is a defined pair across the empty
+        # phase 1; pairing 0 with 2 (the old behavior) reported a fake
+        # two-phase contraction as a single-phase rate.
+        series = PhaseRangeSeries([0, 1])
+        series.record(0, 0.0)
+        series.record(0, 1.0)
+        series.record(2, 0.4)
+        series.record(2, 0.6)
+        assert series.convergence_rates() == []
+
+    def test_rates_resume_after_empty_phase(self):
+        series = PhaseRangeSeries([0, 1])
+        for value in (0.0, 1.0):
+            series.record(0, value)
+        for value in (0.2, 0.7):
+            series.record(2, value)
+        for value in (0.3, 0.55):
+            series.record(3, value)
+        # Only the adjacent defined pair (2, 3) yields a rate.
+        assert series.convergence_rates() == [pytest.approx(0.5)]
 
     def test_interval_of(self):
         series = PhaseRangeSeries([0, 1])
