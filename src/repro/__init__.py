@@ -78,9 +78,13 @@ from repro.net import (
     random_ports,
 )
 from repro.sim import (
+    BatchEngine,
     ConsensusProcess,
+    LaneResult,
     load_trace,
+    numpy_available,
     replay_adversary,
+    run_dac_batch,
     save_trace,
     Delivery,
     Engine,
@@ -154,6 +158,10 @@ __all__ = [
     "TwoFacedByzantine",
     # Simulation
     "Engine",
+    "BatchEngine",
+    "LaneResult",
+    "run_dac_batch",
+    "numpy_available",
     "ConsensusProcess",
     "Delivery",
     "StateMessage",

@@ -27,6 +27,7 @@ transmit: live (non-crashed) nodes and Byzantine nodes.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
@@ -37,9 +38,54 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _SELECTORS = ("rotate", "nearest", "random")
 
+# Rotate orderings depend only on (n, live set, salt mod n): bound the
+# memo so pathological crash schedules cannot grow it without limit.
+_ROTATE_CACHE_MAX = 4096
+
+
+def rotate_picks(
+    n: int, live: tuple[int, ...], salt: int, degree: int
+) -> list[list[int]]:
+    """The ``rotate`` selection for every receiver of one round.
+
+    Receiver ``v`` takes the first ``degree`` live senders in cyclic
+    node order starting at ``(v + 1 + salt) % n`` -- exactly the order
+    ``sorted(live, key=lambda u: (u - v - 1 - salt) % n)`` the selector
+    is specified by, computed as a cyclic walk instead of a
+    per-receiver keyed sort. Shared with :mod:`repro.sim.batch`, whose
+    vectorized engine must replicate serial adversary choices bit for
+    bit.
+    """
+    live_sorted = sorted(set(live))
+    doubled = live_sorted + live_sorted
+    count = len(live_sorted)
+    picks: list[list[int]] = []
+    for v in range(n):
+        start = bisect_left(live_sorted, (v + 1 + salt) % n)
+        chosen: list[int] = []
+        for u in doubled[start : start + count]:
+            if u == v:
+                continue
+            chosen.append(u)
+            if len(chosen) == degree:
+                break
+        picks.append(chosen)
+    return picks
+
 
 class _QuorumSelector:
-    """Shared sender-selection logic for the constrained adversaries."""
+    """Shared sender-selection logic for the constrained adversaries.
+
+    Selection happens once per round for all receivers at once
+    (:meth:`picks_for_round`): the live-sender set, fault roles and
+    node values are round constants, so resolving them per receiver --
+    as the original per-receiver ``pick`` did -- made the adversary,
+    not the routing loop, the post-fast-path bottleneck. The static
+    ``rotate`` orderings are additionally memoized per
+    ``(n, live set, salt mod n)``; only the round-dependent parts
+    (values for ``nearest``, the RNG stream for ``random``) are
+    recomputed each round.
+    """
 
     def __init__(self, degree: int, selector: str) -> None:
         if degree < 1:
@@ -48,38 +94,108 @@ class _QuorumSelector:
             raise ValueError(f"selector must be one of {_SELECTORS}, got {selector!r}")
         self.degree = degree
         self.selector = selector
+        self._rotate_cache: dict[tuple, list[list[int]]] = {}
 
-    def pick(
+    def picks_for_round(
         self,
-        receiver: int,
         salt: int,
         view: "EngineView",
         adversary: MessageAdversary,
-    ) -> list[int]:
-        """Exactly ``D`` transmitting senders for ``receiver`` (fewer only
-        when the execution does not have that many transmitters)."""
-        live = [u for u in sorted(view.live_senders()) if u != receiver]
+    ) -> list[list[int]]:
+        """Exactly ``D`` transmitting senders for every receiver (fewer
+        only when the execution does not have that many transmitters).
+
+        Returns a list indexed by receiver. Identical, receiver for
+        receiver, to what the historical per-receiver ``pick`` chose
+        (asserted by the adversary regression tests)."""
+        live_sorted = sorted(view.live_senders())
+        n = view.n
         if self.selector == "rotate":
-            live.sort(key=lambda u: (u - receiver - 1 - salt) % view.n)
-        elif self.selector == "random":
-            adversary.rng.shuffle(live)
-        else:  # nearest: Byzantine first, then closest values
+            return self._rotate_for(n, tuple(live_sorted), salt)
+        if self.selector == "random":
+            picks = []
+            for receiver in range(n):
+                live = [u for u in live_sorted if u != receiver]
+                adversary.rng.shuffle(live)
+                picks.append(live[: self.degree])
+            return picks
+        # nearest: Byzantine first, then closest values. Fault roles
+        # and values are round constants -- resolve them once, not once
+        # per (receiver, candidate) comparison.
+        plan = view.fault_plan
+        byzantine = frozenset(u for u in live_sorted if plan.is_byzantine(u))
+        values = {u: view.value(u) for u in live_sorted if u not in byzantine}
+        picks = []
+        for receiver in range(n):
             my_value = view.value(receiver)
-            plan = view.fault_plan
 
             def hostility(u: int) -> tuple[int, float]:
-                if plan.is_byzantine(u):
+                if u in byzantine:
                     return (0, 0.0)
-                value = view.value(u)
+                value = values[u]
                 if my_value is None or value is None:
                     return (1, 0.0)
                 return (1, abs(value - my_value))
 
+            live = [u for u in live_sorted if u != receiver]
             live.sort(key=hostility)
-        return live[: self.degree]
+            picks.append(live[: self.degree])
+        return picks
+
+    def _rotate_for(
+        self, n: int, live: tuple[int, ...], salt: int
+    ) -> list[list[int]]:
+        key = (n, live, salt % n)
+        cached = self._rotate_cache.get(key)
+        if cached is None:
+            if len(self._rotate_cache) >= _ROTATE_CACHE_MAX:
+                self._rotate_cache.clear()
+            cached = rotate_picks(n, live, salt, self.degree)
+            self._rotate_cache[key] = cached
+        return cached
+
+    def edges_for_round(
+        self,
+        salt: int,
+        view: "EngineView",
+        adversary: MessageAdversary,
+    ) -> list[Edge]:
+        """This round's chosen ``(sender, receiver)`` link list."""
+        edges: list[Edge] = []
+        for receiver, senders in enumerate(self.picks_for_round(salt, view, adversary)):
+            for u in senders:
+                edges.append((u, receiver))
+        return edges
 
 
-class RotatingQuorumAdversary(MessageAdversary):
+class _CachedGraphMixin:
+    """Graph memo for selectors whose choices are round-structural.
+
+    ``rotate`` choices depend only on ``(live set, salt mod n)``, so the
+    chosen :class:`DirectedGraph` (immutable) can be replayed whenever
+    that key recurs -- after the crash schedule settles, every ``n``
+    rounds. Value- or RNG-dependent selectors are never cached.
+    """
+
+    _quorum: _QuorumSelector
+
+    def _on_setup(self) -> None:
+        self._graph_cache: dict[tuple, DirectedGraph] = {}
+
+    def _graph_for(self, salt: int, view: "EngineView") -> DirectedGraph:
+        if self._quorum.selector != "rotate":
+            return DirectedGraph(self.n, self._quorum.edges_for_round(salt, view, self))
+        key = (tuple(sorted(view.live_senders())), salt % self.n)
+        graph = self._graph_cache.get(key)
+        if graph is None:
+            if len(self._graph_cache) >= _ROTATE_CACHE_MAX:
+                self._graph_cache.clear()
+            graph = DirectedGraph(self.n, self._quorum.edges_for_round(salt, view, self))
+            self._graph_cache[key] = graph
+        return graph
+
+
+class RotatingQuorumAdversary(_CachedGraphMixin, MessageAdversary):
     """``(1, D)``-dynaDegree, minimal and churning every round."""
 
     def __init__(self, degree: int, selector: str = "rotate") -> None:
@@ -92,11 +208,7 @@ class RotatingQuorumAdversary(MessageAdversary):
         return self._quorum.degree
 
     def choose(self, t: int, view: "EngineView") -> DirectedGraph:
-        edges: list[Edge] = []
-        for v in range(self.n):
-            for u in self._quorum.pick(v, t, view, self):
-                edges.append((u, v))
-        return DirectedGraph(self.n, edges)
+        return self._graph_for(t, view)
 
     def promised_dynadegree(self) -> tuple[int, int]:
         return (1, self._quorum.degree)
@@ -156,7 +268,7 @@ class PhaseSkewAdversary(MessageAdversary):
         return (self.window, self.degree)
 
 
-class LastMinuteQuorumAdversary(MessageAdversary):
+class LastMinuteQuorumAdversary(_CachedGraphMixin, MessageAdversary):
     """``(T, D)``-dynaDegree delivered entirely on each window's last round."""
 
     def __init__(self, window: int, degree: int, selector: str = "rotate") -> None:
@@ -171,15 +283,14 @@ class LastMinuteQuorumAdversary(MessageAdversary):
         """The enforced per-window in-degree ``D``."""
         return self._quorum.degree
 
+    def _on_setup(self) -> None:
+        super()._on_setup()
+        self._empty = DirectedGraph.empty(self.n)
+
     def choose(self, t: int, view: "EngineView") -> DirectedGraph:
         if (t + 1) % self.window != 0:
-            return DirectedGraph.empty(self.n)
-        edges: list[Edge] = []
-        salt = t // self.window
-        for v in range(self.n):
-            for u in self._quorum.pick(v, salt, view, self):
-                edges.append((u, v))
-        return DirectedGraph(self.n, edges)
+            return self._empty
+        return self._graph_for(t // self.window, view)
 
     def promised_dynadegree(self) -> tuple[int, int]:
         return (self.window, self._quorum.degree)

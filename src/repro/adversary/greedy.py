@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
 from repro.adversary.constrained import _QuorumSelector
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.graph import DirectedGraph
 from repro.sim.node import Delivery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,11 +65,7 @@ class LookaheadQuorumAdversary(MessageAdversary):
         self.chosen_policies: list[str] = []
 
     def _candidate(self, selector: _QuorumSelector, t: int, view: "EngineView") -> DirectedGraph:
-        edges: list[Edge] = []
-        for v in range(self.n):
-            for u in selector.pick(v, t, view, self):
-                edges.append((u, v))
-        return DirectedGraph(self.n, edges)
+        return DirectedGraph(self.n, selector.edges_for_round(t, view, self))
 
     def _simulate(self, graph: DirectedGraph, t: int, view: "EngineView") -> tuple[float, int]:
         """Post-round (fault-free range, phase advances) under ``graph``.

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench.cli --full          # full grids (slower)
     python -m repro.bench.cli -e E1 -e I4     # selected experiments
     python -m repro.bench.cli --workers 4     # parallel sweep default
+    python -m repro.bench.cli --batch 8       # batched lock-step trials
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import sys
 import time
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
-from repro.sim.parallel import set_default_workers
+from repro.sim.parallel import set_default_batch, set_default_workers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,11 +56,21 @@ def main(argv: list[str] | None = None) -> int:
         help="default worker processes for sweep-based experiments "
         "(0 = one per CPU); results are identical for every worker count",
     )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="B",
+        help="default lock-step batch size for sweep-based experiments "
+        "(repro.sim.batch; composes with --workers); results are "
+        "identical for every batch size",
+    )
     args = parser.parse_args(argv)
 
-    # Experiments built on repro.bench.sweep.Sweep pick this default up
-    # without every experiment function growing a workers parameter.
+    # Experiments built on repro.bench.sweep.Sweep pick these defaults
+    # up without every experiment function growing extra parameters.
     set_default_workers(args.workers)
+    set_default_batch(args.batch)
 
     if args.list:
         for experiment_id in EXPERIMENTS:

@@ -801,3 +801,62 @@ def experiment_s2(quick: bool = True) -> TableResult:
         "identical for any worker count -- workers only change wall-clock."
     )
     return table
+
+
+# ---------------------------------------------------------------------------
+# S3 -- Batched executor throughput and identity (engineering sanity).
+# ---------------------------------------------------------------------------
+
+def experiment_s3(quick: bool = True) -> TableResult:
+    """Batched lock-step executor vs per-trial execution, honoring ``--batch``.
+
+    Runs one grid cell's repeats twice through
+    :class:`repro.bench.sweep.Sweep` -- once trial by trial, once
+    grouped into :mod:`repro.sim.batch` lock-step batches -- and
+    asserts the subsystem's core claim: the records are *identical*,
+    batch size is purely a speed knob. Throughput for both legs is
+    reported; the speedup needs the vectorized numpy backend (the
+    pure-Python fallback exists for portability, not speed).
+    """
+    from repro.bench.sweep import Sweep
+    from repro.sim.batch import numpy_available
+    from repro.sim.parallel import get_default_batch
+    from repro.workloads import run_dac_trial
+
+    batch = get_default_batch()
+    if batch <= 1:
+        batch = 8  # the experiment's subject is batching; default to 8 lanes
+    backend = "numpy" if numpy_available() else "python fallback"
+    table = TableResult(
+        "S3",
+        f"Batched executor (boundary DAC, batch={batch}, backend={backend})",
+        ["n", "trials", "serial trials/s", "batched trials/s", "speedup", "identical"],
+    )
+    sizes = [9, 17] if quick else [9, 17, 33]
+    repeats = 2 * batch if quick else 4 * batch
+    for n in sizes:
+        grid = {"n": [n], "window": [1]}
+        serial = Sweep(grid=grid, repeats=repeats)
+        start = time.perf_counter()
+        serial.run(run_dac_trial, workers=1, batch=1)
+        serial_rate = len(serial.records) / max(time.perf_counter() - start, 1e-9)
+        batched = Sweep(grid=grid, repeats=repeats)
+        start = time.perf_counter()
+        batched.run(run_dac_trial, workers=1, batch=batch)
+        batched_rate = len(batched.records) / max(time.perf_counter() - start, 1e-9)
+        identical = serial.records == batched.records
+        table.add_row(
+            n,
+            len(serial.records),
+            serial_rate,
+            batched_rate,
+            batched_rate / serial_rate,
+            identical,
+        )
+        if not identical:
+            table.fail(f"n={n}: batched records differ from per-trial records")
+        if not all(record.result["correct"] for record in batched.records):
+            table.fail(f"n={n}: batched trials violated the DAC verdicts")
+    table.add_note("Batching composes with --workers: batches fan out over the")
+    table.add_note("process pool, so the speedups multiply (see docs/scaling.md).")
+    return table

@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     experiment_i4,
     experiment_s1,
     experiment_s2,
+    experiment_s3,
     experiment_x1,
     experiment_x2,
     experiment_x3,
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, Callable[[bool], TableResult]] = {
     "X8": experiment_x8,
     "S1": experiment_s1,
     "S2": experiment_s2,
+    "S3": experiment_s3,
 }
 
 

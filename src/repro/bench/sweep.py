@@ -88,7 +88,12 @@ class Sweep:
         return out
 
     def run(
-        self, fn: Callable[..., Any], *, workers: int | None = None
+        self,
+        fn: Callable[..., Any],
+        *,
+        workers: int | None = None,
+        batch: int | None = None,
+        batch_fn: Callable[..., Sequence[Any]] | None = None,
     ) -> list[SweepRecord]:
         """Execute ``fn(**params, seed=...)`` over the whole grid.
 
@@ -103,6 +108,16 @@ class Sweep:
         be picklable (a module-level function) when more than one
         worker is used.
 
+        ``batch`` composes the second speed knob: repeats of one grid
+        cell are grouped into single calls of a *batched* trial
+        function (``batch_fn``, defaulting to ``fn``'s ``batch_fn``
+        attribute -- e.g. :func:`repro.workloads.run_dac_trial` carries
+        its :mod:`repro.sim.batch`-backed form). Batching is equally a
+        pure speed knob: ``workers=N, batch=B`` records are identical
+        to ``workers=1, batch=1`` records. ``None`` uses the
+        process-wide default (a CLI ``--batch`` flag), which degrades
+        to unbatched execution for functions without a batched form.
+
         Results are collected into :attr:`records` (appending across
         multiple ``run`` calls) and returned.
         """
@@ -111,7 +126,7 @@ class Sweep:
             for cell in self.cells()
             for trial in range(self.repeats)
         ]
-        results = run_trials(fn, specs, workers=workers)
+        results = run_trials(fn, specs, workers=workers, batch=batch, batch_fn=batch_fn)
         new_records = [
             SweepRecord(spec.params, spec.seed, result)
             for spec, result in zip(specs, results)

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli figure1
     python -m repro.cli dac --save-trace run.json
     python -m repro.cli sweep --n 5 9 13 --window 1 2 --repeats 5 --workers 4
+    python -m repro.cli sweep --n 9 --repeats 32 --workers 4 --batch 8
 
 Exit status is 0 when the run's verdict matches the theory (correct
 for the positive scenarios, violating for the impossibility ones).
@@ -137,7 +138,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed0=args.seed,
     )
     started = time.perf_counter()
-    sweep.run(run_dac_trial, workers=args.workers)
+    sweep.run(run_dac_trial, workers=args.workers, batch=args.batch)
     elapsed = time.perf_counter() - started
     table = sweep.to_table(
         "n",
@@ -153,7 +154,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     trials = len(sweep.records)
     print(
         f"  {trials} trials in {elapsed:.2f}s "
-        f"({trials / elapsed:.1f} trials/s, workers={args.workers})"
+        f"({trials / elapsed:.1f} trials/s, workers={args.workers}, "
+        f"batch={args.batch})"
     )
     ok = all(record.result["correct"] for record in sweep.records)
     return 0 if ok else 1
@@ -240,6 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sweep (0 = one per CPU); "
         "records are identical for every worker count",
+    )
+    p_sweep.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="trials advanced in lock-step per batched call "
+        "(repro.sim.batch; composes with --workers); records are "
+        "identical for every batch size",
     )
     p_sweep.set_defaults(fn=_cmd_sweep)
 

@@ -16,14 +16,17 @@ Anonymity is structural: algorithm code receives ``(port, message)``
 pairs and has no channel through which a global ID could leak.
 """
 
+from repro.sim.batch import BatchEngine, LaneResult, numpy_available, run_dac_batch
 from repro.sim.engine import Engine, EngineView, RoundRecord, RunResult
 from repro.sim.messages import StateMessage, message_bits
 from repro.sim.metrics import MetricsCollector, PhaseRangeSeries
 from repro.sim.node import ConsensusProcess, Delivery
 from repro.sim.parallel import (
     TrialSpec,
+    resolve_batch,
     resolve_workers,
     run_trials,
+    set_default_batch,
     set_default_workers,
 )
 from repro.sim.persistence import load_trace, replay_adversary, save_trace
@@ -32,13 +35,19 @@ from repro.sim.runner import ExecutionReport, run_consensus
 from repro.sim.trace import ExecutionTrace
 
 __all__ = [
+    "BatchEngine",
+    "LaneResult",
+    "numpy_available",
+    "run_dac_batch",
     "Engine",
     "EngineView",
     "RoundRecord",
     "RunResult",
     "TrialSpec",
     "run_trials",
+    "resolve_batch",
     "resolve_workers",
+    "set_default_batch",
     "set_default_workers",
     "StateMessage",
     "message_bits",

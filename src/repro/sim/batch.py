@@ -1,0 +1,497 @@
+"""Batched lock-step execution: advance B independent trials at once.
+
+Large sweeps are dominated by grids of *small, independent* executions
+(DAC trials across ``n``, ``f``, window and seed). The process-pool
+layer (:mod:`repro.sim.parallel`) scales those across cores; this
+module attacks the per-trial interpreter overhead inside one process:
+a :class:`BatchEngine` advances ``B`` independent executions of the
+boundary DAC family *in lock-step*, so one pass over the round
+structure serves every lane at once.
+
+Two backends implement the same contract:
+
+- **numpy** (used automatically when numpy -- an optional extra, see
+  ``setup.py`` -- is importable): node states live in ``(B, n)``
+  arrays and each round is processed port-by-port with vectorized
+  updates across all ``B * n`` nodes. The port-major sweep preserves
+  the serial engine's delivery order exactly (deliveries are consumed
+  sorted by port; within one port, node transitions only read the
+  round-start broadcast snapshot, so they are independent);
+- **python** (always importable, no third-party dependencies): the
+  same lock-step loop over ``B`` real :class:`~repro.sim.engine.Engine`
+  instances. No speedup -- it exists so batching is a pure speed knob
+  on any interpreter, and as the executable specification the numpy
+  kernel is tested against.
+
+Both backends produce **bit-identical final states and round counts**
+to ``B`` serial ``Engine`` runs: every lane derives its inputs, ports
+and crash plan from its own seed through the exact same
+:mod:`repro.sim.rng` child streams the serial builders use, so batching
+(and batch *order*) cannot perturb results. The supported trial family
+is fault-free and crash-fault DAC under the enforcing quorum
+adversaries -- precisely what :func:`repro.workloads.run_dac_trial`
+runs. Byzantine/DBAC batching composes on top of this layer and stays
+on the serial path for now.
+
+Composition: :func:`repro.workloads.run_dac_trial_batch` wraps
+:func:`run_dac_batch` in the batched-trial calling convention the
+parallel layer dispatches, so ``Sweep.run(workers=N, batch=B)`` fans
+*batches* over processes -- the two layers multiply.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.adversary.constrained import rotate_picks
+from repro.net.ports import random_ports
+from repro.sim.rng import child_rng, spawn_inputs
+
+try:  # numpy is an optional extra (``pip install repro[numpy]``)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+_BACKENDS = ("auto", "numpy", "python")
+
+# Selectors whose link choices the vectorized kernel replicates. The
+# shared structure is :func:`repro.adversary.constrained.rotate_picks`;
+# value-dependent ("nearest") and RNG-dependent ("random") selectors
+# fall back to the python backend.
+_VECTOR_SELECTORS = ("rotate",)
+
+# Sentinel crash round for nodes that never crash (far beyond any cap).
+_NEVER = 1 << 62
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized numpy backend can be used at all."""
+    return _np is not None
+
+
+@dataclass(frozen=True)
+class LaneResult:
+    """Final outcome of one lane -- one serial ``Engine`` run's worth.
+
+    ``state_keys`` maps every (non-Byzantine) node to its process's
+    full :meth:`~repro.core.dac.DACProcess.state_key`, the strongest
+    equality the determinism suite can assert; ``outputs`` covers the
+    fault-free nodes that decided, keyed by node ID, exactly as
+    :func:`repro.sim.runner.run_consensus` reports them.
+    """
+
+    seed: int
+    rounds: int
+    stopped: bool
+    inputs: dict[int, float]
+    outputs: dict[int, float]
+    state_keys: dict[int, tuple]
+
+
+class BatchEngine:
+    """Runs ``B`` independent boundary-DAC executions in lock-step.
+
+    Parameters mirror :func:`repro.workloads.build_dac_execution` --
+    one shared parameter assignment, one seed per lane:
+
+    Parameters
+    ----------
+    n, f:
+        Network size and fault bound (``n >= 2f + 1``).
+    seeds:
+        One root seed per lane; ``B = len(seeds)``. Each lane's inputs,
+        ports and RNG streams derive from its seed exactly as the
+        serial builder's do.
+    epsilon, window, selector, crash_nodes, crash_start, enable_jump:
+        As in ``build_dac_execution``.
+    max_rounds:
+        Hard cap per lane; defaults to the serial builder's formula.
+    backend:
+        ``"auto"`` (numpy when available and the selector is
+        vectorizable, python otherwise), ``"numpy"`` (raise when
+        unusable), or ``"python"``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        seeds: Sequence[int],
+        *,
+        epsilon: float = 1e-3,
+        window: int = 1,
+        selector: str = "rotate",
+        crash_nodes: int | None = None,
+        crash_start: int = 1,
+        enable_jump: bool = True,
+        max_rounds: int | None = None,
+        backend: str = "auto",
+    ) -> None:
+        self.seeds = [int(seed) for seed in seeds]
+        if not self.seeds:
+            raise ValueError("need at least one seed (one lane)")
+        # Derive the lane family -- validation, crash schedule, quorum,
+        # end phase, default round cap -- from the serial builder itself,
+        # so there is exactly one source of truth for what a lane *is*
+        # and the bit-identity contract cannot drift out from under a
+        # builder change.
+        from repro.workloads import build_dac_execution  # lazy: import cycle
+
+        probe = build_dac_execution(
+            n=n,
+            f=f,
+            epsilon=epsilon,
+            seed=self.seeds[0],
+            window=window,
+            selector=selector,
+            crash_nodes=crash_nodes,
+            crash_start=crash_start,
+            enable_jump=enable_jump,
+            max_rounds=max_rounds,
+        )
+        process = next(iter(probe["processes"].values()))
+        self.n = n
+        self.f = f
+        self.epsilon = epsilon
+        self.window = window
+        self.selector = selector
+        self.crash_nodes = f if crash_nodes is None else crash_nodes
+        self.crash_start = crash_start
+        self.enable_jump = enable_jump
+        self.degree = probe["adversary"].degree
+        self.quorum = process.quorum
+        self.end_phase = process.end_phase
+        self.max_rounds = probe["max_rounds"]
+        self._crashes = probe["fault_plan"].crashes
+        self._fault_free = sorted(probe["fault_plan"].fault_free)
+        self.backend = self._resolve_backend(backend)
+        # Round structure (delivered-from matrices) memo for the numpy
+        # kernel: keyed by (live-set key, salt mod n), tiny and cyclic.
+        self._structure_cache: dict[tuple, object] = {}
+
+    @property
+    def batch_size(self) -> int:
+        """Number of lanes ``B``."""
+        return len(self.seeds)
+
+    def _resolve_backend(self, backend: str) -> str:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        vectorizable = numpy_available() and self.selector in _VECTOR_SELECTORS
+        if backend == "auto":
+            return "numpy" if vectorizable else "python"
+        if backend == "numpy" and not vectorizable:
+            reason = (
+                "numpy is not installed"
+                if not numpy_available()
+                else f"selector {self.selector!r} is not vectorizable "
+                f"(supported: {_VECTOR_SELECTORS})"
+            )
+            raise ValueError(f"numpy backend unavailable: {reason}")
+        return backend
+
+    def run(self) -> list[LaneResult]:
+        """Run every lane to its stop condition and return lane results.
+
+        Results come back in ``seeds`` order. Each lane stops exactly
+        like ``Engine.run(max_rounds, stop_when=all_fault_free_output)``
+        does: the stop condition is evaluated before each round and once
+        more at the cap, and the lane's state freezes at that point.
+        """
+        if self.backend == "numpy":
+            return self._run_numpy()
+        return self._run_python()
+
+    # -- python backend: lock-step over real engines --------------------
+
+    def _build_serial_engine(self, seed: int):
+        # Local imports: the runner/workloads layers import this module's
+        # package, so top-level imports here would be cyclic.
+        from repro.sim.engine import Engine
+        from repro.workloads import build_dac_execution
+
+        kwargs = build_dac_execution(
+            n=self.n,
+            f=self.f,
+            epsilon=self.epsilon,
+            seed=seed,
+            window=self.window,
+            selector=self.selector,
+            crash_nodes=self.crash_nodes,
+            crash_start=self.crash_start,
+            enable_jump=self.enable_jump,
+            max_rounds=self.max_rounds,
+        )
+        return Engine(
+            kwargs["processes"],
+            kwargs["adversary"],
+            kwargs["ports"],
+            fault_plan=kwargs["fault_plan"],
+            f=kwargs["f"],
+            seed=kwargs["seed"],
+            record_trace=False,
+        )
+
+    def _run_python(self) -> list[LaneResult]:
+        engines = [self._build_serial_engine(seed) for seed in self.seeds]
+        results: list[LaneResult | None] = [None] * len(engines)
+
+        def finalize(index: int, rounds: int, stopped: bool) -> None:
+            engine = engines[index]
+            plan = engine.fault_plan
+            outputs = {
+                v: engine.processes[v].output()
+                for v in sorted(plan.fault_free)
+                if engine.processes[v].has_output()
+            }
+            results[index] = LaneResult(
+                seed=self.seeds[index],
+                rounds=rounds,
+                stopped=stopped,
+                inputs={
+                    node: proc.input_value for node, proc in engine.processes.items()
+                },
+                outputs=outputs,
+                state_keys={
+                    node: proc.state_key() for node, proc in engine.processes.items()
+                },
+            )
+
+        active = list(range(len(engines)))
+        t = 0
+        while active:
+            # Same order as Engine.run: stop_when before each round,
+            # then the documented final check at the cap.
+            still = []
+            for index in active:
+                if engines[index].all_fault_free_output():
+                    finalize(index, t, True)
+                elif t >= self.max_rounds:
+                    finalize(index, t, False)
+                else:
+                    still.append(index)
+            for index in still:
+                engines[index].run_round()
+            active = still
+            t += 1
+        return [result for result in results if result is not None]
+
+    # -- numpy backend: vectorized port-major kernel ---------------------
+
+    def _delivered_from(self, live_key: tuple[int, ...], salt: int):
+        """``(n, n)`` bool: does ``u``'s round broadcast reach ``v``?
+
+        Diagonal entries encode the engine's reliable self-delivery.
+        The matrix depends only on the live set and ``salt mod n``, so
+        after the crash schedule settles it cycles with period ``n``.
+        """
+        np = _np
+        key = (live_key, salt % self.n)
+        cached = self._structure_cache.get(key)
+        if cached is None:
+            delivered = np.zeros((self.n, self.n), dtype=bool)
+            for receiver, senders in enumerate(
+                rotate_picks(self.n, live_key, salt, self.degree)
+            ):
+                delivered[senders, receiver] = True
+            delivered[list(live_key), list(live_key)] = True
+            self._structure_cache[key] = delivered
+            cached = delivered
+        return cached
+
+    def _run_numpy(self) -> list[LaneResult]:
+        np = _np
+        n = self.n
+        lanes = len(self.seeds)
+
+        # Per-lane construction through the serial builders' exact RNG
+        # streams: inputs, port bijections (sender-major inverse and
+        # self-ports are what the kernel indexes by).
+        inputs = np.empty((lanes, n), dtype=np.float64)
+        sender_at_port = np.empty((lanes, n, n), dtype=np.intp)
+        self_port = np.empty((lanes, n), dtype=np.intp)
+        for b, seed in enumerate(self.seeds):
+            inputs[b] = spawn_inputs(seed, n)
+            ports = random_ports(n, child_rng(seed, "ports"))
+            for v in range(n):
+                sender_at_port[b, v] = [ports.sender_of(v, k) for k in range(n)]
+                self_port[b, v] = ports.self_port(v)
+
+        crash_round = np.full(n, _NEVER, dtype=np.int64)
+        for node, event in self._crashes.items():
+            crash_round[node] = event.round
+        fault_free = np.array(self._fault_free, dtype=np.intp)
+
+        # DACProcess state, one row per lane (Algorithm 1 init block).
+        value = inputs.copy()
+        phase = np.zeros((lanes, n), dtype=np.int64)
+        v_min = value.copy()
+        v_max = value.copy()
+        received = np.zeros((lanes, n, n), dtype=bool)
+        lane_idx = np.arange(lanes)
+        received[lane_idx[:, None], np.arange(n)[None, :], self_port] = True
+        count = np.ones((lanes, n), dtype=np.int64)
+        out_mask = np.zeros((lanes, n), dtype=bool)
+        out_val = np.zeros((lanes, n), dtype=np.float64)
+        if self.end_phase == 0:  # init-time _check_output: decide at once
+            out_mask[:] = True
+            out_val[:] = value
+
+        results: list[LaneResult | None] = [None] * lanes
+
+        def finalize(b: int, rounds: int, stopped: bool) -> None:
+            state_keys = {}
+            for node in range(n):
+                decided = bool(out_mask[b, node])
+                state_keys[node] = (
+                    float(value[b, node]),
+                    int(phase[b, node]),
+                    tuple(bool(bit) for bit in received[b, node]),
+                    float(v_min[b, node]),
+                    float(v_max[b, node]),
+                    float(out_val[b, node]) if decided else None,
+                )
+            results[b] = LaneResult(
+                seed=self.seeds[b],
+                rounds=rounds,
+                stopped=stopped,
+                inputs={node: float(inputs[b, node]) for node in range(n)},
+                outputs={
+                    int(node): float(out_val[b, node])
+                    for node in fault_free
+                    if out_mask[b, node]
+                },
+                state_keys=state_keys,
+            )
+
+        gather_lane = lane_idx[:, None, None]
+        gather_col = np.arange(n)[None, :, None]
+        lane_active = np.ones(lanes, dtype=bool)
+        enable_jump = self.enable_jump
+        end_phase = self.end_phase
+        t = 0
+        while True:
+            # Stop handling in Engine.run order: the condition first,
+            # the cap second (a lane at the cap whose condition holds
+            # right now reports stopped=True either way).
+            finished = lane_active & out_mask[:, fault_free].all(axis=1)
+            for b in np.nonzero(finished)[0]:
+                finalize(int(b), t, True)
+            lane_active &= ~finished
+            if t >= self.max_rounds:
+                for b in np.nonzero(lane_active)[0]:
+                    finalize(int(b), t, False)
+                lane_active[:] = False
+            if not lane_active.any():
+                break
+            if self.window > 1 and (t + 1) % self.window != 0:
+                # The last-minute adversary's silent rounds change no
+                # state: the only delivery is each node's own message,
+                # whose port is already marked received.
+                t += 1
+                continue
+
+            live = crash_round > t  # clean crashes: senders == processors
+            salt = t if self.window == 1 else t // self.window
+            delivered = self._delivered_from(
+                tuple(int(u) for u in np.nonzero(live)[0]), salt
+            )
+
+            # Round-start broadcast snapshot, then the port-major sweep.
+            bc_value = value.copy()
+            bc_phase = phase.copy()
+            msg_value = bc_value[gather_lane, sender_at_port]
+            msg_phase = bc_phase[gather_lane, sender_at_port]
+            has_msg = delivered[sender_at_port, gather_col]
+            receiving = lane_active[:, None] & live[None, :]
+
+            for port in range(n):
+                here = has_msg[:, :, port] & receiving
+                if not here.any():
+                    continue
+                active = here & ~out_mask
+                if not active.any():
+                    continue
+                incoming_value = msg_value[:, :, port]
+                incoming_phase = msg_phase[:, :, port]
+                # Masks from the same pre-update phase, like the serial
+                # if/elif -- a jump must not re-match as same-phase.
+                jump = (
+                    active & (incoming_phase > phase)
+                    if enable_jump
+                    else np.zeros_like(active)
+                )
+                same = active & (incoming_phase == phase) & ~received[:, :, port]
+                if jump.any():
+                    value = np.where(jump, incoming_value, value)
+                    phase = np.where(jump, incoming_phase, phase)
+                    received[jump] = False
+                    jb, jn = np.nonzero(jump)
+                    received[jb, jn, self_port[jb, jn]] = True
+                    count[jump] = 1
+                    v_min = np.where(jump, value, v_min)
+                    v_max = np.where(jump, value, v_max)
+                    decided = jump & (phase >= end_phase)
+                    if decided.any():
+                        phase = np.where(decided, end_phase, phase)
+                        out_mask |= decided
+                        out_val = np.where(decided, value, out_val)
+                if same.any():
+                    received[:, :, port] |= same
+                    count = np.where(same, count + 1, count)
+                    lower = same & (incoming_value < v_min)
+                    v_min = np.where(lower, incoming_value, v_min)
+                    higher = same & ~lower & (incoming_value > v_max)
+                    v_max = np.where(higher, incoming_value, v_max)
+                    full = same & (count >= self.quorum)
+                    if full.any():
+                        value = np.where(full, 0.5 * (v_min + v_max), value)
+                        phase = np.where(full, phase + 1, phase)
+                        received[full] = False
+                        qb, qn = np.nonzero(full)
+                        received[qb, qn, self_port[qb, qn]] = True
+                        count[full] = 1
+                        v_min = np.where(full, value, v_min)
+                        v_max = np.where(full, value, v_max)
+                        decided = full & (phase >= end_phase)
+                        if decided.any():
+                            phase = np.where(decided, end_phase, phase)
+                            out_mask |= decided
+                            out_val = np.where(decided, value, out_val)
+            t += 1
+        return [result for result in results if result is not None]
+
+
+def run_dac_batch(
+    n: int,
+    f: int,
+    seeds: Sequence[int],
+    *,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "rotate",
+    crash_nodes: int | None = None,
+    crash_start: int = 1,
+    enable_jump: bool = True,
+    max_rounds: int | None = None,
+    backend: str = "auto",
+) -> list[LaneResult]:
+    """Run one batch of boundary DAC executions, one lane per seed.
+
+    Convenience wrapper over :class:`BatchEngine`; see its docstring
+    for parameter semantics and the bit-identity contract.
+    """
+    return BatchEngine(
+        n,
+        f,
+        seeds,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        crash_nodes=crash_nodes,
+        crash_start=crash_start,
+        enable_jump=enable_jump,
+        max_rounds=max_rounds,
+        backend=backend,
+    ).run()

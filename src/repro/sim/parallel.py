@@ -14,6 +14,16 @@ two guarantees that make ``workers=N`` a pure speed knob:
   regardless of completion order, so records built from them are
   identical to a serial run's, element for element.
 
+A second, orthogonal speed knob is **batching**: when the caller
+supplies a *batched* trial function (``batch_fn(seeds=[...], **params)
+-> [result, ...]``, e.g. one built on :mod:`repro.sim.batch`),
+consecutive specs sharing a parameter assignment are grouped into
+chunks of up to ``batch`` seeds and dispatched as one call. The
+contract -- asserted by the determinism suite -- is that the batched
+function returns exactly ``[fn(**params, seed=s) for s in seeds]``, so
+``batch=B`` composes with ``workers=N`` (batches fan out over the
+pool) while leaving results identical, element for element.
+
 Trial functions must be picklable (module-level functions, not lambdas
 or closures) when ``workers > 1``; the serial path has no such
 restriction, which keeps ad-hoc lambdas working for ``workers=1``.
@@ -28,11 +38,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
-# Process-wide default consulted when ``workers=None`` is requested.
-# CLI entry points set this from their ``--workers`` flag so library
-# code (e.g. experiments built on repro.bench.sweep.Sweep) picks the
-# value up without threading it through every call site.
+# Process-wide defaults consulted when ``workers=None`` / ``batch=None``
+# is requested. CLI entry points set these from their ``--workers`` and
+# ``--batch`` flags so library code (e.g. experiments built on
+# repro.bench.sweep.Sweep) picks the values up without threading them
+# through every call site.
 _default_workers = 1
+_default_batch = 1
 
 
 def set_default_workers(workers: int) -> None:
@@ -46,6 +58,32 @@ def set_default_workers(workers: int) -> None:
 def get_default_workers() -> int:
     """The current process-wide worker default."""
     return _default_workers
+
+
+def set_default_batch(batch: int) -> None:
+    """Set the process-wide batch-size default (lanes per batched call)."""
+    global _default_batch
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    _default_batch = batch
+
+
+def get_default_batch() -> int:
+    """The current process-wide batch-size default."""
+    return _default_batch
+
+
+def resolve_batch(batch: int | None) -> int:
+    """Normalize a ``batch`` request to a concrete positive size.
+
+    ``None`` means "use the process-wide default" (see
+    :func:`set_default_batch`).
+    """
+    if batch is None:
+        batch = _default_batch
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    return batch
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -81,25 +119,33 @@ def _invoke(payload: tuple[Callable[..., Any], TrialSpec]) -> Any:
     return fn(**spec.kwargs(), seed=spec.seed)
 
 
-def run_trials(
-    fn: Callable[..., Any],
-    specs: Sequence[TrialSpec],
-    workers: int | None = 1,
+def _invoke_batch(
+    payload: tuple[Callable[..., Any], tuple[tuple[str, Any], ...], tuple[int, ...]]
 ) -> list[Any]:
-    """Run ``fn(**spec.params, seed=spec.seed)`` for every spec, in order.
+    """Worker-side entry point: run one batched group of trials."""
+    batch_fn, params, seeds = payload
+    return list(batch_fn(**dict(params), seeds=list(seeds)))
 
-    With one resolved worker (or at most one spec) this runs serially
-    in-process -- no pool, no pickling requirement. Otherwise trials
-    fan out over a process pool; results return in the order of
-    ``specs`` (never completion order), and each trial's seed is taken
-    from its spec, so for deterministic ``fn`` the output is identical
-    to the serial path's.
+
+def _batch_groups(
+    specs: Sequence[TrialSpec], size: int
+) -> list[tuple[tuple[tuple[str, Any], ...], list[int]]]:
+    """Group *consecutive* same-parameter specs into seed batches.
+
+    Only adjacency is exploited (sweep grids emit their repeats
+    back-to-back), so flattening group results in group order restores
+    exactly the original spec order.
     """
-    count = resolve_workers(workers)
-    specs = list(specs)
-    if count <= 1 or len(specs) <= 1:
-        return [fn(**spec.kwargs(), seed=spec.seed) for spec in specs]
-    payloads = [(fn, spec) for spec in specs]
+    groups: list[tuple[tuple[tuple[str, Any], ...], list[int]]] = []
+    for spec in specs:
+        if groups and groups[-1][0] == spec.params and len(groups[-1][1]) < size:
+            groups[-1][1].append(spec.seed)
+        else:
+            groups.append((spec.params, [spec.seed]))
+    return groups
+
+
+def _check_shippable(fn: Callable[..., Any], payloads: Any, count: int) -> None:
     # Check shippability of *every* payload up front (an unpicklable
     # parameter may appear in any spec, not just the first), so a
     # pickling failure is diagnosed as such -- and so exceptions raised
@@ -114,8 +160,75 @@ def run_trials(
             "be shipped to worker processes; use a module-level function "
             "and picklable parameter values, or run with workers=1"
         ) from exc
-    max_workers = min(count, len(specs))
-    # Chunking amortizes IPC for large grids without hurting balance.
-    chunksize = max(1, len(specs) // (max_workers * 4))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_invoke, payloads, chunksize=chunksize))
+
+
+def run_trials(
+    fn: Callable[..., Any],
+    specs: Sequence[TrialSpec],
+    workers: int | None = 1,
+    batch: int | None = 1,
+    batch_fn: Callable[..., Sequence[Any]] | None = None,
+) -> list[Any]:
+    """Run ``fn(**spec.params, seed=spec.seed)`` for every spec, in order.
+
+    With one resolved worker (or at most one spec) this runs serially
+    in-process -- no pool, no pickling requirement. Otherwise trials
+    fan out over a process pool; results return in the order of
+    ``specs`` (never completion order), and each trial's seed is taken
+    from its spec, so for deterministic ``fn`` the output is identical
+    to the serial path's.
+
+    ``batch`` (with a ``batch_fn``, defaulting to ``fn``'s own
+    ``batch_fn`` attribute) additionally groups consecutive
+    same-parameter specs into one ``batch_fn(seeds=[...], **params)``
+    call of up to ``batch`` seeds -- see the module docstring for the
+    equivalence contract. An explicit ``batch > 1`` without a batched
+    form is an error; a process-wide *default* batch (``None`` here)
+    silently degrades to unbatched execution for trial functions that
+    have no batched form.
+    """
+    count = resolve_workers(workers)
+    size = resolve_batch(batch)
+    specs = list(specs)
+    if batch_fn is None:
+        batch_fn = getattr(fn, "batch_fn", None)
+    if size > 1 and batch_fn is None:
+        if batch is not None:
+            raise ValueError(
+                f"batch={size} requires a batched trial function "
+                "(batch_fn=... or an fn.batch_fn attribute); run with "
+                "batch=1 for plain per-trial execution"
+            )
+        size = 1
+    if size <= 1:
+        if count <= 1 or len(specs) <= 1:
+            return [fn(**spec.kwargs(), seed=spec.seed) for spec in specs]
+        payloads = [(fn, spec) for spec in specs]
+        _check_shippable(fn, payloads, count)
+        max_workers = min(count, len(specs))
+        # Chunking amortizes IPC for large grids without hurting balance.
+        chunksize = max(1, len(specs) // (max_workers * 4))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_invoke, payloads, chunksize=chunksize))
+
+    groups = _batch_groups(specs, size)
+    payloads = [(batch_fn, params, tuple(seeds)) for params, seeds in groups]
+    if count <= 1 or len(payloads) <= 1:
+        nested = [_invoke_batch(payload) for payload in payloads]
+    else:
+        _check_shippable(batch_fn, payloads, count)
+        max_workers = min(count, len(payloads))
+        chunksize = max(1, len(payloads) // (max_workers * 4))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            nested = list(pool.map(_invoke_batch, payloads, chunksize=chunksize))
+    results: list[Any] = []
+    for (params, seeds), group_results in zip(groups, nested):
+        if len(group_results) != len(seeds):
+            raise ValueError(
+                f"batched trial function {batch_fn!r} returned "
+                f"{len(group_results)} results for {len(seeds)} seeds "
+                f"(params {params!r}); it must return one result per seed, "
+                "in seed order"
+            )
+        results.extend(group_results)
+    return results

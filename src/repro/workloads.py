@@ -32,11 +32,19 @@ from repro.adversary.split import (
     halves_partition,
     theorem10_groups,
 )
+from repro.core.baselines import IteratedMidpointProcess, TrimmedMeanProcess
 from repro.core.dac import DACProcess
 from repro.core.dbac import DBACProcess
 from repro.core.phases import dac_end_phase, rounds_upper_bound
 from repro.faults.base import FaultPlan
-from repro.faults.byzantine import ByzantineStrategy, ExtremeByzantine, TwoFacedByzantine
+from repro.faults.byzantine import (
+    ByzantineStrategy,
+    ExtremeByzantine,
+    FixedValueByzantine,
+    PhaseLiarByzantine,
+    RandomByzantine,
+    TwoFacedByzantine,
+)
 from repro.faults.crash import staggered_crashes
 from repro.net.ports import random_ports
 from repro.sim.rng import child_rng, spawn_inputs
@@ -380,6 +388,218 @@ def run_dac_trial(
         **build_dac_execution(
             n=n, f=f, epsilon=epsilon, seed=seed, window=window, selector=selector
         ),
+        record_trace=not fast,
+        verify_promise=not fast,
+        track_phases=not fast,
+    )
+    return {
+        "rounds": report.rounds,
+        "spread": report.output_spread,
+        "terminated": report.terminated,
+        "correct": report.correct,
+    }
+
+
+def _lane_summary(lane, epsilon: float) -> dict[str, Any]:
+    """The :func:`run_dac_trial` summary dict for one batch lane.
+
+    Re-derives the runner's verdicts (spread, epsilon-agreement,
+    validity) from the lane's outputs and inputs with the runner's own
+    arithmetic and float slack, so batched and serial summaries are
+    equal value for value.
+    """
+    from repro.sim.runner import _FLOAT_SLACK
+
+    outputs = lane.outputs
+    spread = 0.0
+    if outputs:
+        spread = max(outputs.values()) - min(outputs.values())
+    eps_agreement = not outputs or spread <= epsilon + _FLOAT_SLACK
+    hull_lo = min(lane.inputs.values())
+    hull_hi = max(lane.inputs.values())
+    validity = all(
+        hull_lo - _FLOAT_SLACK <= value <= hull_hi + _FLOAT_SLACK
+        for value in outputs.values()
+    )
+    return {
+        "rounds": lane.rounds,
+        "spread": spread,
+        "terminated": lane.stopped,
+        "correct": lane.stopped and validity and eps_agreement,
+    }
+
+
+def run_dac_trial_batch(
+    n: int,
+    f: int | None = None,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "rotate",
+    fast: bool = True,
+    seeds: Any = (),
+) -> list[dict[str, Any]]:
+    """Batched :func:`run_dac_trial`: one summary per seed, in order.
+
+    The batched-trial form the parallel layer dispatches (attached
+    below as ``run_dac_trial.batch_fn``): returns exactly
+    ``[run_dac_trial(..., seed=s) for s in seeds]``, computed by one
+    lock-step :class:`repro.sim.batch.BatchEngine` pass -- vectorized
+    when numpy is installed, serial-engine lock-step otherwise. The
+    non-fast path records traces per trial, which batching cannot
+    amortize, so it simply delegates to the serial trial.
+    """
+    from repro.sim.batch import run_dac_batch
+
+    seeds = [int(seed) for seed in seeds]
+    if f is None:
+        f = (n - 1) // 2
+    if not fast:
+        return [
+            run_dac_trial(
+                n=n,
+                f=f,
+                epsilon=epsilon,
+                window=window,
+                selector=selector,
+                seed=seed,
+                fast=fast,
+            )
+            for seed in seeds
+        ]
+    lanes = run_dac_batch(
+        n, f, seeds, epsilon=epsilon, window=window, selector=selector
+    )
+    return [_lane_summary(lane, epsilon) for lane in lanes]
+
+
+run_dac_trial.batch_fn = run_dac_trial_batch  # type: ignore[attr-defined]
+
+
+# Byzantine strategy menu shared by the DBAC trial and the CLIs. Plain
+# factories keyed by name keep the trial function picklable (the name,
+# not the strategy object, travels to worker processes).
+TRIAL_BYZANTINE_STRATEGIES: dict[str, Any] = {
+    "extreme": ExtremeByzantine,
+    "random": RandomByzantine,
+    "phase-liar": lambda: PhaseLiarByzantine(value=1.0, phase_lead=500),
+    "pin-high": lambda: FixedValueByzantine(1.0),
+    "pin-low": lambda: FixedValueByzantine(0.0),
+}
+
+
+def run_dbac_trial(
+    n: int,
+    f: int | None = None,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "nearest",
+    strategy: str = "extreme",
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+    seed: int = 0,
+    fast: bool = True,
+) -> dict[str, Any]:
+    """One boundary DBAC execution reduced to a picklable summary.
+
+    The DBAC counterpart of :func:`run_dac_trial` for parallel
+    comparative grids: ``f`` defaults to the boundary ``(n - 1) // 5``,
+    the ``f`` highest nodes run the named Byzantine ``strategy`` (see
+    ``TRIAL_BYZANTINE_STRATEGIES``), and stopping defaults to oracle
+    mode like :func:`build_dbac_execution` (Equation 6's ``p_end`` is
+    astronomically conservative).
+    """
+    from repro.sim.runner import run_consensus  # local import: runner is heavy
+
+    if f is None:
+        f = (n - 1) // 5
+    if strategy not in TRIAL_BYZANTINE_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; "
+            f"known: {sorted(TRIAL_BYZANTINE_STRATEGIES)}"
+        )
+    factory = TRIAL_BYZANTINE_STRATEGIES[strategy]
+    report = run_consensus(
+        **build_dbac_execution(
+            n=n,
+            f=f,
+            epsilon=epsilon,
+            seed=seed,
+            window=window,
+            selector=selector,
+            byzantine_factory=lambda node: factory(),
+            stop_mode=stop_mode,
+            max_rounds=max_rounds,
+        ),
+        record_trace=not fast,
+        verify_promise=not fast,
+        track_phases=not fast,
+    )
+    return {
+        "rounds": report.rounds,
+        "spread": report.output_spread,
+        "terminated": report.terminated,
+        "correct": report.correct,
+    }
+
+
+_BASELINE_PROCESSES = {
+    "midpoint": IteratedMidpointProcess,
+    "trimmed": TrimmedMeanProcess,
+}
+
+
+def run_baseline_trial(
+    n: int,
+    algorithm: str = "midpoint",
+    f: int = 0,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "rotate",
+    num_rounds: int | None = None,
+    seed: int = 0,
+    fast: bool = True,
+) -> dict[str, Any]:
+    """One averaging-baseline execution under DAC's boundary adversary.
+
+    Runs a Charron-Bost-style reliable-channel iterated-averaging
+    baseline (``"midpoint"`` -- Dolev et al. iterated midpoint -- or
+    ``"trimmed"`` -- trim-``f`` mean) against the same enforcing
+    ``(window, floor(n/2))`` adversary and input/port streams as
+    :func:`run_dac_trial`, so comparative DAC-vs-baseline grids sweep
+    both through :class:`repro.bench.sweep.Sweep` on equal footing.
+    ``num_rounds`` defaults to DAC's ``p_end`` (the baselines complete
+    one phase per round on reliable graphs, making the round budgets
+    comparable).
+    """
+    from repro.sim.runner import run_consensus  # local import: runner is heavy
+
+    if algorithm not in _BASELINE_PROCESSES:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(_BASELINE_PROCESSES)}"
+        )
+    if num_rounds is None:
+        num_rounds = dac_end_phase(epsilon)
+    inputs = spawn_inputs(seed, n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    process_type = _BASELINE_PROCESSES[algorithm]
+    processes = {
+        node: process_type(
+            n, f, inputs[node], ports.self_port(node), num_rounds=num_rounds
+        )
+        for node in range(n)
+    }
+    report = run_consensus(
+        processes,
+        _quorum_adversary(window, dac_degree(n), selector),
+        ports,
+        epsilon=epsilon,
+        f=f,
+        fault_plan=FaultPlan.fault_free_plan(n),
+        stop_mode="output",
+        # The baselines advance one round per delivery batch, which the
+        # engine hands them every round -- a window of slack suffices.
+        max_rounds=num_rounds + 2 * window,
+        seed=seed,
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,

@@ -154,3 +154,73 @@ class TestPhaseSkew:
             PhaseSkewAdversary(0, slow=set())
         with pytest.raises(ValueError, match="T must be >= 1"):
             PhaseSkewAdversary(2, slow=set(), window=0)
+
+
+class TestSelectorCaching:
+    """The cached round-level selection must match the historical
+    per-receiver specification exactly (the engine fast path and the
+    batch engine both depend on choices being schedule-stable)."""
+
+    @staticmethod
+    def reference_rotate(n, live, receiver, salt, degree):
+        # The original per-receiver implementation: keyed sort over the
+        # sorted live list, receiver excluded.
+        candidates = [u for u in sorted(live) if u != receiver]
+        candidates.sort(key=lambda u: (u - receiver - 1 - salt) % n)
+        return candidates[:degree]
+
+    def test_rotate_picks_match_the_specified_sort(self):
+        from repro.adversary.constrained import rotate_picks
+
+        for n, degree in [(5, 2), (9, 4), (12, 5)]:
+            for live in (tuple(range(n)), tuple(range(0, n, 2)), (0, 1, n - 1)):
+                for salt in range(2 * n + 3):
+                    picks = rotate_picks(n, live, salt, degree)
+                    for receiver in range(n):
+                        assert picks[receiver] == self.reference_rotate(
+                            n, live, receiver, salt, degree
+                        ), (n, live, salt, receiver)
+
+    def test_cached_choices_track_live_set_changes(self):
+        # Across a crashing execution, every round's graph must equal a
+        # freshly computed reference graph (the cache may never serve a
+        # stale live set or salt).
+        n, f = 9, 4
+        plan = FaultPlan(
+            n, crashes=staggered_crashes(range(n - f, n), first_round=1, spacing=2)
+        )
+        cached_engine = run_with(
+            LastMinuteQuorumAdversary(2, n // 2), n, f=f,
+            fault_plan=plan, rounds=24,
+        )
+        from repro.adversary.constrained import rotate_picks
+
+        for t, snap in enumerate(cached_engine.trace.rounds):
+            if (t + 1) % 2 != 0:
+                assert not snap.graph.edges
+                continue
+            live = tuple(sorted(plan.live_senders(t)))
+            expected = set()
+            for v, senders in enumerate(
+                rotate_picks(n, live, t // 2, n // 2)
+            ):
+                expected.update((u, v) for u in senders)
+            assert snap.graph.edges == frozenset(expected), f"round {t}"
+
+    def test_graph_cache_replays_identical_graphs(self):
+        # Fault-free rotate choices cycle with period n: the cached
+        # graphs must be reused (identity), not merely equal.
+        n = 6
+        engine = run_with(RotatingQuorumAdversary(3), n, rounds=2 * n)
+        rounds = engine.trace.rounds
+        for t in range(n):
+            assert rounds[t].graph is rounds[t + n].graph
+            assert rounds[t].graph.edges == rounds[t + n].graph.edges
+
+    def test_random_selector_never_cached(self):
+        # The RNG stream makes random choices round-dependent; caching
+        # them would freeze the schedule.
+        n = 7
+        engine = run_with(RotatingQuorumAdversary(3, selector="random"), n, rounds=10)
+        graphs = {snap.graph.edges for snap in engine.trace.rounds}
+        assert len(graphs) > 1

@@ -1,0 +1,225 @@
+"""Determinism guarantees of the batched execution subsystem.
+
+Three contracts make ``batch=B`` a pure speed knob:
+
+1. :class:`repro.sim.batch.BatchEngine` produces **bit-identical final
+   states and round counts** to ``B`` serial ``Engine`` runs of the
+   same lanes -- full ``state_key`` equality, not just outputs;
+2. the numpy backend and the always-importable pure-Python fallback
+   produce identical lane results (asserted when numpy is present);
+3. ``Sweep.run(workers=4, batch=4)`` records are identical, element
+   for element, to ``Sweep.run(workers=1, batch=1)`` records.
+"""
+
+import pytest
+
+from repro.bench.sweep import Sweep
+from repro.sim.batch import BatchEngine, numpy_available, run_dac_batch
+from repro.sim.engine import Engine
+from repro.sim.parallel import (
+    TrialSpec,
+    resolve_batch,
+    run_trials,
+    set_default_batch,
+)
+from repro.workloads import (
+    build_dac_execution,
+    run_dac_trial,
+    run_dac_trial_batch,
+)
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+# (n, f, window): fault-free, crash-fault, multi-round windows.
+GRIDS = [(9, 0, 1), (9, 4, 1), (9, 4, 3), (12, 5, 2), (5, 2, 1)]
+
+
+def run_serial_lane(n, f, seed, window):
+    """One serial engine run of the exact lane the batch engine claims."""
+    kwargs = build_dac_execution(n=n, f=f, seed=seed, window=window)
+    engine = Engine(
+        kwargs["processes"],
+        kwargs["adversary"],
+        kwargs["ports"],
+        fault_plan=kwargs["fault_plan"],
+        f=kwargs["f"],
+        seed=kwargs["seed"],
+        record_trace=False,
+    )
+    result = engine.run(kwargs["max_rounds"], stop_when=Engine.all_fault_free_output)
+    return engine, result
+
+
+class TestBatchMatchesSerial:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n,f,window", GRIDS)
+    def test_finals_and_rounds_bit_identical(self, n, f, window, backend):
+        seeds = list(range(8))
+        lanes = run_dac_batch(n, f, seeds, window=window, backend=backend)
+        assert [lane.seed for lane in lanes] == seeds
+        for seed, lane in zip(seeds, lanes):
+            engine, result = run_serial_lane(n, f, seed, window)
+            assert lane.rounds == int(result)
+            assert lane.stopped == result.stopped
+            # Full per-node state keys: value, phase, port bit vector,
+            # extremes, output -- the strongest equality available.
+            assert lane.state_keys == {
+                node: process.state_key()
+                for node, process in engine.processes.items()
+            }
+            assert lane.outputs == {
+                v: engine.processes[v].output()
+                for v in engine.fault_plan.fault_free
+                if engine.processes[v].has_output()
+            }
+            assert lane.inputs == {
+                node: process.input_value
+                for node, process in engine.processes.items()
+            }
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    @pytest.mark.parametrize("n,f,window", GRIDS)
+    def test_numpy_backend_matches_python_fallback(self, n, f, window):
+        seeds = [3, 11, 20, 21, 22, 23, 100, 101]
+        assert run_dac_batch(
+            n, f, seeds, window=window, backend="numpy"
+        ) == run_dac_batch(n, f, seeds, window=window, backend="python")
+
+    def test_lane_order_is_seed_order_not_finish_order(self):
+        # Lanes terminate at different rounds; results must still come
+        # back in seeds order.
+        seeds = [7, 0, 13, 5]
+        lanes = run_dac_batch(9, 4, seeds, window=2)
+        assert [lane.seed for lane in lanes] == seeds
+        assert len({lane.rounds for lane in lanes}) >= 1  # all finalized
+        assert all(lane.stopped for lane in lanes)
+
+    def test_backend_resolution_and_validation(self):
+        engine = BatchEngine(9, 4, [0], backend="auto")
+        expected = "numpy" if numpy_available() else "python"
+        assert engine.backend == expected
+        assert engine.batch_size == 1
+        # Value-dependent selectors are not vectorizable; auto falls
+        # back to the python backend, an explicit numpy request errors.
+        assert BatchEngine(9, 4, [0], selector="nearest").backend == "python"
+        with pytest.raises(ValueError, match="selector|numpy"):
+            BatchEngine(9, 4, [0], selector="nearest", backend="numpy")
+        with pytest.raises(ValueError, match="backend"):
+            BatchEngine(9, 4, [0], backend="cuda")
+        with pytest.raises(ValueError, match="seed"):
+            BatchEngine(9, 4, [])
+        with pytest.raises(ValueError, match="2f"):
+            BatchEngine(8, 4, [0])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_max_rounds_cap_reports_unstopped_lanes(self, backend):
+        # A cap far below termination: every lane must report exactly
+        # the cap and stopped=False, like Engine.run does.
+        lanes = run_dac_batch(9, 4, [0, 1], max_rounds=3, backend=backend)
+        assert [lane.rounds for lane in lanes] == [3, 3]
+        assert not any(lane.stopped for lane in lanes)
+        assert all(lane.outputs == {} for lane in lanes)
+
+
+class TestBatchedTrialFunction:
+    def test_batched_summaries_equal_serial_summaries(self):
+        seeds = list(range(6))
+        batched = run_dac_trial_batch(n=9, window=2, seeds=seeds)
+        assert batched == [run_dac_trial(n=9, window=2, seed=s) for s in seeds]
+
+    def test_non_fast_batch_delegates_to_serial_trials(self):
+        seeds = [0, 1]
+        assert run_dac_trial_batch(n=5, fast=False, seeds=seeds) == [
+            run_dac_trial(n=5, fast=False, seed=s) for s in seeds
+        ]
+
+    def test_trial_carries_its_batched_form(self):
+        assert run_dac_trial.batch_fn is run_dac_trial_batch
+
+
+def echo_trial(seed, **params):
+    return {"seed": seed, **params}
+
+
+def echo_trial_batch(seeds=(), **params):
+    return [{"seed": seed, **params} for seed in seeds]
+
+
+def short_batch(seeds=(), **params):
+    return [{"seed": seeds[0], **params}]  # drops all but the first seed
+
+
+class TestRunTrialsBatching:
+    def make_specs(self, count, param=1):
+        return [TrialSpec((("p", param),), seed=i) for i in range(count)]
+
+    def test_batched_results_keep_spec_order(self):
+        specs = self.make_specs(10)
+        results = run_trials(
+            echo_trial, specs, workers=1, batch=4, batch_fn=echo_trial_batch
+        )
+        assert results == [echo_trial(seed=i, p=1) for i in range(10)]
+
+    def test_batching_groups_only_consecutive_equal_params(self):
+        specs = [
+            TrialSpec((("p", 1),), seed=0),
+            TrialSpec((("p", 1),), seed=1),
+            TrialSpec((("p", 2),), seed=2),
+            TrialSpec((("p", 1),), seed=3),
+        ]
+        results = run_trials(
+            echo_trial, specs, workers=1, batch=8, batch_fn=echo_trial_batch
+        )
+        assert [(r["p"], r["seed"]) for r in results] == [(1, 0), (1, 1), (2, 2), (1, 3)]
+
+    def test_batch_composes_with_workers(self):
+        specs = self.make_specs(12)
+        assert run_trials(
+            echo_trial, specs, workers=3, batch=2, batch_fn=echo_trial_batch
+        ) == [echo_trial(seed=i, p=1) for i in range(12)]
+
+    def test_explicit_batch_without_batch_fn_raises(self):
+        with pytest.raises(ValueError, match="batched trial function"):
+            run_trials(echo_trial, self.make_specs(4), workers=1, batch=4)
+
+    def test_default_batch_degrades_for_unbatched_functions(self):
+        set_default_batch(4)
+        try:
+            assert resolve_batch(None) == 4
+            # echo_trial has no batch_fn: the process-wide default must
+            # not break it, just run unbatched.
+            results = run_trials(echo_trial, self.make_specs(5), workers=1, batch=None)
+            assert [r["seed"] for r in results] == list(range(5))
+        finally:
+            set_default_batch(1)
+        assert resolve_batch(None) == 1
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            resolve_batch(0)
+        with pytest.raises(ValueError, match="batch"):
+            set_default_batch(0)
+
+    def test_wrong_length_batch_results_are_rejected(self):
+        with pytest.raises(ValueError, match="one result per seed"):
+            run_trials(echo_trial, self.make_specs(4), workers=1, batch=4,
+                       batch_fn=short_batch)
+
+
+class TestSweepBatchIdentity:
+    def test_workers_4_batch_4_records_identical_to_serial(self):
+        grid = {"n": [5, 7], "window": [1, 2]}
+        serial = Sweep(grid=grid, repeats=4)
+        composed = Sweep(grid=grid, repeats=4)
+        serial.run(run_dac_trial, workers=1, batch=1)
+        composed.run(run_dac_trial, workers=4, batch=4)
+        assert serial.records == composed.records
+        assert all(record.result["correct"] for record in composed.records)
+
+    def test_sweep_discovers_the_batched_form_from_the_trial(self):
+        grid = {"n": [9]}
+        explicit = Sweep(grid=grid, repeats=4)
+        implicit = Sweep(grid=grid, repeats=4)
+        explicit.run(run_dac_trial, batch=4, batch_fn=run_dac_trial_batch)
+        implicit.run(run_dac_trial, batch=4)  # run_dac_trial.batch_fn
+        assert explicit.records == implicit.records

@@ -130,3 +130,61 @@ class TestTheoremScenarios:
     def test_theorem10_needs_faults(self):
         with pytest.raises(ValueError, match="f >= 1"):
             theorem10_split_execution(f=0)
+
+
+class TestPicklableTrials:
+    """The module-level trial functions for parallel comparative grids."""
+
+    def test_dbac_trial_summary_and_boundary_default(self):
+        from repro.workloads import run_dbac_trial
+
+        summary = run_dbac_trial(n=6, seed=3)  # f defaults to (6-1)//5 = 1
+        assert set(summary) == {"rounds", "spread", "terminated", "correct"}
+        assert summary["terminated"]
+        assert summary["correct"]
+
+    def test_dbac_trial_rejects_unknown_strategy(self):
+        from repro.workloads import run_dbac_trial
+
+        with pytest.raises(ValueError, match="strategy"):
+            run_dbac_trial(n=6, strategy="benevolent")
+
+    def test_baseline_trial_midpoint_and_trimmed(self):
+        from repro.workloads import run_baseline_trial
+
+        midpoint = run_baseline_trial(n=9, seed=1)
+        assert midpoint["terminated"]
+        trimmed = run_baseline_trial(n=9, algorithm="trimmed", f=1, seed=1)
+        assert trimmed["terminated"]
+        with pytest.raises(ValueError, match="algorithm"):
+            run_baseline_trial(n=9, algorithm="gossip")
+
+    def test_trials_fan_out_over_worker_processes(self):
+        # The ROADMAP contract: DBAC and baseline grids must run through
+        # Sweep.run(workers=N) -- i.e. the functions pickle and the
+        # parallel records equal the serial records.
+        from repro.bench.sweep import Sweep
+        from repro.workloads import run_baseline_trial, run_dbac_trial
+
+        for fn, grid in (
+            (run_dbac_trial, {"n": [6, 11]}),
+            (run_baseline_trial, {"n": [9], "algorithm": ["midpoint", "trimmed"]}),
+        ):
+            serial = Sweep(grid=grid, repeats=2)
+            parallel = Sweep(grid=grid, repeats=2)
+            serial.run(fn, workers=1)
+            parallel.run(fn, workers=2)
+            assert serial.records == parallel.records
+
+    def test_baseline_breaks_where_dac_survives(self):
+        # The comparative point of the grids: once the window-T
+        # adversary withholds deliveries (message loss), the reliable-
+        # channel baseline loses epsilon-agreement -- it burns its
+        # round budget on silent rounds -- while DAC stays correct
+        # under the identical adversary and input stream.
+        from repro.workloads import run_baseline_trial, run_dac_trial
+
+        dac = run_dac_trial(n=9, f=0, epsilon=1e-3, window=3, seed=0)
+        baseline = run_baseline_trial(n=9, epsilon=1e-3, window=3, seed=0)
+        assert dac["correct"]
+        assert baseline["terminated"] and not baseline["correct"]
