@@ -170,3 +170,72 @@ def test_engine_scaling_table(benchmark):
 
 def test_batched_executor_table(benchmark):
     run_and_check(benchmark, experiment_s3)
+
+
+def test_enforced_adversary_throughput():
+    """Report enforced-adversary rounds/s plus the graph-construction
+    micro-comparison (Topology PR acceptance leg).
+
+    Two scenarios: the memo-hit regime (``rotate``, where choose was
+    already cached pre-Topology and the win is the cheaper construction
+    plus adjacency-row routing) and the miss-every-round regime
+    (``nearest``, DBAC's default, where every round used to pay a full
+    dict-of-frozensets DirectedGraph build). Numbers are reported, not
+    asserted (load-sensitive); the bit-identity claims live in
+    tests/test_topology_equivalence.py.
+    """
+    from repro.bench.topology_smoke import measure_enforced
+
+    print()
+    print("selector  n    rounds/s   legacy/cold  legacy/hit (construction)")
+    for selector in ("rotate", "nearest"):
+        for n in (9, 33):
+            rounds = 2000 if n <= 17 else 600
+            result = measure_enforced(n=n, rounds=rounds, selector=selector)
+            print(
+                f"{selector:8s}{n:4d}  {result['rounds_per_s']:9.0f}"
+                f"   {result['construction_speedup_cold']:9.2f}x"
+                f"  {result['construction_speedup_hit']:9.2f}x"
+            )
+
+
+def test_lookahead_candidate_evaluation():
+    """Report lookahead throughput and the overlay-vs-deepcopy ratios,
+    then write BENCH_topology.json so the perf trajectory is tracked.
+
+    The state-management ratio isolates exactly what the refactor
+    removed (per-candidate ``copy.deepcopy`` of every process); the
+    end-to-end ratio also pays the delivery work both implementations
+    share. The no-deepcopy contract itself is asserted in
+    tests/test_adversary_greedy.py and by the CI topology smoke.
+    """
+    import json
+
+    from repro.bench.topology_smoke import measure_lookahead, run_smoke
+
+    print()
+    print("n   rounds/s  cand evals/s  end-to-end   state mgmt")
+    lookahead = {}
+    for n in (17, 33):
+        result = measure_lookahead(n=n, rounds=120 if n <= 17 else 40)
+        lookahead[n] = result
+        print(
+            f"{n:2d}  {result['rounds_per_s']:8.0f}  {result['candidate_evals_per_s']:12.0f}"
+            f"  {result['candidate_eval_speedup']:9.2f}x"
+            f"  {result['state_management_speedup']:9.2f}x"
+        )
+    # run_smoke() is the single owner of the BENCH_topology.json schema
+    # (same payload the CI smoke step uploads); the larger-n lookahead
+    # legs measured above ride along under their own keys.
+    payload = run_smoke()
+    payload["lookahead_n17"] = lookahead[17]
+    payload["lookahead_n33"] = lookahead[33]
+    base = payload["lookahead"]
+    print(
+        f" 9  {base['rounds_per_s']:8.0f}  {base['candidate_evals_per_s']:12.0f}"
+        f"  {base['candidate_eval_speedup']:9.2f}x"
+        f"  {base['state_management_speedup']:9.2f}x"
+    )
+    with open("BENCH_topology.json", "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print("wrote BENCH_topology.json")

@@ -40,6 +40,7 @@ def corollary_1() -> None:
         inputs=[0.0, 1.0, 1.0],
         choices=mobile_omission_choices(n),
         horizon=2,
+        cache_choices=True,  # deterministic generator: cache per depth
     )
     violation = explorer.search()
     assert violation is not None

@@ -68,6 +68,7 @@ from repro.faults import (
 from repro.mc import BoundedExplorer, mobile_omission_choices
 from repro.net import (
     DirectedGraph,
+    Topology,
     DynaDegreeChecker,
     DynamicGraph,
     EdgeSchedule,
@@ -119,6 +120,7 @@ __all__ = [
     "dbac_convergence_rate",
     "rounds_upper_bound",
     # Network
+    "Topology",
     "DirectedGraph",
     "DynamicGraph",
     "EdgeSchedule",

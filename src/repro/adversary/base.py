@@ -13,7 +13,7 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING
 
 from repro.net.dynamic import EdgeSchedule
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.faults.base import FaultPlan
@@ -39,7 +39,7 @@ class MessageAdversary(ABC):
         """Hook for subclasses needing post-setup initialization."""
 
     @abstractmethod
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         """The link set ``E(t)`` for round ``t``."""
 
     def promised_dynadegree(self) -> tuple[int, int] | None:
@@ -59,17 +59,17 @@ class StaticAdversary(MessageAdversary):
     gives the strongest possible stability ``(1, n-1)``.
     """
 
-    def __init__(self, graph: DirectedGraph | None = None) -> None:
+    def __init__(self, graph: Topology | None = None) -> None:
         super().__init__()
         self._graph = graph
 
     def _on_setup(self) -> None:
         if self._graph is None:
-            self._graph = DirectedGraph.complete(self.n)
+            self._graph = Topology.complete(self.n)
         elif self._graph.n != self.n:
             raise ValueError(f"static graph has n={self._graph.n}, engine has n={self.n}")
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         assert self._graph is not None
         return self._graph
 
@@ -103,7 +103,7 @@ class ScheduleAdversary(MessageAdversary):
                 f"schedule has n={self._schedule.n}, engine has n={self.n}"
             )
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         return self._schedule.graph_at(t)
 
     def promised_dynadegree(self) -> tuple[int, int] | None:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
@@ -51,10 +51,10 @@ class RootedStarAdversary(MessageAdversary):
             return t % self.n
         return self.rng.randrange(self.n)
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         root = self._root(t)
         edges: list[Edge] = [(root, v) for v in range(self.n) if v != root]
-        return DirectedGraph(self.n, edges)
+        return Topology(self.n, edges)
 
     def promised_dynadegree(self) -> tuple[int, int] | None:
         # Non-root nodes hear exactly one sender per round; with a
@@ -77,9 +77,9 @@ class StableSpanningTreeAdversary(MessageAdversary):
         for v in range(self.n - 1):
             edges.append((v, v + 1))
             edges.append((v + 1, v))
-        self._graph = DirectedGraph(self.n, edges)
+        self._graph = Topology(self.n, edges)
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         return self._graph
 
     def promised_dynadegree(self) -> tuple[int, int] | None:

@@ -31,7 +31,7 @@ from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
@@ -73,6 +73,40 @@ def rotate_picks(
     return picks
 
 
+# The rotate *round structure* -- the Topology one rotate round plays
+# -- is shared by every layer that replicates rotate choices: the
+# serial enforcing adversaries replay it from here, and the batched
+# executor derives its delivered-from matrices from its adjacency
+# rows. Keyed on the hash-consed arguments; bounded like the pick memo.
+_rotate_topologies: dict[tuple[int, tuple[int, ...], int, int], Topology] = {}
+
+
+def rotate_topology(
+    n: int, live: tuple[int, ...], salt: int, degree: int
+) -> Topology:
+    """The interned :class:`Topology` of one ``rotate`` round.
+
+    Edges are ``(sender, receiver)`` for every receiver's
+    :func:`rotate_picks` senders. The result depends only on
+    ``(n, live set, salt mod n, degree)``, so after the crash schedule
+    settles every enforced round resolves to an already-built graph
+    whose adjacency rows the engine reads directly.
+    """
+    key = (n, live, salt % n, degree)
+    cached = _rotate_topologies.get(key)
+    if cached is None:
+        if len(_rotate_topologies) >= _ROTATE_CACHE_MAX:
+            _rotate_topologies.clear()
+        edges = sorted(
+            (u, receiver)
+            for receiver, senders in enumerate(rotate_picks(n, live, salt, degree))
+            for u in senders
+        )
+        cached = Topology.from_sorted_edges(n, edges)
+        _rotate_topologies[key] = cached
+    return cached
+
+
 class _QuorumSelector:
     """Shared sender-selection logic for the constrained adversaries.
 
@@ -108,10 +142,11 @@ class _QuorumSelector:
         Returns a list indexed by receiver. Identical, receiver for
         receiver, to what the historical per-receiver ``pick`` chose
         (asserted by the adversary regression tests)."""
-        live_sorted = sorted(view.live_senders())
+        live_tuple = view.live_senders_sorted()
+        live_sorted = list(live_tuple)
         n = view.n
         if self.selector == "rotate":
-            return self._rotate_for(n, tuple(live_sorted), salt)
+            return self._rotate_for(n, live_tuple, salt)
         if self.selector == "random":
             picks = []
             for receiver in range(n):
@@ -119,27 +154,78 @@ class _QuorumSelector:
                 adversary.rng.shuffle(live)
                 picks.append(live[: self.degree])
             return picks
-        # nearest: Byzantine first, then closest values. Fault roles
-        # and values are round constants -- resolve them once, not once
-        # per (receiver, candidate) comparison.
+        # nearest: Byzantine first, then closest values. Specified as a
+        # per-receiver stable sort by (byzantine-first, |value - mine|)
+        # over the ascending live list -- computed here as a two-pointer
+        # walk over one round-constant value-sorted array instead of n
+        # keyed sorts. Equal distances are emitted in ascending node
+        # order, exactly the stability the specified sort guarantees
+        # (pinned against the spec sort by the selector regression
+        # tests, ties and all).
         plan = view.fault_plan
         byzantine = frozenset(u for u in live_sorted if plan.is_byzantine(u))
-        values = {u: view.value(u) for u in live_sorted if u not in byzantine}
+        byz_sorted = [u for u in live_sorted if u in byzantine]
+        pairs = sorted((view.value(u), u) for u in live_sorted if u not in byzantine)
+        vals = [value for value, _ in pairs]
+        ids = [u for _, u in pairs]
+        count = len(vals)
+        degree = self.degree
         picks = []
         for receiver in range(n):
             my_value = view.value(receiver)
-
-            def hostility(u: int) -> tuple[int, float]:
-                if u in byzantine:
-                    return (0, 0.0)
-                value = values[u]
-                if my_value is None or value is None:
-                    return (1, 0.0)
-                return (1, abs(value - my_value))
-
-            live = [u for u in live_sorted if u != receiver]
-            live.sort(key=hostility)
-            picks.append(live[: self.degree])
+            chosen = [u for u in byz_sorted if u != receiver][:degree]
+            remaining = degree - len(chosen)
+            if remaining > 0 and my_value is None:
+                # Byzantine receiver: every honest distance ties at the
+                # spec's (1, 0.0) key -- stable order is ascending u.
+                for u in live_sorted:
+                    if u == receiver or u in byzantine:
+                        continue
+                    chosen.append(u)
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+            elif remaining > 0:
+                left = bisect_left(vals, my_value) - 1
+                right = left + 1
+                while remaining > 0 and (left >= 0 or right < count):
+                    # my_value - vals[left] and vals[right] - my_value
+                    # are the exact floats abs() would produce (left
+                    # values are strictly below, right values at or
+                    # above my_value).
+                    d_left = (my_value - vals[left]) if left >= 0 else None
+                    d_right = (vals[right] - my_value) if right < count else None
+                    take_left = d_right is None or (
+                        d_left is not None and d_left <= d_right
+                    )
+                    take_right = d_left is None or (
+                        d_right is not None and d_right <= d_left
+                    )
+                    distance = d_left if take_left else d_right
+                    group: list[int] = []
+                    if take_left:
+                        while left >= 0 and my_value - vals[left] == distance:
+                            group.append(ids[left])
+                            left -= 1
+                    if take_right:
+                        while right < count and vals[right] - my_value == distance:
+                            group.append(ids[right])
+                            right += 1
+                    # The spec's stable sort emits equal distances in
+                    # ascending node order. Equal rounded distances can
+                    # span *distinct* values (float rounding), so the
+                    # collected group is not otherwise ordered by u --
+                    # always sort it (groups are tiny off the converged
+                    # case, and nearly sorted there).
+                    group.sort()
+                    for u in group:
+                        if u == receiver:
+                            continue
+                        chosen.append(u)
+                        remaining -= 1
+                        if remaining == 0:
+                            break
+            picks.append(chosen)
         return picks
 
     def _rotate_for(
@@ -154,45 +240,33 @@ class _QuorumSelector:
             self._rotate_cache[key] = cached
         return cached
 
-    def edges_for_round(
-        self,
-        salt: int,
-        view: "EngineView",
-        adversary: MessageAdversary,
-    ) -> list[Edge]:
-        """This round's chosen ``(sender, receiver)`` link list."""
-        edges: list[Edge] = []
-        for receiver, senders in enumerate(self.picks_for_round(salt, view, adversary)):
-            for u in senders:
-                edges.append((u, receiver))
-        return edges
-
-
 class _CachedGraphMixin:
-    """Graph memo for selectors whose choices are round-structural.
+    """Round-graph resolution for the enforcing quorum adversaries.
 
-    ``rotate`` choices depend only on ``(live set, salt mod n)``, so the
-    chosen :class:`DirectedGraph` (immutable) can be replayed whenever
-    that key recurs -- after the crash schedule settles, every ``n``
-    rounds. Value- or RNG-dependent selectors are never cached.
+    ``rotate`` choices depend only on ``(live set, salt mod n)``, so
+    those rounds resolve through the module-level
+    :func:`rotate_topology` memo -- the same interned
+    :class:`Topology` the batched executor derives its matrices from.
+    After the crash schedule settles every enforced round is a pure
+    memo hit replaying one graph whose adjacency rows are already
+    built. Value- or RNG-dependent selectors are never cached; their
+    per-round edge lists are wrapped into (hash-consed) Topologies
+    directly.
     """
 
     _quorum: _QuorumSelector
 
-    def _on_setup(self) -> None:
-        self._graph_cache: dict[tuple, DirectedGraph] = {}
+    def _on_setup(self) -> None:  # kept as a subclass hook point
+        pass
 
-    def _graph_for(self, salt: int, view: "EngineView") -> DirectedGraph:
-        if self._quorum.selector != "rotate":
-            return DirectedGraph(self.n, self._quorum.edges_for_round(salt, view, self))
-        key = (tuple(sorted(view.live_senders())), salt % self.n)
-        graph = self._graph_cache.get(key)
-        if graph is None:
-            if len(self._graph_cache) >= _ROTATE_CACHE_MAX:
-                self._graph_cache.clear()
-            graph = DirectedGraph(self.n, self._quorum.edges_for_round(salt, view, self))
-            self._graph_cache[key] = graph
-        return graph
+    def _graph_for(self, salt: int, view: "EngineView") -> Topology:
+        if self._quorum.selector == "rotate":
+            return rotate_topology(
+                self.n, view.live_senders_sorted(), salt, self._quorum.degree
+            )
+        return Topology.from_receiver_lists(
+            self.n, self._quorum.picks_for_round(salt, view, self)
+        )
 
 
 class RotatingQuorumAdversary(_CachedGraphMixin, MessageAdversary):
@@ -207,7 +281,7 @@ class RotatingQuorumAdversary(_CachedGraphMixin, MessageAdversary):
         """The enforced per-round in-degree ``D``."""
         return self._quorum.degree
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         return self._graph_for(t, view)
 
     def promised_dynadegree(self) -> tuple[int, int]:
@@ -252,7 +326,7 @@ class PhaseSkewAdversary(MessageAdversary):
             )
         self._fast = fast
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         edges: list[Edge] = []
         fast = self._fast
         for i, v in enumerate(fast):
@@ -262,7 +336,7 @@ class PhaseSkewAdversary(MessageAdversary):
             for v in sorted(self.slow):
                 senders = [fast[(v + k) % len(fast)] for k in range(self.degree)]
                 edges.extend((u, v) for u in senders if u != v)
-        return DirectedGraph(self.n, edges)
+        return Topology(self.n, edges)
 
     def promised_dynadegree(self) -> tuple[int, int]:
         return (self.window, self.degree)
@@ -285,9 +359,9 @@ class LastMinuteQuorumAdversary(_CachedGraphMixin, MessageAdversary):
 
     def _on_setup(self) -> None:
         super()._on_setup()
-        self._empty = DirectedGraph.empty(self.n)
+        self._empty = Topology.empty(self.n)
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         if (t + 1) % self.window != 0:
             return self._empty
         return self._graph_for(t // self.window, view)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
@@ -68,14 +68,14 @@ class MobileOmissionAdversary(MessageAdversary):
                 extremum_node = u
         return extremum_node
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         edges: list[Edge] = []
         for v in range(self.n):
             victim = self._victim_sender(v, t, view)
             for u in range(self.n):
                 if u != v and u != victim:
                     edges.append((u, v))
-        return DirectedGraph(self.n, edges)
+        return Topology(self.n, edges)
 
     def promised_dynadegree(self) -> tuple[int, int] | None:
         # Every node keeps at least n-2 incoming links every round.

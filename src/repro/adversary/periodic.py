@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 from repro.adversary.base import ScheduleAdversary
 from repro.net.dynamic import EdgeSchedule
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 
 
 class AlternatingAdversary(ScheduleAdversary):
@@ -47,6 +47,6 @@ def figure1_adversary() -> AlternatingAdversary:
     return AlternatingAdversary(3, [even_round, odd_round], promise=(2, 1))
 
 
-def figure1_base_graph() -> DirectedGraph:
+def figure1_base_graph() -> Topology:
     """Figure 1's base graph ``G``: the complete graph on 3 nodes."""
-    return DirectedGraph.complete(3)
+    return Topology.complete(3)

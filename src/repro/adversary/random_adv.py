@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
 from repro.net.generators import random_edges
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
@@ -35,8 +35,8 @@ class RandomLinkAdversary(MessageAdversary):
             raise ValueError(f"link probability must be in [0, 1], got {p}")
         self.p = p
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
-        return DirectedGraph(self.n, random_edges(self.n, self.p, self.rng))
+    def choose(self, t: int, view: "EngineView") -> Topology:
+        return Topology(self.n, random_edges(self.n, self.p, self.rng))
 
 
 class EventuallyStableAdversary(MessageAdversary):
@@ -58,7 +58,7 @@ class EventuallyStableAdversary(MessageAdversary):
         self.stable_round = stable_round
         self.p = p
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         if t >= self.stable_round:
-            return DirectedGraph.complete(self.n)
-        return DirectedGraph(self.n, random_edges(self.n, self.p, self.rng))
+            return Topology.complete(self.n)
+        return Topology(self.n, random_edges(self.n, self.p, self.rng))

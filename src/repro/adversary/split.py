@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
 from repro.net.generators import split_edges
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
@@ -41,15 +41,15 @@ class SplitGroupsAdversary(MessageAdversary):
         if not groups:
             raise ValueError("need at least one group")
         self.groups = [frozenset(g) for g in groups]
-        self._graph: DirectedGraph | None = None
+        self._graph: Topology | None = None
 
     def _on_setup(self) -> None:
         covered = set().union(*self.groups)
         if not covered <= set(range(self.n)):
             raise ValueError(f"groups mention nodes outside 0..{self.n - 1}")
-        self._graph = DirectedGraph(self.n, split_edges(self.n, self.groups))
+        self._graph = Topology(self.n, split_edges(self.n, self.groups))
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         assert self._graph is not None
         return self._graph
 
@@ -79,7 +79,7 @@ class ReceiveSetsAdversary(MessageAdversary):
     def __init__(self, receive_sets: dict[int, Collection[int]]) -> None:
         super().__init__()
         self.receive_sets = {v: frozenset(s) for v, s in receive_sets.items()}
-        self._graph: DirectedGraph | None = None
+        self._graph: Topology | None = None
 
     def _on_setup(self) -> None:
         edges = []
@@ -92,9 +92,9 @@ class ReceiveSetsAdversary(MessageAdversary):
                     raise ValueError(f"sender {u} out of range for n={self.n}")
                 if u != v:
                     edges.append((u, v))
-        self._graph = DirectedGraph(self.n, edges)
+        self._graph = Topology(self.n, edges)
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         assert self._graph is not None
         return self._graph
 
@@ -130,14 +130,14 @@ class IsolateThenConnectAdversary(MessageAdversary):
             )
         self.groups = [frozenset(g) for g in groups]
         self.isolation_rounds = isolation_rounds
-        self._split: DirectedGraph | None = None
-        self._full: DirectedGraph | None = None
+        self._split: Topology | None = None
+        self._full: Topology | None = None
 
     def _on_setup(self) -> None:
-        self._split = DirectedGraph(self.n, split_edges(self.n, self.groups))
-        self._full = DirectedGraph.complete(self.n)
+        self._split = Topology(self.n, split_edges(self.n, self.groups))
+        self._full = Topology.complete(self.n)
 
-    def choose(self, t: int, view: "EngineView") -> DirectedGraph:
+    def choose(self, t: int, view: "EngineView") -> Topology:
         assert self._split is not None and self._full is not None
         return self._split if t < self.isolation_rounds else self._full
 

@@ -338,7 +338,12 @@ def experiment_i1(quick: bool = True) -> TableResult:
     }
     for name, factory in candidates.items():
         explorer = BoundedExplorer(
-            n, factory, [0.0, 1.0, 1.0], mobile_omission_choices(n), horizon=2
+            n,
+            factory,
+            [0.0, 1.0, 1.0],
+            mobile_omission_choices(n),
+            horizon=2,
+            cache_choices=True,
         )
         violation = explorer.search()
         table.add_row(

@@ -279,7 +279,7 @@ def experiment_x8(quick: bool = True) -> TableResult:
     from repro.core.piggyback import PiggybackDACProcess
     from repro.net.dynadegree import max_degree_for_window
     from repro.net.generators import cycle_edges
-    from repro.net.graph import DirectedGraph
+    from repro.net.topology import Topology
     from repro.net.temporal import max_reach_for_window
 
     table = TableResult(
@@ -290,7 +290,7 @@ def experiment_x8(quick: bool = True) -> TableResult:
     n = 7 if quick else 9
     window = n - 1
     rounds_cap = 120 if quick else 300
-    ring = DirectedGraph(n, cycle_edges(n, bidirectional=False))
+    ring = Topology(n, cycle_edges(n, bidirectional=False))
     ports = random_ports(n, child_rng(47, "ports"))
     inputs = spawn_inputs(47, n)
 

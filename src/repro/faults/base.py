@@ -50,6 +50,18 @@ class FaultPlan:
         overlap = set(self.crashes) & set(self.byzantine)
         if overlap:
             raise ValueError(f"nodes {sorted(overlap)} are both crash and Byzantine")
+        # The plan is immutable after construction, so the membership
+        # sets and per-round live profiles are memoized: the engine and
+        # the enforcing adversaries consult them every round, and the
+        # live set only changes when a crash event fires.
+        self._crash_order: tuple[int, ...] = tuple(sorted(self.crashes))
+        self._fault_free: frozenset[int] | None = None
+        self._non_byzantine: frozenset[int] | None = None
+        self._live_cache: dict[tuple[bool, ...], tuple[frozenset[int], tuple[int, ...]]] = {}
+        self._round_cache: dict[
+            tuple[int, ...],
+            tuple[dict[int, frozenset[int] | None], frozenset[int]],
+        ] = {}
 
     @classmethod
     def fault_free_plan(cls, n: int) -> "FaultPlan":
@@ -71,9 +83,15 @@ class FaultPlan:
     @property
     def fault_free(self) -> frozenset[int]:
         """The paper's ``H``: nodes that never fail."""
-        return frozenset(
-            v for v in range(self.n) if v not in self.crashes and v not in self.byzantine
-        )
+        cached = self._fault_free
+        if cached is None:
+            cached = frozenset(
+                v
+                for v in range(self.n)
+                if v not in self.crashes and v not in self.byzantine
+            )
+            self._fault_free = cached
+        return cached
 
     @property
     def non_byzantine(self) -> frozenset[int]:
@@ -82,7 +100,11 @@ class FaultPlan:
         Validity is stated over *non-Byzantine* inputs: a node that
         eventually crashes still contributes a legitimate input.
         """
-        return frozenset(v for v in range(self.n) if v not in self.byzantine)
+        cached = self._non_byzantine
+        if cached is None:
+            cached = frozenset(v for v in range(self.n) if v not in self.byzantine)
+            self._non_byzantine = cached
+        return cached
 
     def is_byzantine(self, node: int) -> bool:
         """Whether ``node`` runs a Byzantine strategy."""
@@ -117,6 +139,35 @@ class FaultPlan:
             return True
         return event.processes_at(t)
 
+    def round_profile(
+        self, t: int
+    ) -> tuple[dict[int, frozenset[int] | None], frozenset[int]]:
+        """Per-round crash metadata, memoized: ``(targets_map, stopped)``.
+
+        ``targets_map`` holds :meth:`send_targets` entries for *crash*
+        nodes only (absent means unrestricted -- exactly the ``None``
+        those nodes would return); ``stopped`` is the set of nodes that
+        no longer process (:meth:`processes_at` false). The engine asks
+        both questions for every node every round; this answers them
+        with one dict hit per round, since they change only when a
+        crash event passes through its crash round.
+        """
+        key = tuple(
+            0 if t < self.crashes[node].round else 1 if t == self.crashes[node].round else 2
+            for node in self._crash_order
+        )
+        cached = self._round_cache.get(key)
+        if cached is None:
+            targets_map = {
+                node: event.send_targets_at(t) for node, event in self.crashes.items()
+            }
+            stopped = frozenset(
+                node for node, event in self.crashes.items() if not event.processes_at(t)
+            )
+            cached = (targets_map, stopped)
+            self._round_cache[key] = cached
+        return cached
+
     def live_senders(self, t: int) -> frozenset[int]:
         """Nodes guaranteed to transmit (fully) in round ``t``.
 
@@ -125,12 +176,33 @@ class FaultPlan:
         sender is conservatively *not* counted (DESIGN.md note 4).
         Byzantine nodes always transmit (possibly garbage) and count.
         """
-        alive = set()
-        for node in range(self.n):
-            if node in self.byzantine:
-                alive.add(node)
-                continue
-            event = self.crashes.get(node)
-            if event is None or event.sends_fully_at(t):
-                alive.add(node)
-        return frozenset(alive)
+        return self._live_profile(t)[0]
+
+    def live_senders_sorted(self, t: int) -> tuple[int, ...]:
+        """:meth:`live_senders` as a sorted tuple (memo-key friendly).
+
+        The enforcing adversaries key their per-round graph memos on
+        this tuple; memoizing it here removes the per-round
+        ``tuple(sorted(...))`` rebuild from every enforced round.
+        """
+        return self._live_profile(t)[1]
+
+    def _live_profile(self, t: int) -> tuple[frozenset[int], tuple[int, ...]]:
+        # The live set depends on t only through which crash events
+        # have fired, so it is memoized on that (small) bool vector.
+        key = tuple(
+            self.crashes[node].sends_fully_at(t) for node in self._crash_order
+        )
+        cached = self._live_cache.get(key)
+        if cached is None:
+            alive = set(self.byzantine)
+            for node in range(self.n):
+                if node in self.byzantine:
+                    continue
+                event = self.crashes.get(node)
+                if event is None or event.sends_fully_at(t):
+                    alive.add(node)
+            ordered = tuple(sorted(alive))
+            cached = (frozenset(ordered), ordered)
+            self._live_cache[key] = cached
+        return cached

@@ -25,14 +25,20 @@ import itertools
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 from repro.sim.node import ConsensusProcess, Delivery
 
 # A factory building the process for (node, input); self_port is the
 # node ID itself (the explorer uses identity ports: any fixed port
 # numbering is a legal one, and a violation under it is a violation).
 ProcessFactory = Callable[[int, float], ConsensusProcess]
-ChoiceGenerator = Callable[[int], Iterable[DirectedGraph]]
+
+# The admissible-choice generator: round index -> the round's candidate
+# graphs, re-invoked at every DFS node by default. When the admissible
+# set is a deterministic function of the round (the exhaustive-search
+# norm), pass ``cache_choices=True`` to BoundedExplorer to generate
+# each depth's set once and replay it across branches.
+ChoiceGenerator = Callable[[int], Iterable[Topology]]
 
 
 @dataclass(frozen=True)
@@ -41,7 +47,7 @@ class Violation:
 
     kind: str  # "disagreement" | "validity" | "non-termination"
     outputs: tuple[float | None, ...]
-    schedule: tuple[DirectedGraph, ...]
+    schedule: tuple[Topology, ...]
 
     def __str__(self) -> str:
         return (
@@ -63,22 +69,22 @@ def mobile_omission_choices(n: int) -> ChoiceGenerator:
         [None] + [u for u in range(n) if u != v] for v in range(n)
     ]
 
-    def generate(t: int) -> Iterable[DirectedGraph]:
+    def generate(t: int) -> Iterable[Topology]:
         for victims in itertools.product(*per_node_options):
             dropped = {
                 (victims[v], v) for v in range(n) if victims[v] is not None
             }
             edges: list[Edge] = [e for e in complete if e not in dropped]
-            yield DirectedGraph(n, edges)
+            yield Topology(n, edges)
 
     return generate
 
 
 def full_graph_choice(n: int) -> ChoiceGenerator:
     """Degenerate generator: only the complete graph (sanity baseline)."""
-    graph = DirectedGraph.complete(n)
+    graph = Topology.complete(n)
 
-    def generate(t: int) -> Iterable[DirectedGraph]:
+    def generate(t: int) -> Iterable[Topology]:
         yield graph
 
     return generate
@@ -105,6 +111,16 @@ class BoundedExplorer:
         ``nontermination_is_violation`` is set.
     epsilon:
         Agreement tolerance: 0.0 for exact consensus.
+    cache_choices:
+        Opt-in: when true, each depth's candidate set is generated
+        once, deduplicated on the stable content hash, and replayed at
+        every DFS branch -- a large win for deterministic generators
+        (the admissible set is regenerated at every DFS node
+        otherwise), at the cost of holding one round's candidates in
+        memory (fine in the explorer's documented ``n = 3..4``
+        regime). Leave false (the default, and the pre-Topology
+        behavior) for stochastic or streaming generators whose
+        per-call output must not be frozen.
     """
 
     def __init__(
@@ -116,6 +132,7 @@ class BoundedExplorer:
         horizon: int,
         epsilon: float = 0.0,
         nontermination_is_violation: bool = True,
+        cache_choices: bool = False,
     ) -> None:
         if len(inputs) != n:
             raise ValueError(f"need {n} inputs, got {len(inputs)}")
@@ -128,17 +145,40 @@ class BoundedExplorer:
         self.horizon = horizon
         self.epsilon = epsilon
         self.nontermination_is_violation = nontermination_is_violation
+        self.cache_choices = cache_choices
         self.states_explored = 0
+        # Per-round candidate cache (see the cache_choices parameter):
+        # materialized once per depth, deduplicated on the stable
+        # content hash, with hash-consing collapsing repeats across
+        # rounds to one interned instance each.
+        self._choice_cache: dict[int, tuple[Topology, ...]] = {}
+
+    def _choices_at(self, t: int) -> Iterable[Topology]:
+        if not self.cache_choices:
+            return self.choices(t)
+        cached = self._choice_cache.get(t)
+        if cached is None:
+            seen: set[int] = set()
+            unique: list[Topology] = []
+            for graph in self.choices(t):
+                marker = graph.content_hash
+                if marker not in seen:
+                    seen.add(marker)
+                    unique.append(graph)
+            cached = tuple(unique)
+            self._choice_cache[t] = cached
+        return cached
 
     # -- Single-round semantics (fault-free, identity ports) -------------
 
     def _step(
-        self, processes: list[ConsensusProcess], graph: DirectedGraph
+        self, processes: list[ConsensusProcess], graph: Topology
     ) -> list[ConsensusProcess]:
         successors = copy.deepcopy(processes)
         broadcasts = [proc.broadcast() for proc in successors]
+        in_rows = graph.in_rows()
         for v, proc in enumerate(successors):
-            pairs = [(u, broadcasts[u]) for u in sorted(graph.in_neighbors(v))]
+            pairs = [(u, broadcasts[u]) for u in in_rows[v]]
             pairs.append((v, broadcasts[v]))  # reliable self-delivery
             batch = [Delivery(u, msg) for u, msg in sorted(pairs)]
             proc.deliver(batch)
@@ -165,7 +205,7 @@ class BoundedExplorer:
         self,
         processes: list[ConsensusProcess],
         t: int,
-        schedule: tuple[DirectedGraph, ...],
+        schedule: tuple[Topology, ...],
         visited: set[tuple],
     ) -> Violation | None:
         key = (t, tuple(proc.state_key() for proc in processes))
@@ -187,7 +227,7 @@ class BoundedExplorer:
                 return Violation("non-termination", outputs, schedule)
             return None
 
-        for graph in self.choices(t):
+        for graph in self._choices_at(t):
             successors = self._step(processes, graph)
             found = self._dfs(successors, t + 1, schedule + (graph,), visited)
             if found is not None:
@@ -216,7 +256,7 @@ class BoundedExplorer:
                 return
             if t >= self.horizon:
                 return
-            for graph in self.choices(t):
+            for graph in self._choices_at(t):
                 recurse(self._step(processes, graph), t + 1)
 
         recurse(initial, 0)

@@ -3,7 +3,9 @@
 This package models the communication layer of the paper's anonymous
 dynamic network:
 
-- :mod:`repro.net.graph` -- minimal static directed graphs.
+- :mod:`repro.net.topology` -- the immutable, hash-consed graph value
+  type every layer shares (:mod:`repro.net.graph` keeps the deprecated
+  ``DirectedGraph`` alias).
 - :mod:`repro.net.dynamic` -- round-indexed edge schedules ``E(t)`` and
   recorded communication traces.
 - :mod:`repro.net.dynadegree` -- the ``(T, D)``-dynaDegree stability
@@ -23,6 +25,7 @@ from repro.net.dynadegree import (
 )
 from repro.net.dynamic import DynamicGraph, EdgeSchedule, window_union
 from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 from repro.net.generators import (
     complete_edges,
     cycle_edges,
@@ -40,6 +43,7 @@ from repro.net.properties import (
 from repro.net.temporal import check_dynareach, max_reach_for_window, window_reach_sets
 
 __all__ = [
+    "Topology",
     "DirectedGraph",
     "DynamicGraph",
     "EdgeSchedule",

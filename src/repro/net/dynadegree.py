@@ -26,7 +26,7 @@ from collections.abc import Callable, Collection, Sequence
 from dataclasses import dataclass, field
 
 from repro.net.dynamic import DynamicGraph
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 
 SendersAt = Callable[[int], Collection[int]]
 
@@ -75,7 +75,7 @@ def _window_in_neighbors(
         t = start + offset
         graph = trace.at(t)
         allowed = None if senders_at is None else set(senders_at(t))
-        for u, v in graph.edges:
+        for u, v in graph.edge_list:
             if allowed is None or u in allowed:
                 neighbors[v].add(u)
     return neighbors
@@ -246,13 +246,13 @@ class DynaDegreeChecker:
         """Stop constraining ``node`` (it crashed / became Byzantine)."""
         self._targets.discard(node)
 
-    def observe(self, graph: DirectedGraph, senders: Collection[int] | None = None) -> None:
+    def observe(self, graph: Topology, senders: Collection[int] | None = None) -> None:
         """Record one round's chosen edges (optionally filtered to live senders)."""
         if graph.n != self._n:
             raise ValueError(f"graph has n={graph.n}, checker expects {self._n}")
         allowed = None if senders is None else set(senders)
         per_node: dict[int, set[int]] = {v: set() for v in range(self._n)}
-        for u, v in graph.edges:
+        for u, v in graph.edge_list:
             if allowed is None or u in allowed:
                 per_node[v].add(u)
         self._history.append(per_node)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 
 
 class EdgeSchedule:
@@ -44,9 +44,21 @@ class EdgeSchedule:
     0
     """
 
+    # Distinct edge patterns cached per schedule; periodic schedules
+    # cycle through a handful, so the bound is generous. Cleared
+    # wholesale on overflow (function schedules can be aperiodic).
+    _PATTERN_CACHE_MAX = 256
+
     def __init__(self, n: int, fn: Callable[[int], Iterable[Edge]]) -> None:
         self._n = n
         self._fn = fn
+        # Pattern -> Topology memo: schedules overwhelmingly replay a
+        # small cycle of patterns (periodic tables, silent stretches,
+        # alternating rounds), so a recurring round returns the cached
+        # Topology *object* without re-normalizing its edges.
+        # Hash-consing additionally collapses misses after a clear back
+        # to one interned instance.
+        self._patterns: dict[tuple[Edge, ...], Topology] = {}
 
     @classmethod
     def from_table(cls, n: int, table: Sequence[Iterable[Edge]], repeat: bool = True) -> "EdgeSchedule":
@@ -79,13 +91,26 @@ class EdgeSchedule:
             raise ValueError(f"round index must be non-negative, got {t}")
         return list(self._fn(t))
 
-    def graph_at(self, t: int) -> DirectedGraph:
-        """The static graph ``(V, E(t))`` for round ``t``."""
-        return DirectedGraph(self._n, self.edges_at(t))
+    def graph_at(self, t: int) -> Topology:
+        """The static graph ``(V, E(t))`` for round ``t``.
+
+        Rounds replaying an already-seen edge pattern return the
+        identical cached :class:`Topology` (no per-round re-wrapping);
+        hash-consing keeps even post-clear rebuilds resolving to one
+        instance.
+        """
+        key = tuple(self.edges_at(t))
+        graph = self._patterns.get(key)
+        if graph is None:
+            if len(self._patterns) >= self._PATTERN_CACHE_MAX:
+                self._patterns.clear()
+            graph = Topology(self._n, key)
+            self._patterns[key] = graph
+        return graph
 
 
 class DynamicGraph:
-    """A recorded dynamic graph: one :class:`DirectedGraph` per round.
+    """A recorded dynamic graph: one :class:`Topology` per round.
 
     The engine appends the adversary's choice each round via
     :meth:`record`; analysis code reads rounds back with :meth:`at` or
@@ -96,7 +121,7 @@ class DynamicGraph:
         if n < 1:
             raise ValueError(f"dynamic graph needs at least one node, got n={n}")
         self._n = n
-        self._rounds: list[DirectedGraph] = []
+        self._rounds: list[Topology] = []
 
     @classmethod
     def from_schedule(cls, schedule: EdgeSchedule, num_rounds: int) -> "DynamicGraph":
@@ -115,23 +140,23 @@ class DynamicGraph:
         """Number of recorded rounds."""
         return len(self._rounds)
 
-    def record(self, graph: DirectedGraph) -> None:
+    def record(self, graph: Topology) -> None:
         """Append the edge set the adversary chose for the next round."""
         if graph.n != self._n:
             raise ValueError(f"recorded graph has n={graph.n}, expected {self._n}")
         self._rounds.append(graph)
 
-    def at(self, t: int) -> DirectedGraph:
+    def at(self, t: int) -> Topology:
         """The recorded graph of round ``t`` (0-based)."""
         return self._rounds[t]
 
-    def window(self, start: int, length: int) -> list[DirectedGraph]:
+    def window(self, start: int, length: int) -> list[Topology]:
         """The recorded graphs of rounds ``start .. start+length-1``."""
         if start < 0 or length < 1:
             raise ValueError(f"invalid window start={start}, length={length}")
         return self._rounds[start : start + length]
 
-    def window_union(self, start: int, length: int) -> DirectedGraph:
+    def window_union(self, start: int, length: int) -> Topology:
         """The paper's ``G_t``: union of ``E(start) .. E(start+length-1)``.
 
         Definition 1 aggregates incoming neighbors over a ``T``-round
@@ -144,16 +169,16 @@ class DynamicGraph:
         return [len(g) for g in self._rounds]
 
 
-def window_union(graphs: Sequence[DirectedGraph], n: int | None = None) -> DirectedGraph:
+def window_union(graphs: Sequence[Topology], n: int | None = None) -> Topology:
     """Union a sequence of per-round graphs into one static graph."""
     if not graphs:
         if n is None:
             raise ValueError("cannot union an empty window without knowing n")
-        return DirectedGraph.empty(n)
+        return Topology.empty(n)
     size = graphs[0].n if n is None else n
     edges: set[Edge] = set()
     for g in graphs:
         if g.n != size:
             raise ValueError(f"window mixes graphs with n={g.n} and n={size}")
         edges |= g.edges
-    return DirectedGraph(size, edges)
+    return Topology(size, edges)

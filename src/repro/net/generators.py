@@ -2,7 +2,8 @@
 
 These are plain functions returning edge lists (not graph objects) so
 adversaries can compose them cheaply: drop some, union others, then
-build the round's :class:`~repro.net.graph.DirectedGraph` once.
+build the round's :class:`~repro.net.topology.Topology` once
+(hash-consing then collapses recurring patterns to one instance).
 """
 
 from __future__ import annotations

@@ -1,175 +1,28 @@
-"""Minimal static directed graphs over node set ``{0, ..., n-1}``.
+"""Deprecated shim: ``DirectedGraph`` is now :class:`repro.net.topology.Topology`.
 
-The paper denotes the node set by ``[n]`` and works exclusively with
-directed links ``(u, v)`` meaning "``u``'s message reaches ``v``".
-Self-loops are excluded by the model (Section II-A): a node always
-receives its own message regardless of the adversary's choice, so
-self-delivery is handled by the simulation engine, never by edges.
+The mutable-construction ``DirectedGraph`` (dict-of-frozensets
+adjacency, rebuilt per round) was replaced by the frozen, hash-consed
+:class:`~repro.net.topology.Topology` value type, which every layer --
+net sources, adversaries, engine, batch executor, model checker,
+persistence -- now shares. The public API is a strict superset of the
+old class (``edges``, ``in_neighbors``/``out_neighbors`` as frozensets,
+degrees, union/restrict/reachability, value equality and hashing), so
+existing call sites and external examples keep running unchanged;
+``DirectedGraph(n, edges)`` simply returns the interned Topology.
 
-This module deliberately avoids any dependency on networkx: the graphs
-used by the adversary framework are tiny, rebuilt every round, and must
-be cheap to construct and hash.
+New code should import :class:`Topology` from
+:mod:`repro.net.topology` directly and prefer the array views
+(:meth:`~repro.net.topology.Topology.out_rows`,
+:meth:`~repro.net.topology.Topology.in_rows`,
+:attr:`~repro.net.topology.Topology.edge_list`,
+:attr:`~repro.net.topology.Topology.content_hash`) on hot paths.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from repro.net.topology import Edge, Topology
 
-Edge = tuple[int, int]
+# Deprecated alias, kept for backward compatibility (see module docstring).
+DirectedGraph = Topology
 
-
-class DirectedGraph:
-    """An immutable directed graph on nodes ``0..n-1`` without self-loops.
-
-    Parameters
-    ----------
-    n:
-        Number of nodes; nodes are the integers ``0..n-1``.
-    edges:
-        Iterable of directed edges ``(u, v)`` with ``u != v``.
-
-    Raises
-    ------
-    ValueError
-        If an edge endpoint is out of range or a self-loop is supplied.
-    """
-
-    __slots__ = ("_n", "_edges", "_in", "_out")
-
-    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
-        if n < 1:
-            raise ValueError(f"graph needs at least one node, got n={n}")
-        self._n = n
-        in_neighbors: dict[int, set[int]] = {v: set() for v in range(n)}
-        out_neighbors: dict[int, set[int]] = {v: set() for v in range(n)}
-        edge_set: set[Edge] = set()
-        for u, v in edges:
-            self._validate_edge(n, u, v)
-            edge_set.add((u, v))
-            in_neighbors[v].add(u)
-            out_neighbors[u].add(v)
-        self._edges = frozenset(edge_set)
-        self._in = {v: frozenset(s) for v, s in in_neighbors.items()}
-        self._out = {v: frozenset(s) for v, s in out_neighbors.items()}
-
-    @staticmethod
-    def _validate_edge(n: int, u: int, v: int) -> None:
-        if not (0 <= u < n and 0 <= v < n):
-            raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
-        if u == v:
-            raise ValueError(f"self-loop ({u}, {v}) is not allowed by the model")
-
-    @classmethod
-    def complete(cls, n: int) -> "DirectedGraph":
-        """The complete directed graph (every ordered pair, no self-loops)."""
-        return cls(n, ((u, v) for u in range(n) for v in range(n) if u != v))
-
-    @classmethod
-    def empty(cls, n: int) -> "DirectedGraph":
-        """The graph with no edges at all."""
-        return cls(n, ())
-
-    @property
-    def n(self) -> int:
-        """Number of nodes."""
-        return self._n
-
-    @property
-    def edges(self) -> frozenset[Edge]:
-        """The edge set as a frozen set of ``(u, v)`` pairs."""
-        return self._edges
-
-    def __len__(self) -> int:
-        return len(self._edges)
-
-    def __contains__(self, edge: Edge) -> bool:
-        return edge in self._edges
-
-    def __iter__(self) -> Iterator[Edge]:
-        return iter(self._edges)
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, DirectedGraph):
-            return NotImplemented
-        return self._n == other._n and self._edges == other._edges
-
-    def __hash__(self) -> int:
-        return hash((self._n, self._edges))
-
-    def __repr__(self) -> str:
-        return f"DirectedGraph(n={self._n}, m={len(self._edges)})"
-
-    def in_neighbors(self, v: int) -> frozenset[int]:
-        """Nodes ``u`` with a link ``(u, v)``: the senders ``v`` hears from."""
-        return self._in[v]
-
-    def out_neighbors(self, u: int) -> frozenset[int]:
-        """Nodes ``v`` with a link ``(u, v)``: the receivers of ``u``."""
-        return self._out[u]
-
-    def in_degree(self, v: int) -> int:
-        """Number of distinct incoming neighbors of ``v``."""
-        return len(self._in[v])
-
-    def out_degree(self, u: int) -> int:
-        """Number of distinct outgoing neighbors of ``u``."""
-        return len(self._out[u])
-
-    def union(self, other: "DirectedGraph") -> "DirectedGraph":
-        """Edge-union of two graphs over the same node set."""
-        if self._n != other._n:
-            raise ValueError(f"cannot union graphs with n={self._n} and n={other._n}")
-        return DirectedGraph(self._n, self._edges | other._edges)
-
-    def restrict_targets(self, targets: Iterable[int]) -> "DirectedGraph":
-        """Keep only edges whose head is in ``targets`` (same node set)."""
-        keep = set(targets)
-        return DirectedGraph(self._n, (e for e in self._edges if e[1] in keep))
-
-    def without_sources(self, sources: Iterable[int]) -> "DirectedGraph":
-        """Drop all edges whose tail is in ``sources`` (e.g. crashed senders)."""
-        drop = set(sources)
-        return DirectedGraph(self._n, (e for e in self._edges if e[0] not in drop))
-
-    def is_subgraph_of(self, other: "DirectedGraph") -> bool:
-        """True when every edge of this graph is also an edge of ``other``."""
-        return self._n == other._n and self._edges <= other._edges
-
-    def reachable_from(self, source: int) -> frozenset[int]:
-        """All nodes reachable from ``source`` along directed edges
-        (including ``source`` itself)."""
-        if not (0 <= source < self._n):
-            raise ValueError(f"source {source} out of range for n={self._n}")
-        seen = {source}
-        frontier = [source]
-        while frontier:
-            node = frontier.pop()
-            for nxt in self._out[node]:
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return frozenset(seen)
-
-    def roots(self) -> frozenset[int]:
-        """Nodes that reach every other node (the paper's "coordinators").
-
-        A graph "contains a directed rooted spanning tree" (the prior
-        stability property of [10], [17], [38]) iff this is non-empty.
-        """
-        return frozenset(
-            v for v in range(self._n) if len(self.reachable_from(v)) == self._n
-        )
-
-    def has_root(self) -> bool:
-        """Whether some node reaches all others this round."""
-        return bool(self.roots())
-
-    def is_strongly_connected(self) -> bool:
-        """Every node reaches every other node."""
-        if self._n == 1:
-            return True
-        if len(self.reachable_from(0)) != self._n:
-            return False
-        # Reverse reachability from 0: everyone reaches 0.
-        reverse = DirectedGraph(self._n, ((v, u) for u, v in self._edges))
-        return len(reverse.reachable_from(0)) == self._n
+__all__ = ["DirectedGraph", "Edge", "Topology"]

@@ -23,10 +23,10 @@ property to make the incomparability executable.
 from __future__ import annotations
 
 from repro.net.dynamic import DynamicGraph
-from repro.net.graph import DirectedGraph, Edge
+from repro.net.topology import Edge, Topology
 
 
-def _stable_undirected_component_count(graphs: list[DirectedGraph]) -> int:
+def _stable_undirected_component_count(graphs: list[Topology]) -> int:
     """Connected components of the symmetrized intersection of a window."""
     if not graphs:
         raise ValueError("window must contain at least one round")

@@ -27,10 +27,10 @@ from collections.abc import Collection
 
 from repro.net.dynadegree import DynaDegreeVerdict, DynaDegreeViolation
 from repro.net.dynamic import DynamicGraph
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 
 
-def window_reach_sets(window: list[DirectedGraph]) -> dict[int, frozenset[int]]:
+def window_reach_sets(window: list[Topology]) -> dict[int, frozenset[int]]:
     """Origins whose start-of-window state can reach each node.
 
     ``window`` is the per-round graph sequence; the result maps node ->
@@ -45,7 +45,7 @@ def window_reach_sets(window: list[DirectedGraph]) -> dict[int, frozenset[int]]:
         if graph.n != n:
             raise ValueError(f"window mixes graphs with n={graph.n} and n={n}")
         step = [set(r) for r in reach]
-        for u, v in graph.edges:
+        for u, v in graph.edge_list:
             step[v] |= reach[u]
         reach = step
     return {v: frozenset(reach[v]) for v in range(n)}

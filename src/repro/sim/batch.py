@@ -44,7 +44,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.adversary.constrained import rotate_picks
+from repro.adversary.constrained import rotate_topology
 from repro.net.ports import random_ports
 from repro.sim.rng import child_rng, spawn_inputs
 
@@ -282,19 +282,23 @@ class BatchEngine:
     def _delivered_from(self, live_key: tuple[int, ...], salt: int):
         """``(n, n)`` bool: does ``u``'s round broadcast reach ``v``?
 
-        Diagonal entries encode the engine's reliable self-delivery.
-        The matrix depends only on the live set and ``salt mod n``, so
-        after the crash schedule settles it cycles with period ``n``.
+        Derived from the *same* interned round
+        :class:`~repro.net.topology.Topology` the serial enforcing
+        adversary plays (:func:`repro.adversary.constrained.rotate_topology`),
+        by reading its cached in-adjacency rows -- one graph
+        representation across the serial and batched paths. Diagonal
+        entries encode the engine's reliable self-delivery. The matrix
+        depends only on the live set and ``salt mod n``, so after the
+        crash schedule settles it cycles with period ``n``.
         """
         np = _np
         key = (live_key, salt % self.n)
         cached = self._structure_cache.get(key)
         if cached is None:
+            topology = rotate_topology(self.n, live_key, salt, self.degree)
             delivered = np.zeros((self.n, self.n), dtype=bool)
-            for receiver, senders in enumerate(
-                rotate_picks(self.n, live_key, salt, self.degree)
-            ):
-                delivered[senders, receiver] = True
+            for receiver, senders in enumerate(topology.in_rows()):
+                delivered[list(senders), receiver] = True
             delivered[list(live_key), list(live_key)] = True
             self._structure_cache[key] = delivered
             cached = delivered

@@ -28,8 +28,8 @@ from typing import Any, Callable
 
 from repro.adversary.base import MessageAdversary
 from repro.faults.base import FaultPlan
-from repro.net.graph import DirectedGraph
 from repro.net.ports import PortNumbering
+from repro.net.topology import Topology
 from repro.sim.messages import message_bits
 from repro.sim.metrics import MetricsCollector
 from repro.sim.node import ConsensusProcess, Delivery
@@ -42,7 +42,7 @@ class RoundRecord:
     """What one call to :meth:`Engine.run_round` did."""
 
     round: int
-    graph: DirectedGraph
+    graph: Topology
     delivered: int
     bits: int
 
@@ -147,6 +147,13 @@ class EngineView:
     def live_senders(self) -> frozenset[int]:
         """Nodes transmitting fully this round (crash model awareness)."""
         return self._engine.fault_plan.live_senders(self._t)
+
+    def live_senders_sorted(self) -> tuple[int, ...]:
+        """:meth:`live_senders` as a memoized sorted tuple.
+
+        Enforcing adversaries use this directly as a graph-memo key,
+        skipping a per-round ``tuple(sorted(...))`` rebuild."""
+        return self._engine.fault_plan.live_senders_sorted(self._t)
 
     def undecided_fault_free(self) -> frozenset[int]:
         """Fault-free nodes that have not output yet."""
@@ -256,9 +263,9 @@ class Engine:
         """
         broadcasts: dict[int, Any] = {}
         meta: dict[int, tuple[Any, frozenset[int] | None, int]] = {}
-        fault_plan = self.fault_plan
+        targets_map, _stopped = self.fault_plan.round_profile(t)
         for node, proc in self.processes.items():
-            targets = fault_plan.send_targets(node, t)
+            targets = targets_map.get(node)
             if targets is not None and not targets:
                 continue  # crashed: silent
             message = proc.broadcast()
@@ -304,30 +311,38 @@ class Engine:
             raise ValueError(f"adversary chose a graph with n={graph.n}, expected {self.n}")
 
         # Route messages along the chosen links, sender-major so each
-        # sender's metadata is resolved once, not once per edge. Inbox
-        # lists are preallocated in __init__ and reused across rounds;
-        # the (sender, message) pair is immutable and safely shared by
-        # every receiver's inbox. Inbox *order* is free to differ from
-        # edge-set order: delivery batches are sorted by port and
-        # Byzantine observations by sender, both total orders.
+        # sender's metadata is resolved once, not once per edge. The
+        # receiver lists come from the Topology's lazily cached
+        # adjacency rows -- built once per unique graph, shared across
+        # every round that replays it. Inbox lists are preallocated in
+        # __init__ and reused across rounds; the (sender, message) pair
+        # is immutable and safely shared by every receiver's inbox.
+        # Inbox *order* is free to differ from edge-set order: delivery
+        # batches are sorted by port and Byzantine observations by
+        # sender, both total orders.
         inboxes = self._inboxes
         for box in inboxes:
             box.clear()
+        out_rows = graph.out_rows()
         delivered = 0
         bits = 0
         for u, (message, targets, message_size) in send_meta.items():
-            receivers = graph.out_neighbors(u)
+            receivers = out_rows[u]
             pair = (u, message)
-            count = 0
-            for v in receivers:
-                if targets is not None and v not in targets:
-                    continue  # partial crash: this receiver missed out
-                inboxes[v].append(pair)
-                count += 1
+            if targets is None:  # healthy sender: no per-edge filtering
+                for v in receivers:
+                    inboxes[v].append(pair)
+                count = len(receivers)
+            else:  # partial crash: some receivers missed out
+                count = 0
+                for v in receivers:
+                    if v in targets:
+                        inboxes[v].append(pair)
+                        count += 1
             delivered += count
             bits += message_size * count
         for u, outgoing in byz_out.items():
-            for v in graph.out_neighbors(u):
+            for v in out_rows[u]:
                 message = self._byzantine_message_for(outgoing, v)
                 if message is None:
                     continue
@@ -343,8 +358,9 @@ class Engine:
         # this O(n^2)-per-round loop.
         new_delivery = tuple.__new__
         port_rows = self._port_rows
+        stopped = fault_plan.round_profile(t)[1]
         for node, proc in self.processes.items():
-            if not fault_plan.processes_at(node, t):
+            if node in stopped:
                 continue
             row = port_rows[node]
             batch = [

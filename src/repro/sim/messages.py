@@ -51,11 +51,15 @@ class StateMessage:
 def message_bits(message: object) -> int:
     """Bits charged for an arbitrary message object.
 
-    :class:`StateMessage` knows its own size; anything else (baseline
-    algorithms with richer payloads, e.g. full-information vectors) may
-    supply a ``bits()`` method, and is otherwise charged a flat
-    ``VALUE_BITS`` as a floor.
+    :class:`StateMessage` knows its own size (the exact-type check
+    skips the ``getattr`` dispatch in the engine's
+    charge-every-broadcast-every-round common case); anything else
+    (baseline algorithms with richer payloads, e.g. full-information
+    vectors) may supply a ``bits()`` method, and is otherwise charged
+    a flat ``VALUE_BITS`` as a floor.
     """
+    if type(message) is StateMessage:
+        return message.bits()
     bits_fn = getattr(message, "bits", None)
     if callable(bits_fn):
         return int(bits_fn())

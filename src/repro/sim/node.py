@@ -41,6 +41,17 @@ class ConsensusProcess(ABC):
         The local port on which this node's own broadcasts arrive.
         (The paper's ``R_i[i] <- 1`` initialization is expressed through
         this port.)
+
+    State discipline for implementers: keep instance state to
+    attributes holding immutable values and builtin containers
+    (list/dict/set) of immutables, without aliasing *inside* a
+    container -- the paper's algorithms need no more (scalars, phase
+    counters, port bit vectors, small value lists), and the
+    simulated-lookahead adversary's copy-on-write overlay
+    (:mod:`repro.adversary.greedy`) snapshots and rewinds exactly that
+    shape. Two attributes may alias the same container (the overlay
+    preserves it); a list-of-lists sharing an inner list with another
+    attribute would not round-trip.
     """
 
     def __init__(self, n: int, f: int, input_value: float, self_port: int) -> None:

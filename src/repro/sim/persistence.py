@@ -5,6 +5,12 @@ still the right artifact for bug reports, cross-version comparisons,
 and postmortems of adversarial runs found by search: JSON in, JSON
 out, and a :class:`~repro.adversary.base.ScheduleAdversary` that
 replays the recorded link choices against fresh processes.
+
+Format version 2 deduplicates round graphs through the Topology
+content hash: enforced and periodic adversaries replay a small cycle
+of graphs for thousands of rounds, so the file stores each distinct
+edge set once in a ``graphs`` table and per-round indices into it.
+Version-1 files (edges inlined per round) still load.
 """
 
 from __future__ import annotations
@@ -15,21 +21,28 @@ from typing import Any
 
 from repro.adversary.base import ScheduleAdversary
 from repro.net.dynamic import EdgeSchedule
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 from repro.sim.trace import ExecutionTrace, RoundSnapshot
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def trace_to_dict(trace: ExecutionTrace) -> dict[str, Any]:
-    """A JSON-serializable representation of a trace."""
-    return {
-        "version": _FORMAT_VERSION,
-        "n": trace.n,
-        "rounds": [
+    """A JSON-serializable representation of a trace.
+
+    Round graphs are deduplicated on their stable
+    :attr:`~repro.net.topology.Topology.content_hash`: the ``graphs``
+    table holds each distinct edge list once and every round stores an
+    index into it.
+    """
+    unique = trace.unique_graphs()
+    index_of = {graph.content_hash: position for position, graph in enumerate(unique)}
+    rounds = []
+    for snap in trace.rounds:
+        rounds.append(
             {
                 "round": snap.round,
-                "edges": sorted(snap.graph.edges),
+                "graph": index_of[snap.graph.content_hash],
                 "states": {
                     str(node): dict(state) for node, state in snap.states.items()
                 },
@@ -37,23 +50,40 @@ def trace_to_dict(trace: ExecutionTrace) -> dict[str, Any]:
                 "bits": snap.bits,
                 "live_senders": sorted(snap.live_senders),
             }
-            for snap in trace.rounds
+        )
+    return {
+        "version": _FORMAT_VERSION,
+        "n": trace.n,
+        "graphs": [
+            [list(edge) for edge in graph.edge_list] for graph in unique
         ],
+        "rounds": rounds,
     }
 
 
+def _round_graph(row: dict[str, Any], n: int, graphs: list[Topology]) -> Topology:
+    if "graph" in row:
+        return graphs[int(row["graph"])]
+    # Version-1 rows inline their edge list.
+    return Topology(n, (tuple(e) for e in row["edges"]))
+
+
 def trace_from_dict(payload: dict[str, Any]) -> ExecutionTrace:
-    """Rebuild a trace from :func:`trace_to_dict` output."""
+    """Rebuild a trace from :func:`trace_to_dict` output (v1 or v2)."""
     version = payload.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in (1, _FORMAT_VERSION):
         raise ValueError(f"unsupported trace format version {version!r}")
     n = int(payload["n"])
+    graphs = [
+        Topology(n, (tuple(e) for e in edges))
+        for edges in payload.get("graphs", [])
+    ]
     trace = ExecutionTrace(n)
     for row in payload["rounds"]:
         trace.record(
             RoundSnapshot(
                 round=int(row["round"]),
-                graph=DirectedGraph(n, (tuple(e) for e in row["edges"])),
+                graph=_round_graph(row, n, graphs),
                 states={int(k): dict(v) for k, v in row["states"].items()},
                 delivered=int(row["delivered"]),
                 bits=int(row["bits"]),
@@ -85,7 +115,7 @@ def replay_adversary(
     search (or by the model checker) is turned into a deterministic
     regression test.
     """
-    table = [sorted(trace.at(t).edges) for t in range(len(trace))]
+    table = [trace.at(t).edge_list for t in range(len(trace))]
     if not table:
         raise ValueError("cannot replay an empty trace")
     schedule = EdgeSchedule.from_table(trace.n, table, repeat=repeat)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.net.dynamic import DynamicGraph
-from repro.net.graph import DirectedGraph
+from repro.net.topology import Topology
 
 
 @dataclass
@@ -20,7 +20,7 @@ class RoundSnapshot:
     """State of the system at the end of one round."""
 
     round: int
-    graph: DirectedGraph
+    graph: Topology
     states: dict[int, dict[str, Any]]
     delivered: int
     bits: int
@@ -41,9 +41,26 @@ class ExecutionTrace:
     def __len__(self) -> int:
         return len(self.rounds)
 
-    def at(self, t: int) -> DirectedGraph:
+    def at(self, t: int) -> Topology:
         """The graph the adversary chose in round ``t``."""
         return self.rounds[t].graph
+
+    def unique_graphs(self) -> list[Topology]:
+        """Distinct round graphs in first-appearance order.
+
+        Deduplicated on the stable content hash -- enforcing and
+        periodic adversaries replay a short cycle, so this is typically
+        tiny compared to the round count (the persistence layer stores
+        exactly this table).
+        """
+        seen: set[int] = set()
+        unique: list[Topology] = []
+        for snap in self.rounds:
+            marker = snap.graph.content_hash
+            if marker not in seen:
+                seen.add(marker)
+                unique.append(snap.graph)
+        return unique
 
     def dynamic_graph(self) -> DynamicGraph:
         """The recorded ``E(t)`` sequence as a :class:`DynamicGraph`."""

@@ -475,6 +475,11 @@ def run_dac_trial_batch(
 run_dac_trial.batch_fn = run_dac_trial_batch  # type: ignore[attr-defined]
 
 
+# Mobile-omission targeting modes accepted by run_byz_trial's
+# ``adversary`` parameter as "mobile-<mode>".
+_MOBILE_MODES = ("block_min", "block_max", "rotate", "none")
+
+
 # Byzantine strategy menu shared by the DBAC trial and the CLIs. Plain
 # factories keyed by name keep the trial function picklable (the name,
 # not the strategy object, travels to worker processes).
@@ -540,6 +545,129 @@ def run_dbac_trial(
         "terminated": report.terminated,
         "correct": report.correct,
     }
+
+
+def run_dbac_trial_batch(
+    seeds: Any = (),
+    **params: Any,
+) -> list[Any]:
+    """Batched :func:`run_dbac_trial`: one summary per seed, in order.
+
+    The batched-trial form the parallel layer dispatches (attached as
+    ``run_dbac_trial.batch_fn``). Byzantine executions have no
+    lock-step vectorized kernel yet (ROADMAP "Batched DBAC lanes"), so
+    the lanes run serially inside the one call -- batching here is a
+    *grouping* knob that lets ``Sweep.run(workers=N, batch=B)`` ship
+    whole seed groups to worker processes instead of single trials,
+    with results identical to per-trial dispatch by construction.
+    """
+    return [run_dbac_trial(**params, seed=int(seed)) for seed in seeds]
+
+
+run_dbac_trial.batch_fn = run_dbac_trial_batch  # type: ignore[attr-defined]
+
+
+def run_byz_trial(
+    n: int,
+    f: int | None = None,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "nearest",
+    strategy: str = "extreme",
+    adversary: str = "quorum",
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+    seed: int = 0,
+    fast: bool = True,
+) -> dict[str, Any]:
+    """One Byzantine-or-mobile fault-model execution, as a picklable summary.
+
+    The comparative fault-model trial for parallel grids: sweeping
+    ``adversary`` (and ``strategy``) through
+    :class:`~repro.bench.sweep.Sweep` compares the paper's fault models
+    on equal seed/input/port footing, with every cell a module-level
+    picklable call that fans out under ``workers=N`` and groups under
+    ``--batch``.
+
+    - ``adversary="quorum"`` -- boundary DBAC under the enforcing
+      ``(window, floor((n+3f)/2))`` adversary with the ``f``
+      highest-numbered nodes running the named Byzantine ``strategy``
+      (see ``TRIAL_BYZANTINE_STRATEGIES``); exactly
+      :func:`run_dbac_trial`.
+    - ``adversary="mobile-<mode>"`` -- the Gafni-Losa mobile-omission
+      power (Corollary 1): fault-free DAC on the complete graph where
+      each node loses at most one incoming link per round, targeted by
+      ``<mode>`` (one of ``block_min``, ``block_max``, ``rotate``,
+      ``none``). ``strategy``/``window``/``selector`` are ignored;
+      ``f`` must be 0 (default).
+    """
+    from repro.adversary.mobile import MobileOmissionAdversary
+    from repro.sim.runner import run_consensus  # local import: runner is heavy
+
+    if adversary == "quorum":
+        return run_dbac_trial(
+            n=n,
+            f=f,
+            epsilon=epsilon,
+            window=window,
+            selector=selector,
+            strategy=strategy,
+            stop_mode=stop_mode,
+            max_rounds=max_rounds,
+            seed=seed,
+            fast=fast,
+        )
+    if not adversary.startswith("mobile-"):
+        raise ValueError(
+            f"unknown adversary {adversary!r}; use 'quorum' or "
+            f"'mobile-<mode>' with mode in {_MOBILE_MODES}"
+        )
+    mode = adversary[len("mobile-") :]
+    if mode not in _MOBILE_MODES:
+        raise ValueError(f"unknown mobile mode {mode!r}; known: {_MOBILE_MODES}")
+    if f not in (None, 0):
+        raise ValueError(f"mobile-omission trials are fault-free, got f={f}")
+    inputs = spawn_inputs(seed, n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    processes = {
+        node: DACProcess(n, 0, inputs[node], ports.self_port(node), epsilon=epsilon)
+        for node in range(n)
+    }
+    report = run_consensus(
+        processes,
+        MobileOmissionAdversary(mode),
+        ports,
+        epsilon=epsilon,
+        f=0,
+        fault_plan=FaultPlan.fault_free_plan(n),
+        stop_mode=stop_mode,
+        max_rounds=max_rounds,
+        seed=seed,
+        record_trace=not fast,
+        verify_promise=not fast,
+        track_phases=not fast,
+    )
+    return {
+        "rounds": report.rounds,
+        "spread": report.output_spread,
+        "terminated": report.terminated,
+        "correct": report.correct,
+    }
+
+
+def run_byz_trial_batch(
+    seeds: Any = (),
+    **params: Any,
+) -> list[dict[str, Any]]:
+    """Batched :func:`run_byz_trial`: one summary per seed, in order.
+
+    Attached as ``run_byz_trial.batch_fn``; same grouping contract (and
+    caveat) as :func:`run_dbac_trial_batch`.
+    """
+    return [run_byz_trial(**params, seed=int(seed)) for seed in seeds]
+
+
+run_byz_trial.batch_fn = run_byz_trial_batch  # type: ignore[attr-defined]
 
 
 _BASELINE_PROCESSES = {
@@ -610,3 +738,15 @@ def run_baseline_trial(
         "terminated": report.terminated,
         "correct": report.correct,
     }
+
+
+def run_baseline_trial_batch(
+    seeds: Any = (),
+    **params: Any,
+) -> list[dict[str, Any]]:
+    """Batched :func:`run_baseline_trial` (grouping contract, see
+    :func:`run_dbac_trial_batch`)."""
+    return [run_baseline_trial(**params, seed=int(seed)) for seed in seeds]
+
+
+run_baseline_trial.batch_fn = run_baseline_trial_batch  # type: ignore[attr-defined]

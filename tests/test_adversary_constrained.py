@@ -224,3 +224,103 @@ class TestSelectorCaching:
         engine = run_with(RotatingQuorumAdversary(3, selector="random"), n, rounds=10)
         graphs = {snap.graph.edges for snap in engine.trace.rounds}
         assert len(graphs) > 1
+
+
+class TestNearestSelectorSpec:
+    """The two-pointer nearest selection must match the specified
+    per-receiver stable sort exactly -- including distance ties (equal
+    and symmetric values), Byzantine-first truncation, and crashed
+    senders -- because batch/serial bit-identity rides on it."""
+
+    class _StubView:
+        def __init__(self, n, values, byzantine=(), live=None):
+            self.n = n
+            self._values = values  # node -> float | None
+            self._byz = frozenset(byzantine)
+            self._live = tuple(sorted(live if live is not None else range(n)))
+            stub = self
+
+            class _Plan:
+                def is_byzantine(self, node):
+                    return node in stub._byz
+
+            self.fault_plan = _Plan()
+
+        def live_senders_sorted(self):
+            return self._live
+
+        def value(self, node):
+            return self._values.get(node)
+
+    @staticmethod
+    def reference_nearest(view, degree):
+        # The specified selection: stable sort of the ascending live
+        # list by (byzantine-first, |value - mine|), per receiver.
+        picks = []
+        for receiver in range(view.n):
+            my_value = view.value(receiver)
+
+            def hostility(u):
+                if view.fault_plan.is_byzantine(u):
+                    return (0, 0.0)
+                value = view.value(u)
+                if my_value is None or value is None:
+                    return (1, 0.0)
+                return (1, abs(value - my_value))
+
+            live = [u for u in view.live_senders_sorted() if u != receiver]
+            live.sort(key=hostility)
+            picks.append(live[:degree])
+        return picks
+
+    def _check(self, view, degree):
+        from repro.adversary.constrained import _QuorumSelector
+
+        selector = _QuorumSelector(degree, "nearest")
+        got = selector.picks_for_round(0, view, None)
+        assert got == self.reference_nearest(view, degree)
+
+    def test_random_value_patterns(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(40):
+            n = rng.randrange(3, 12)
+            # Coarse quantization forces frequent exact ties.
+            values = {v: rng.randrange(4) / 4.0 for v in range(n)}
+            byz = set(rng.sample(range(n), rng.randrange(0, n // 2 + 1)))
+            for node in byz:
+                values[node] = None
+            live = sorted(rng.sample(range(n), rng.randrange(2, n + 1)))
+            degree = rng.randrange(1, n)
+            self._check(self._StubView(n, values, byz, live), degree)
+
+    def test_fully_converged_values_tie_everywhere(self):
+        n = 9
+        values = {v: 0.5 for v in range(n)}
+        self._check(self._StubView(n, values), 4)
+
+    def test_symmetric_distances_resolve_by_node_id(self):
+        # Receiver value 0.5; senders at 0.4 and 0.6 are equidistant:
+        # the spec's stable sort emits the smaller node id first.
+        values = {0: 0.5, 1: 0.6, 2: 0.4, 3: 0.1, 4: 0.9}
+        self._check(self._StubView(5, values), 2)
+
+    def test_byzantine_fill_and_truncation(self):
+        values = {0: 0.2, 1: None, 2: None, 3: None, 4: 0.8}
+        view = self._StubView(5, values, byzantine={1, 2, 3})
+        self._check(view, 2)  # truncates inside the Byzantine prefix
+        self._check(view, 4)  # fills from honest values after it
+
+    def test_bitwise_equal_distances_across_distinct_values(self):
+        # Float rounding can make |v - mine| bitwise-identical for
+        # *different* sender values (1.0 - 1e-17 == 1.0 - 0.0 == 1.0):
+        # the spec's stable sort still orders those ties by node id.
+        values = {0: 1.0, 1: 0.0, 2: 1e-17, 3: 2e-17}
+        view = self._StubView(4, values)
+        for degree in (1, 2, 3):
+            self._check(view, degree)
+
+    def test_mixed_side_rounded_ties(self):
+        values = {0: 0.5, 1: 0.5 - 1e-17, 2: 0.5 + 1e-17, 3: 0.0, 4: 1.0}
+        self._check(self._StubView(5, values), 3)

@@ -90,3 +90,67 @@ class TestBehaviour:
         adv = LookaheadQuorumAdversary(4)
         report = run_dac_against(adv, f=f, fault_plan=plan)
         assert report.correct, report.summary()
+
+
+class TestOverlayReplacesDeepcopy:
+    def test_candidate_loop_never_deepcopies(self, monkeypatch):
+        # The acceptance contract of the Topology PR: candidate
+        # evaluation runs against the copy-on-write overlay, not
+        # per-candidate process deep copies.
+        import copy as copy_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("copy.deepcopy called in the candidate loop")
+
+        monkeypatch.setattr(copy_module, "deepcopy", forbidden)
+        adv = LookaheadQuorumAdversary(4)
+        report = run_dac_against(adv, max_rounds=6)
+        assert report.rounds == 6
+
+    def test_overlay_leaves_live_state_untouched_between_rounds(self):
+        # Choosing must not perturb the real processes: two engines,
+        # one under lookahead and one replaying its chosen graphs,
+        # stay in lockstep (indirectly asserted by determinism tests);
+        # here we pin the direct invariant that a single choose() call
+        # is state-neutral.
+        from repro.sim.engine import Engine, EngineView
+
+        n = 9
+        ports = random_ports(n, child_rng(3, "ports"))
+        inputs = spawn_inputs(3, n)
+        procs = {
+            v: DACProcess(n, 0, inputs[v], ports.self_port(v), epsilon=1e-3)
+            for v in range(n)
+        }
+        adv = LookaheadQuorumAdversary(4)
+        engine = Engine(procs, adv, ports, record_trace=False)
+        before = {v: proc.state_key() for v, proc in engine.processes.items()}
+        broadcasts = {v: proc.broadcast() for v, proc in engine.processes.items()}
+        adv.choose(0, EngineView(engine, 0, broadcasts))
+        after = {v: proc.state_key() for v, proc in engine.processes.items()}
+        assert after == before
+
+
+class TestStateOverlayExactness:
+    def test_restore_preserves_attribute_aliasing_and_drops_new_attrs(self):
+        from repro.adversary.greedy import _StateOverlay
+
+        class Proc:
+            def __init__(self):
+                self.shared = [1, 2]
+                self.alias = self.shared  # two names, one container
+                self.scalar = 0.5
+
+        proc = Proc()
+        overlay = _StateOverlay({0: proc})
+        proc.shared.append(3)
+        proc.scalar = 9.9
+        proc.lazily_added = ["leak"]
+        overlay.restore()
+        assert proc.shared == [1, 2] and proc.scalar == 0.5
+        assert proc.alias is proc.shared  # aliasing survives the rewind
+        assert not hasattr(proc, "lazily_added")
+        # A second candidate gets an equally pristine rewind.
+        proc.alias.append(4)
+        overlay.restore()
+        assert proc.shared == [1, 2] and proc.alias is proc.shared

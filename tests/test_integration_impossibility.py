@@ -43,6 +43,7 @@ class TestCorollary1:
             [0.0, 1.0, 1.0],
             mobile_omission_choices(n),
             horizon=2,
+            cache_choices=True,
         )
         violation = explorer.search()
         assert violation is not None, factory_name

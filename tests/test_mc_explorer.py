@@ -171,3 +171,53 @@ class TestOutcomeHistogram:
         assert histogram  # some execution decided
         kinds = {len(set(outputs)) for outputs in histogram}
         assert 2 in kinds  # at least one disagreement pattern
+
+
+class TestChoiceCaching:
+    def test_stochastic_generators_can_opt_out(self):
+        # cache_choices=False must re-invoke the generator per DFS
+        # node (the pre-caching contract for streaming generators).
+        from repro.core.baselines import FloodMinProcess
+        from repro.net.topology import Topology
+
+        calls = []
+
+        def generator(t):
+            # Two branches with distinct successors, so depth t+1 is
+            # entered from more than one DFS node.
+            calls.append(t)
+            yield Topology.complete(3)
+            yield Topology(3, [(0, 1)])
+
+        explorer = BoundedExplorer(
+            3,
+            lambda v, x: FloodMinProcess(3, 0, x, v, num_rounds=2),
+            [0.0, 1.0, 1.0],
+            generator,
+            horizon=2,
+            cache_choices=False,
+            nontermination_is_violation=False,
+        )
+        explorer.search()
+        assert len(calls) > len(set(calls))  # depths revisited, not frozen
+
+    def test_cached_choices_generate_once_per_depth(self):
+        from repro.core.baselines import FloodMinProcess
+        from repro.net.topology import Topology
+
+        calls = []
+
+        def generator(t):
+            calls.append(t)
+            yield Topology.complete(3)
+
+        explorer = BoundedExplorer(
+            3,
+            lambda v, x: FloodMinProcess(3, 0, x, v, num_rounds=2),
+            [0.0, 1.0, 1.0],
+            generator,
+            horizon=2,
+            cache_choices=True,
+        )
+        explorer.search()
+        assert len(calls) == len(set(calls))

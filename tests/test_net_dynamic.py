@@ -110,3 +110,37 @@ class TestWindowUnion:
     def test_mixed_sizes_rejected(self):
         with pytest.raises(ValueError, match="mixes graphs"):
             window_union([DirectedGraph(3), DirectedGraph(4)])
+
+
+class TestScheduleGraphIdentity:
+    """Regression: sources must not re-wrap an unchanged pattern into a
+    fresh object each round (the pre-Topology behavior)."""
+
+    def test_periodic_table_replays_identical_topologies(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 1)], [(1, 2)]], repeat=True)
+        assert sched.graph_at(0) is sched.graph_at(2)
+        assert sched.graph_at(1) is sched.graph_at(7)
+        assert sched.graph_at(0) is not sched.graph_at(1)
+
+    def test_unchanged_function_pattern_returns_cached_topology(self):
+        sched = EdgeSchedule(3, lambda t: [(0, 1), (1, 2)])
+        first = sched.graph_at(0)
+        assert sched.graph_at(5) is first
+
+    def test_silent_rounds_share_the_empty_topology(self):
+        sched = EdgeSchedule(4, lambda t: [])
+        assert sched.graph_at(0) is sched.graph_at(9)
+
+    def test_from_schedule_materializes_shared_instances(self):
+        sched = EdgeSchedule.from_table(3, [[(0, 1)], []], repeat=True)
+        dyn = DynamicGraph.from_schedule(sched, 6)
+        assert dyn.at(0) is dyn.at(2) is dyn.at(4)
+        assert dyn.at(1) is dyn.at(3) is dyn.at(5)
+
+    def test_alternating_patterns_hit_the_cache(self):
+        # The figure1-style alternating schedule: both patterns must be
+        # cached per schedule (not just the last round's).
+        sched = EdgeSchedule(3, lambda t: [(0, 1)] if t % 2 == 0 else [(1, 2)])
+        even, odd = sched.graph_at(0), sched.graph_at(1)
+        assert sched.graph_at(2) is even
+        assert sched.graph_at(3) is odd
