@@ -107,6 +107,95 @@ def rotate_topology(
     return cached
 
 
+def nearest_picks(
+    n: int,
+    live: tuple[int, ...],
+    values: "list[float | None]",
+    byzantine: frozenset[int],
+    degree: int,
+) -> list[list[int]]:
+    """The ``nearest`` selection for every receiver of one round.
+
+    ``values[u]`` is node ``u``'s scalar state at the start of the round
+    (``None`` for Byzantine nodes, which have no honest state). The
+    selection is *specified* as a per-receiver stable sort by
+    ``(byzantine-first, |value - mine|)`` over the ascending live list;
+    it is *computed* as a two-pointer walk over one round-constant
+    value-sorted array instead of ``n`` keyed sorts. Equal distances are
+    emitted in ascending node order, exactly the stability the specified
+    sort guarantees (pinned against the spec sort by the selector
+    regression tests, ties and all).
+
+    This is the selector hook the vectorized batch kernel replicates:
+    :mod:`repro.sim.batch` computes the same picks with one stable
+    argsort over the lane's value matrix, and its equivalence tests pin
+    the two against each other (see docs/batching.md).
+    """
+    live_sorted = sorted(set(live))
+    byz_sorted = [u for u in live_sorted if u in byzantine]
+    pairs = sorted((values[u], u) for u in live_sorted if u not in byzantine)
+    vals = [value for value, _ in pairs]
+    ids = [u for _, u in pairs]
+    count = len(vals)
+    picks: list[list[int]] = []
+    for receiver in range(n):
+        my_value = values[receiver]
+        chosen = [u for u in byz_sorted if u != receiver][:degree]
+        remaining = degree - len(chosen)
+        if remaining > 0 and my_value is None:
+            # Byzantine receiver: every honest distance ties at the
+            # spec's (1, 0.0) key -- stable order is ascending u.
+            for u in live_sorted:
+                if u == receiver or u in byzantine:
+                    continue
+                chosen.append(u)
+                remaining -= 1
+                if remaining == 0:
+                    break
+        elif remaining > 0:
+            left = bisect_left(vals, my_value) - 1
+            right = left + 1
+            while remaining > 0 and (left >= 0 or right < count):
+                # my_value - vals[left] and vals[right] - my_value
+                # are the exact floats abs() would produce (left
+                # values are strictly below, right values at or
+                # above my_value).
+                d_left = (my_value - vals[left]) if left >= 0 else None
+                d_right = (vals[right] - my_value) if right < count else None
+                take_left = d_right is None or (
+                    d_left is not None and d_left <= d_right
+                )
+                take_right = d_left is None or (
+                    d_right is not None and d_right <= d_left
+                )
+                distance = d_left if take_left else d_right
+                group: list[int] = []
+                if take_left:
+                    while left >= 0 and my_value - vals[left] == distance:
+                        group.append(ids[left])
+                        left -= 1
+                if take_right:
+                    while right < count and vals[right] - my_value == distance:
+                        group.append(ids[right])
+                        right += 1
+                # The spec's stable sort emits equal distances in
+                # ascending node order. Equal rounded distances can
+                # span *distinct* values (float rounding), so the
+                # collected group is not otherwise ordered by u --
+                # always sort it (groups are tiny off the converged
+                # case, and nearly sorted there).
+                group.sort()
+                for u in group:
+                    if u == receiver:
+                        continue
+                    chosen.append(u)
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+        picks.append(chosen)
+    return picks
+
+
 class _QuorumSelector:
     """Shared sender-selection logic for the constrained adversaries.
 
@@ -154,79 +243,13 @@ class _QuorumSelector:
                 adversary.rng.shuffle(live)
                 picks.append(live[: self.degree])
             return picks
-        # nearest: Byzantine first, then closest values. Specified as a
-        # per-receiver stable sort by (byzantine-first, |value - mine|)
-        # over the ascending live list -- computed here as a two-pointer
-        # walk over one round-constant value-sorted array instead of n
-        # keyed sorts. Equal distances are emitted in ascending node
-        # order, exactly the stability the specified sort guarantees
-        # (pinned against the spec sort by the selector regression
-        # tests, ties and all).
+        # nearest: Byzantine first, then closest values -- the shared
+        # module-level hook (one source of truth for the tie-breaking
+        # the vectorized batch kernel must replicate bit for bit).
         plan = view.fault_plan
         byzantine = frozenset(u for u in live_sorted if plan.is_byzantine(u))
-        byz_sorted = [u for u in live_sorted if u in byzantine]
-        pairs = sorted((view.value(u), u) for u in live_sorted if u not in byzantine)
-        vals = [value for value, _ in pairs]
-        ids = [u for _, u in pairs]
-        count = len(vals)
-        degree = self.degree
-        picks = []
-        for receiver in range(n):
-            my_value = view.value(receiver)
-            chosen = [u for u in byz_sorted if u != receiver][:degree]
-            remaining = degree - len(chosen)
-            if remaining > 0 and my_value is None:
-                # Byzantine receiver: every honest distance ties at the
-                # spec's (1, 0.0) key -- stable order is ascending u.
-                for u in live_sorted:
-                    if u == receiver or u in byzantine:
-                        continue
-                    chosen.append(u)
-                    remaining -= 1
-                    if remaining == 0:
-                        break
-            elif remaining > 0:
-                left = bisect_left(vals, my_value) - 1
-                right = left + 1
-                while remaining > 0 and (left >= 0 or right < count):
-                    # my_value - vals[left] and vals[right] - my_value
-                    # are the exact floats abs() would produce (left
-                    # values are strictly below, right values at or
-                    # above my_value).
-                    d_left = (my_value - vals[left]) if left >= 0 else None
-                    d_right = (vals[right] - my_value) if right < count else None
-                    take_left = d_right is None or (
-                        d_left is not None and d_left <= d_right
-                    )
-                    take_right = d_left is None or (
-                        d_right is not None and d_right <= d_left
-                    )
-                    distance = d_left if take_left else d_right
-                    group: list[int] = []
-                    if take_left:
-                        while left >= 0 and my_value - vals[left] == distance:
-                            group.append(ids[left])
-                            left -= 1
-                    if take_right:
-                        while right < count and vals[right] - my_value == distance:
-                            group.append(ids[right])
-                            right += 1
-                    # The spec's stable sort emits equal distances in
-                    # ascending node order. Equal rounded distances can
-                    # span *distinct* values (float rounding), so the
-                    # collected group is not otherwise ordered by u --
-                    # always sort it (groups are tiny off the converged
-                    # case, and nearly sorted there).
-                    group.sort()
-                    for u in group:
-                        if u == receiver:
-                            continue
-                        chosen.append(u)
-                        remaining -= 1
-                        if remaining == 0:
-                            break
-            picks.append(chosen)
-        return picks
+        values = [view.value(u) for u in range(n)]
+        return nearest_picks(n, live_tuple, values, byzantine, self.degree)
 
     def _rotate_for(
         self, n: int, live: tuple[int, ...], salt: int

@@ -31,7 +31,50 @@ from repro.net.topology import Edge, Topology
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
 
-_MODES = ("block_min", "block_max", "rotate", "none")
+MOBILE_MODES = ("block_min", "block_max", "rotate", "none")
+_MODES = MOBILE_MODES  # backward-compatible alias
+
+
+def mobile_victims(
+    mode: str, n: int, t: int, values: "list[float | None]"
+) -> "list[int | None]":
+    """The per-receiver victim sender of one mobile-omission round.
+
+    ``values[u]`` is node ``u``'s scalar state at the start of the
+    round (``None`` for nodes without an honest state). Entry ``v`` of
+    the result is the sender whose link into ``v`` is cut this round
+    (``None`` keeps all of ``v``'s in-links). For the value-targeted
+    modes the victim is the extremum holder among ``u != v``, ties
+    broken toward the lowest node ID -- which resolves to the global
+    (first) extremum for every receiver except that extremum holder
+    itself, who loses the second one.
+
+    This is the targeting hook the vectorized batch kernel replicates
+    with two ``argmin``/``argmax`` passes per lane; its equivalence
+    tests pin the two against each other (see docs/batching.md).
+    """
+    if mode not in MOBILE_MODES:
+        raise ValueError(f"mode must be one of {MOBILE_MODES}, got {mode!r}")
+    if mode == "none":
+        return [None] * n
+    if mode == "rotate":
+        return [None if (v + t) % n == v else (v + t) % n for v in range(n)]
+    prefer_min = mode == "block_min"
+    first: int | None = None  # global extremum (lowest ID on ties)
+    second: int | None = None  # extremum of the rest, for the holder itself
+    for u in range(n):
+        value = values[u]
+        if value is None:
+            continue
+        if first is None or (
+            value < values[first] if prefer_min else value > values[first]
+        ):
+            first, second = u, first
+        elif second is None or (
+            value < values[second] if prefer_min else value > values[second]
+        ):
+            second = u
+    return [second if v == first else first for v in range(n)]
 
 
 class MobileOmissionAdversary(MessageAdversary):
@@ -39,12 +82,15 @@ class MobileOmissionAdversary(MessageAdversary):
 
     def __init__(self, mode: str = "block_min") -> None:
         super().__init__()
-        if mode not in _MODES:
-            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if mode not in MOBILE_MODES:
+            raise ValueError(f"mode must be one of {MOBILE_MODES}, got {mode!r}")
         self.mode = mode
 
     def _victim_sender(self, receiver: int, t: int, view: "EngineView") -> int | None:
-        """Which sender's link into ``receiver`` to cut this round."""
+        """Which sender's link into ``receiver`` to cut this round.
+
+        Kept as the per-receiver specification :func:`mobile_victims`
+        is computed from (and regression-tested against)."""
         if self.mode == "none":
             return None
         if self.mode == "rotate":
@@ -69,9 +115,11 @@ class MobileOmissionAdversary(MessageAdversary):
         return extremum_node
 
     def choose(self, t: int, view: "EngineView") -> Topology:
+        values = [view.value(u) for u in range(self.n)]
+        victims = mobile_victims(self.mode, self.n, t, values)
         edges: list[Edge] = []
         for v in range(self.n):
-            victim = self._victim_sender(v, t, view)
+            victim = victims[v]
             for u in range(self.n):
                 if u != v and u != victim:
                     edges.append((u, v))

@@ -865,3 +865,59 @@ def experiment_s3(quick: bool = True) -> TableResult:
     table.add_note("Batching composes with --workers: batches fan out over the")
     table.add_note("process pool, so the speedups multiply (see docs/scaling.md).")
     return table
+
+
+def experiment_s4(quick: bool = True) -> TableResult:
+    """Batched DBAC/Byzantine lanes vs per-trial execution, honoring ``--batch``.
+
+    The Byzantine counterpart of S3: runs boundary-DBAC grid cells
+    (``nearest`` enforcing adversary, equivocating Byzantine nodes --
+    the value-dependent selector and witness-counter state the
+    vectorized kernel had to learn) twice through
+    :class:`repro.bench.sweep.Sweep` -- per trial and grouped into
+    :class:`repro.sim.batch.ByzBatchEngine` lock-step batches -- and
+    asserts the records are identical: batch size is purely a speed
+    knob for the Byzantine lane families too (see docs/batching.md).
+    """
+    from repro.bench.sweep import Sweep
+    from repro.sim.batch import numpy_available
+    from repro.sim.parallel import get_default_batch
+    from repro.workloads import run_dbac_trial
+
+    batch = get_default_batch()
+    if batch <= 1:
+        batch = 8  # the experiment's subject is batching; default to 8 lanes
+    backend = "numpy" if numpy_available() else "python fallback"
+    table = TableResult(
+        "S4",
+        f"Batched DBAC lanes (boundary adversary, batch={batch}, backend={backend})",
+        ["n", "trials", "serial trials/s", "batched trials/s", "speedup", "identical"],
+    )
+    sizes = [11, 16] if quick else [11, 16, 33]
+    repeats = 2 * batch if quick else 4 * batch
+    for n in sizes:
+        grid = {"n": [n], "window": [1]}
+        serial = Sweep(grid=grid, repeats=repeats)
+        start = time.perf_counter()
+        serial.run(run_dbac_trial, workers=1, batch=1)
+        serial_rate = len(serial.records) / max(time.perf_counter() - start, 1e-9)
+        batched = Sweep(grid=grid, repeats=repeats)
+        start = time.perf_counter()
+        batched.run(run_dbac_trial, workers=1, batch=batch)
+        batched_rate = len(batched.records) / max(time.perf_counter() - start, 1e-9)
+        identical = serial.records == batched.records
+        table.add_row(
+            n,
+            len(serial.records),
+            serial_rate,
+            batched_rate,
+            batched_rate / serial_rate,
+            identical,
+        )
+        if not identical:
+            table.fail(f"n={n}: batched records differ from per-trial records")
+        if not all(record.result["correct"] for record in batched.records):
+            table.fail(f"n={n}: batched trials violated the DBAC verdicts")
+    table.add_note("Oracle stopping: each trial measures rounds until the honest")
+    table.add_note("spread dips to epsilon under the nearest-value adversary.")
+    return table

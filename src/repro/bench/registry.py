@@ -23,6 +23,7 @@ from repro.bench.experiments import (
     experiment_s1,
     experiment_s2,
     experiment_s3,
+    experiment_s4,
     experiment_x1,
     experiment_x2,
     experiment_x3,
@@ -51,6 +52,7 @@ EXPERIMENTS: dict[str, Callable[[bool], TableResult]] = {
     "S1": experiment_s1,
     "S2": experiment_s2,
     "S3": experiment_s3,
+    "S4": experiment_s4,
 }
 
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli dac --save-trace run.json
     python -m repro.cli sweep --n 5 9 13 --window 1 2 --repeats 5 --workers 4
     python -m repro.cli sweep --n 9 --repeats 32 --workers 4 --batch 8
+    python -m repro.cli sweep --family dbac --n 11 16 --strategy extreme --batch 8
 
 Exit status is 0 when the run's verdict matches the theory (correct
 for the positive scenarios, violating for the impossibility ones).
@@ -23,30 +24,17 @@ import time
 
 from repro.adversary.periodic import figure1_adversary
 from repro.core.dac import DACProcess
-from repro.faults.byzantine import (
-    ExtremeByzantine,
-    FixedValueByzantine,
-    PhaseLiarByzantine,
-    RandomByzantine,
-)
 from repro.net.ports import random_ports
 from repro.sim.persistence import save_trace
 from repro.sim.rng import child_rng
 from repro.sim.runner import ExecutionReport, run_consensus
 from repro.workloads import (
+    TRIAL_BYZANTINE_STRATEGIES as _STRATEGIES,
     build_dac_execution,
     build_dbac_execution,
     theorem9_split_execution,
     theorem10_split_execution,
 )
-
-_STRATEGIES = {
-    "extreme": ExtremeByzantine,
-    "random": RandomByzantine,
-    "phase-liar": lambda: PhaseLiarByzantine(value=1.0, phase_lead=500),
-    "pin-high": lambda: FixedValueByzantine(1.0),
-    "pin-low": lambda: FixedValueByzantine(0.0),
-}
 
 
 def _print_report(report: ExecutionReport, verbose: bool) -> None:
@@ -125,25 +113,40 @@ def _cmd_theorem10(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.bench.sweep import Sweep
-    from repro.workloads import run_dac_trial
+    from repro.workloads import run_dac_trial, run_dbac_trial
 
     if args.save_trace:
         print("error: sweep runs untraced; --save-trace is not supported here")
         return 2
+    grid = {"n": args.n, "window": args.window, "epsilon": [args.epsilon]}
+    if args.family == "dbac":
+        # DBAC grids carry the Byzantine strategy and selector; trials
+        # stop in oracle mode (rounds until the honest spread dips to
+        # epsilon), batched through the vectorized Byzantine lanes.
+        trial = run_dbac_trial
+        grid["strategy"] = [args.strategy]
+        grid["selector"] = [args.sweep_selector]
+        title = (
+            f"DBAC rounds to epsilon-spread (boundary adversary, "
+            f"strategy={args.strategy}, eps={args.epsilon:g})"
+        )
+    else:
+        trial = run_dac_trial
+        title = f"DAC rounds to output (boundary adversary, eps={args.epsilon:g})"
     sweep = Sweep(
         # epsilon rides along as a single-value grid dimension so every
         # trial honors the common --epsilon flag (and records carry it).
-        grid={"n": args.n, "window": args.window, "epsilon": [args.epsilon]},
+        grid=grid,
         repeats=args.repeats,
         seed0=args.seed,
     )
     started = time.perf_counter()
-    sweep.run(run_dac_trial, workers=args.workers, batch=args.batch)
+    sweep.run(trial, workers=args.workers, batch=args.batch)
     elapsed = time.perf_counter() - started
     table = sweep.to_table(
         "n",
         "window",
-        title=f"DAC rounds to output (boundary adversary, eps={args.epsilon:g})",
+        title=title,
         value=lambda record: float(record.result["rounds"]),
     )
     print(table.render())
@@ -231,11 +234,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep",
         parents=[common],
-        help="DAC grid sweep, optionally fanned out over worker processes",
+        help="DAC/DBAC grid sweep, optionally fanned out over worker processes",
     )
     p_sweep.add_argument("--n", type=int, nargs="+", default=[5, 9])
     p_sweep.add_argument("--window", type=int, nargs="+", default=[1])
     p_sweep.add_argument("--repeats", type=int, default=3)
+    p_sweep.add_argument(
+        "--family",
+        choices=["dac", "dbac"],
+        default="dac",
+        help="trial family: crash-boundary DAC (output stopping) or "
+        "Byzantine-boundary DBAC (oracle stopping); both batch and "
+        "fan out identically",
+    )
+    p_sweep.add_argument(
+        "--strategy",
+        choices=sorted(_STRATEGIES),
+        default="extreme",
+        help="Byzantine strategy for --family dbac (ignored for dac)",
+    )
+    p_sweep.add_argument(
+        "--selector",
+        dest="sweep_selector",
+        choices=["rotate", "nearest", "random"],
+        default="nearest",
+        help="adversary link selector for --family dbac (ignored for dac)",
+    )
     p_sweep.add_argument(
         "--workers",
         type=int,

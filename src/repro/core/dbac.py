@@ -31,6 +31,14 @@ The node outputs at ``p_end`` from Equation 6 -- the *proven* bound
 ``log(epsilon)/log(1 - 2^-n)``, which is exponentially conservative;
 experiments run it in oracle mode to measure the real phase count, or
 override ``end_phase``.
+
+This class is also the executable specification of the vectorized
+DBAC lanes in :mod:`repro.sim.batch`: the kernel replicates
+:meth:`DBACProcess.deliver` port by port across ``(B, n)`` state
+arrays, with ``R_low``/``R_high`` as fixed-width sorted rows (see
+:attr:`DBACProcess.stored_count` and docs/batching.md). Changes to the
+delivery or trimming rules here must be mirrored there; the
+determinism suite pins the two bit for bit.
 """
 
 from __future__ import annotations
@@ -124,6 +132,23 @@ class DBACProcess(ConsensusProcess):
     def recording_lists(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
         """Snapshots of ``(R_low, R_high)`` (ascending order each)."""
         return tuple(self._r_low), tuple(self._r_high)
+
+    @property
+    def stored_count(self) -> int:
+        """Values stored into ``R_low``/``R_high`` this phase.
+
+        Invariant: every accepted port (plus the phase-start self
+        value) stores exactly one value, so this equals
+        :attr:`received_count` and both recording lists hold exactly
+        ``min(stored_count, f + 1)`` entries -- the ``f+1`` smallest /
+        largest stored values of the phase, ascending. The vectorized
+        batch kernel (:mod:`repro.sim.batch`) relies on this to keep
+        only a flat per-phase stored-value buffer and reconstruct the
+        exact ``R_low``/``R_high`` lists (and the trimmed extremes at
+        quorum time) from it; the invariant is asserted against real
+        executions in the determinism suite.
+        """
+        return self._received_count
 
     # -- Protocol ------------------------------------------------------------
 

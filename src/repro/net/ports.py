@@ -73,6 +73,25 @@ class PortNumbering:
         """The port on which ``node`` receives its own (reliable) messages."""
         return self._port_of[node][node]
 
+    def port_rows(self) -> tuple[tuple[int, ...], ...]:
+        """All bijections at once: ``port_rows()[i][j] == port_of(i, j)``.
+
+        Bulk accessor for engine-side consumers (the round engine's
+        delivery loop, the batched kernels) that would otherwise make
+        O(n^2) per-element calls per execution. Rows are immutable
+        tuples; algorithms must never see them (anonymity).
+        """
+        return tuple(self._port_of)
+
+    def sender_rows(self) -> tuple[tuple[int, ...], ...]:
+        """All inverse bijections: ``sender_rows()[i][k] == sender_of(i, k)``.
+
+        Bulk counterpart of :meth:`sender_of`, for the same engine-side
+        consumers and with the same caveat: using it from algorithm
+        code would break anonymity.
+        """
+        return tuple(self._sender_of)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PortNumbering):
             return NotImplemented

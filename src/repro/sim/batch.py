@@ -27,20 +27,34 @@ Both backends produce **bit-identical final states and round counts**
 to ``B`` serial ``Engine`` runs: every lane derives its inputs, ports
 and crash plan from its own seed through the exact same
 :mod:`repro.sim.rng` child streams the serial builders use, so batching
-(and batch *order*) cannot perturb results. The supported trial family
-is fault-free and crash-fault DAC under the enforcing quorum
-adversaries -- precisely what :func:`repro.workloads.run_dac_trial`
-runs. Byzantine/DBAC batching composes on top of this layer and stays
-on the serial path for now.
+(and batch *order*) cannot perturb results.
 
-Composition: :func:`repro.workloads.run_dac_trial_batch` wraps
-:func:`run_dac_batch` in the batched-trial calling convention the
+Two lane families are covered (see docs/batching.md):
+
+- :class:`BatchEngine` / :func:`run_dac_batch` -- fault-free and
+  crash-fault boundary DAC under the enforcing quorum adversaries,
+  precisely what :func:`repro.workloads.run_dac_trial` runs;
+- :class:`ByzBatchEngine` / :func:`run_dbac_batch` /
+  :func:`run_byz_batch` -- boundary DBAC with Byzantine strategies
+  under the enforcing ``nearest``/``rotate`` adversaries, and
+  mobile-omission DAC, precisely what
+  :func:`repro.workloads.run_dbac_trial` / ``run_byz_trial`` run. The
+  numpy kernel vectorizes DBAC's witness counters and ``f+1``-trimmed
+  updates, replicates the value-dependent ``nearest`` selection with
+  one stable argsort per round, and supports **lane compaction**:
+  finished rows are re-filled from a pending seed queue so long-tailed
+  grids keep full vector width.
+
+Composition: :func:`repro.workloads.run_dac_trial_batch` (and the
+DBAC/Byzantine forms ``run_dbac_trial_batch`` / ``run_byz_trial_batch``)
+wrap these kernels in the batched-trial calling convention the
 parallel layer dispatches, so ``Sweep.run(workers=N, batch=B)`` fans
 *batches* over processes -- the two layers multiply.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -75,10 +89,13 @@ class LaneResult:
     """Final outcome of one lane -- one serial ``Engine`` run's worth.
 
     ``state_keys`` maps every (non-Byzantine) node to its process's
-    full :meth:`~repro.core.dac.DACProcess.state_key`, the strongest
-    equality the determinism suite can assert; ``outputs`` covers the
-    fault-free nodes that decided, keyed by node ID, exactly as
-    :func:`repro.sim.runner.run_consensus` reports them.
+    full ``state_key()`` (:class:`~repro.core.dac.DACProcess` /
+    :class:`~repro.core.dbac.DBACProcess`), the strongest equality the
+    determinism suite can assert; ``outputs`` is keyed by node ID and
+    holds exactly what :func:`repro.sim.runner.run_consensus` reports
+    for the lane's stop mode -- the fault-free nodes that decided
+    (``"output"`` stopping), or every fault-free node's current value
+    (``"oracle"`` stopping, :class:`ByzBatchEngine` only).
     """
 
     seed: int
@@ -318,8 +335,8 @@ class BatchEngine:
         for b, seed in enumerate(self.seeds):
             inputs[b] = spawn_inputs(seed, n)
             ports = random_ports(n, child_rng(seed, "ports"))
+            sender_at_port[b] = ports.sender_rows()
             for v in range(n):
-                sender_at_port[b, v] = [ports.sender_of(v, k) for k in range(n)]
                 self_port[b, v] = ports.self_port(v)
 
         crash_round = np.full(n, _NEVER, dtype=np.int64)
@@ -485,6 +502,10 @@ def run_dac_batch(
 
     Convenience wrapper over :class:`BatchEngine`; see its docstring
     for parameter semantics and the bit-identity contract.
+
+    >>> lanes = run_dac_batch(5, 2, [0, 1], backend="python")
+    >>> [(lane.seed, lane.stopped) for lane in lanes]
+    [(0, True), (1, True)]
     """
     return BatchEngine(
         n,
@@ -499,3 +520,1016 @@ def run_dac_batch(
         max_rounds=max_rounds,
         backend=backend,
     ).run()
+
+
+# -- Batched DBAC / Byzantine / mobile-omission lanes ----------------------
+
+# Selectors the ByzBatchEngine numpy kernel replicates. ``nearest`` is
+# value-dependent: the kernel recomputes the serial two-pointer
+# selection (repro.adversary.constrained.nearest_picks) as one stable
+# argsort over each lane's value matrix per round. ``random`` draws
+# from the adversary's RNG stream and falls back to the python backend.
+_BYZ_VECTOR_SELECTORS = ("rotate", "nearest")
+
+_STOP_MODES = ("oracle", "output")
+
+
+def _strategy_vector_plan(strategy: object, n: int):
+    """How the numpy kernel reproduces one Byzantine strategy, or ``None``.
+
+    A vectorizable strategy's round messages factor into a static
+    per-receiver value row plus a phase that is either a constant or
+    tracks the maximum fault-free phase (with a fixed lead). Returns
+    ``(value_row, phase_kind, phase_arg)`` with ``phase_kind`` in
+    ``{"track", "const"}``, or ``None`` when the strategy cannot be
+    vectorized (e.g. the RNG-driven ``random`` strategy) and the lanes
+    must run on the python backend. Exact types are matched so
+    subclasses with overridden behavior are never mis-vectorized.
+    """
+    from repro.faults.byzantine import (
+        ExtremeByzantine,
+        FixedValueByzantine,
+        PhaseLiarByzantine,
+    )
+
+    np = _np
+    kind = type(strategy)
+    if kind is ExtremeByzantine:
+        row = np.where(
+            np.arange(n) % 2 == 0, float(strategy.low), float(strategy.high)
+        )
+        return row, "track", 0
+    if kind is PhaseLiarByzantine:
+        return np.full(n, float(strategy.value)), "track", int(strategy.phase_lead)
+    if kind is FixedValueByzantine:
+        if strategy.phase_mode == "track":
+            return np.full(n, float(strategy.value)), "track", 0
+        return np.full(n, float(strategy.value)), "const", int(strategy.phase_mode)
+    return None
+
+
+def nearest_delivered(values, byz, byz_chosen: int, remaining: int):
+    """Receiver-major delivered-from matrices for ``nearest`` rounds.
+
+    The vectorized form of
+    :func:`repro.adversary.constrained.nearest_picks` for executions
+    where every node transmits (no crashes): ``values`` is the
+    ``(B, n)`` round-start state matrix (Byzantine entries ignored),
+    ``byz`` the sorted Byzantine index array, ``byz_chosen`` /
+    ``remaining`` the split of the degree budget between
+    Byzantine-first picks and honest nearest picks. Returns
+    ``(B, n, n)`` bools where entry ``[b, v, u]`` says ``u``'s round
+    broadcast reaches ``v`` in lane ``b``.
+
+    One stable argsort per lane replicates the serial two-pointer
+    selection exactly: the spec sort is stable by ``(distance, node
+    id)`` over the honest live list, and the receiver's own
+    distance-zero entry is pinned first via ``-inf`` so it drops out
+    of the picks -- the serial walk's ``u == receiver`` skip. Rows for
+    Byzantine receivers are *not* meaningful (honest nodes never read
+    them; the serial adversary's choices there feed only no-op
+    strategy observations).
+    """
+    np = _np
+    lanes, n = values.shape
+    node_idx = np.arange(n)
+    dist = np.abs(values[:, :, None] - values[:, None, :])
+    if byz.size:
+        dist[:, :, byz] = np.inf
+    dist[:, node_idx, node_idx] = -np.inf
+    order = np.argsort(dist, axis=2, kind="stable")
+    picks = order[:, :, 1 : remaining + 1]
+    delivered = np.zeros((lanes, n, n), dtype=bool)
+    np.put_along_axis(delivered, picks, True, axis=2)
+    if byz_chosen:
+        delivered[:, :, byz[:byz_chosen]] = True
+    return delivered
+
+
+class ByzBatchEngine:
+    """Runs ``B`` independent DBAC / Byzantine / mobile lanes in lock-step.
+
+    The Byzantine counterpart of :class:`BatchEngine`: one shared
+    parameter assignment, one seed per lane, lane families exactly as
+    :func:`repro.workloads.run_byz_trial` builds them --
+
+    - ``adversary="quorum"``: boundary DBAC (``n >= 5f + 1``) under the
+      enforcing ``(window, floor((n+3f)/2))`` adversary, the ``f``
+      highest-numbered nodes running the named Byzantine ``strategy``;
+    - ``adversary="mobile-<mode>"``: fault-free DAC under the
+      Gafni-Losa mobile-omission adversary (one targeted in-link cut
+      per node per round).
+
+    Parameters
+    ----------
+    n, f:
+        Network size and fault bound. ``f=None`` resolves to the trial
+        default: the DBAC boundary ``(n - 1) // 5`` for ``"quorum"``,
+        ``0`` for mobile lanes (which must be fault-free).
+    seeds:
+        One root seed per lane. Each lane derives inputs, ports and
+        Byzantine RNG streams from its seed exactly as the serial
+        builders do, so results are bit-identical to serial runs.
+    epsilon, window, selector, strategy, stop_mode, max_rounds:
+        As in :func:`repro.workloads.run_dbac_trial` /
+        ``run_byz_trial`` (``stop_mode="oracle"`` stops a lane when
+        the fault-free spread first dips to ``epsilon``;
+        ``"output"`` waits for algorithm-local termination).
+    backend:
+        ``"auto"`` / ``"numpy"`` / ``"python"`` as in
+        :class:`BatchEngine`. The numpy kernel requires a vectorizable
+        selector (``rotate``/``nearest``) and, for quorum lanes, a
+        vectorizable Byzantine strategy (``extreme``, ``pin-high``,
+        ``pin-low``, ``phase-liar``); ``random`` selector/strategy
+        lanes fall back to the python backend.
+    width:
+        Maximum concurrent vector lanes. ``None`` (default) runs all
+        seeds at once. With ``width=W < len(seeds)`` the numpy kernel
+        processes the seed list through ``W`` rows.
+    compact:
+        Lane compaction (numpy backend, only observable when ``width``
+        caps the row count): ``True`` re-fills each finished row from
+        the pending seed queue immediately, keeping the vector width
+        full through long-tailed grids; ``False`` drains each
+        ``width``-sized chunk completely before starting the next.
+        Purely a speed/scheduling knob -- lanes are fully independent,
+        so results are bit-identical either way (pinned in tests).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int | None,
+        seeds: Sequence[int],
+        *,
+        epsilon: float = 1e-3,
+        window: int = 1,
+        selector: str = "nearest",
+        strategy: str = "extreme",
+        adversary: str = "quorum",
+        stop_mode: str = "oracle",
+        max_rounds: int = 50_000,
+        backend: str = "auto",
+        width: int | None = None,
+        compact: bool = True,
+    ) -> None:
+        self.seeds = [int(seed) for seed in seeds]
+        if not self.seeds:
+            raise ValueError("need at least one seed (one lane)")
+        if stop_mode not in _STOP_MODES:
+            raise ValueError(f"stop_mode must be one of {_STOP_MODES}, got {stop_mode!r}")
+        if width is not None and width < 1:
+            raise ValueError(f"width must be >= 1 (or None), got {width}")
+        self.n = n
+        self.epsilon = float(epsilon)
+        self.window = int(window)
+        self.selector = selector
+        self.strategy = strategy
+        self.adversary = adversary
+        self.stop_mode = stop_mode
+        self.max_rounds = int(max_rounds)
+        self.width = width
+        self.compact = bool(compact)
+        if adversary == "quorum":
+            self.family = "quorum"
+            self.mode = None
+            self.f = (n - 1) // 5 if f is None else f
+            probe = self._build_quorum_kwargs(self.seeds[0])
+            process = next(iter(probe["processes"].values()))
+            self.quorum = process.quorum
+            self.end_phase = process.end_phase
+            self.trim = process.trim
+            self.degree = probe["adversary"].degree
+            plan = probe["fault_plan"]
+            self._byz_nodes = tuple(sorted(plan.byzantine))
+            self._fault_free = tuple(sorted(plan.fault_free))
+            self._byz_strategies = [plan.byzantine[u] for u in self._byz_nodes]
+        elif adversary.startswith("mobile-"):
+            from repro.adversary.mobile import MOBILE_MODES
+
+            mode = adversary[len("mobile-") :]
+            if mode not in MOBILE_MODES:
+                raise ValueError(
+                    f"unknown mobile mode {mode!r}; known: {MOBILE_MODES}"
+                )
+            if f not in (None, 0):
+                raise ValueError(f"mobile-omission lanes are fault-free, got f={f}")
+            from repro.core.dac import DACProcess
+
+            self.family = "mobile"
+            self.mode = mode
+            self.f = 0
+            probe_process = DACProcess(n, 0, 0.0, 0, epsilon=self.epsilon)
+            self.quorum = probe_process.quorum
+            self.end_phase = probe_process.end_phase
+            self.trim = 0
+            self.degree = 0
+            self._byz_nodes = ()
+            self._fault_free = tuple(range(n))
+            self._byz_strategies = []
+        else:
+            raise ValueError(
+                f"unknown adversary {adversary!r}; use 'quorum' or 'mobile-<mode>'"
+            )
+        self.backend = self._resolve_backend(backend)
+        # salt -> receiver-major delivered-from matrix for the rotate
+        # selector (cyclic in salt mod n once built).
+        self._rotate_cache: dict[int, object] = {}
+
+    @property
+    def batch_size(self) -> int:
+        """Number of lanes (seeds); the vector width is ``min(width, B)``."""
+        return len(self.seeds)
+
+    # -- configuration -------------------------------------------------
+
+    def _build_quorum_kwargs(self, seed: int) -> dict:
+        # Derive the lane family from the serial builder itself (one
+        # source of truth, like BatchEngine does for DAC): validates
+        # n >= 5f+1, the selector and the strategy name as a side
+        # effect.
+        from repro.workloads import TRIAL_BYZANTINE_STRATEGIES, build_dbac_execution
+
+        if self.strategy not in TRIAL_BYZANTINE_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"known: {sorted(TRIAL_BYZANTINE_STRATEGIES)}"
+            )
+        factory = TRIAL_BYZANTINE_STRATEGIES[self.strategy]
+        return build_dbac_execution(
+            n=self.n,
+            f=self.f,
+            epsilon=self.epsilon,
+            seed=seed,
+            window=self.window,
+            selector=self.selector,
+            byzantine_factory=lambda node: factory(),
+            stop_mode=self.stop_mode,
+            max_rounds=self.max_rounds,
+        )
+
+    def _resolve_backend(self, backend: str) -> str:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        reason = None
+        if not numpy_available():
+            reason = "numpy is not installed"
+        elif self.family == "quorum":
+            if self.selector not in _BYZ_VECTOR_SELECTORS:
+                reason = (
+                    f"selector {self.selector!r} is not vectorizable "
+                    f"(supported: {_BYZ_VECTOR_SELECTORS})"
+                )
+            elif any(
+                _strategy_vector_plan(strategy, self.n) is None
+                for strategy in self._byz_strategies
+            ):
+                reason = (
+                    f"Byzantine strategy {self.strategy!r} is not vectorizable "
+                    "(RNG- or state-dependent messages)"
+                )
+        if backend == "auto":
+            return "python" if reason else "numpy"
+        if backend == "numpy" and reason:
+            raise ValueError(f"numpy backend unavailable: {reason}")
+        return backend
+
+    # -- python backend: lock-step over real engines -------------------
+
+    def _build_serial_engine(self, seed: int):
+        from repro.sim.engine import Engine
+
+        if self.family == "quorum":
+            kwargs = self._build_quorum_kwargs(seed)
+            return Engine(
+                kwargs["processes"],
+                kwargs["adversary"],
+                kwargs["ports"],
+                fault_plan=kwargs["fault_plan"],
+                f=kwargs["f"],
+                seed=kwargs["seed"],
+                record_trace=False,
+            )
+        from repro.adversary.mobile import MobileOmissionAdversary
+        from repro.core.dac import DACProcess
+        from repro.faults.base import FaultPlan
+
+        inputs = spawn_inputs(seed, self.n)
+        ports = random_ports(self.n, child_rng(seed, "ports"))
+        processes = {
+            node: DACProcess(
+                self.n, 0, inputs[node], ports.self_port(node), epsilon=self.epsilon
+            )
+            for node in range(self.n)
+        }
+        return Engine(
+            processes,
+            MobileOmissionAdversary(self.mode),
+            ports,
+            fault_plan=FaultPlan.fault_free_plan(self.n),
+            f=0,
+            seed=seed,
+            record_trace=False,
+        )
+
+    def _stop_holds(self, engine) -> bool:
+        if self.stop_mode == "output":
+            return engine.all_fault_free_output()
+        return engine.fault_free_range() <= self.epsilon
+
+    def _finalize_engine(self, engine, seed: int, rounds: int, stopped: bool) -> LaneResult:
+        plan = engine.fault_plan
+        if self.stop_mode == "output":
+            outputs = {
+                v: engine.processes[v].output()
+                for v in sorted(plan.fault_free)
+                if engine.processes[v].has_output()
+            }
+        else:
+            outputs = engine.fault_free_values()
+        return LaneResult(
+            seed=seed,
+            rounds=rounds,
+            stopped=stopped,
+            inputs={node: proc.input_value for node, proc in engine.processes.items()},
+            outputs=outputs,
+            state_keys={
+                node: proc.state_key() for node, proc in engine.processes.items()
+            },
+        )
+
+    def _run_python(self) -> list[LaneResult]:
+        engines = [self._build_serial_engine(seed) for seed in self.seeds]
+        results: list[LaneResult | None] = [None] * len(engines)
+        active = list(range(len(engines)))
+        t = 0
+        while active:
+            # Same order as Engine.run: stop_when before each round,
+            # then the documented final check at the cap.
+            still = []
+            for index in active:
+                holds = self._stop_holds(engines[index])
+                if holds or t >= self.max_rounds:
+                    results[index] = self._finalize_engine(
+                        engines[index], self.seeds[index], t, holds
+                    )
+                else:
+                    still.append(index)
+            for index in still:
+                engines[index].run_round()
+            active = still
+            t += 1
+        return [result for result in results if result is not None]
+
+    # -- numpy backend: vectorized kernels with lane compaction --------
+
+    def run(self) -> list[LaneResult]:
+        """Run every lane to its stop condition; results in seed order.
+
+        Each lane stops exactly like the serial
+        ``Engine.run(max_rounds, stop_when=...)`` does for its stop
+        mode: the condition is evaluated before each round and once
+        more at the cap.
+        """
+        if self.backend == "python":
+            return self._run_python()
+        results: list[LaneResult | None] = [None] * len(self.seeds)
+        pending: deque[tuple[int, int]] = deque(enumerate(self.seeds))
+        width = len(self.seeds) if self.width is None else min(self.width, len(self.seeds))
+        kernel = self._kernel_quorum if self.family == "quorum" else self._kernel_mobile
+        if self.compact:
+            first = [pending.popleft() for _ in range(width)]
+            kernel(first, pending, results)
+        else:
+            while pending:
+                chunk = [
+                    pending.popleft() for _ in range(min(width, len(pending)))
+                ]
+                kernel(chunk, None, results)
+        return [result for result in results if result is not None]
+
+    def _lane_tables(self, seed: int):
+        """Inputs and port tables for one lane, via the serial RNG streams."""
+        n = self.n
+        inputs = spawn_inputs(seed, n)
+        ports = random_ports(n, child_rng(seed, "ports"))
+        sender_at_port = ports.sender_rows()
+        self_port = [ports.self_port(v) for v in range(n)]
+        return inputs, sender_at_port, self_port
+
+    def _drain_and_refill(
+        self, cond_fn, lane_active, lane_t, finalize_row, reset_row, pending
+    ) -> None:
+        """Stop handling shared by both kernels, in ``Engine.run`` order
+        (condition first, cap second), then compaction: freed rows
+        immediately restart on queued seeds, and freshly refilled rows
+        are re-checked -- a refilled lane may satisfy its stop
+        condition at round zero, exactly like a serial run of zero
+        rounds.
+
+        ``cond_fn`` returns the per-lane stop-condition bools against
+        the kernel's *current* state arrays; ``finalize_row`` /
+        ``reset_row`` are the kernel's closures over them.
+        """
+        np = _np
+        while True:
+            cond = cond_fn()
+            done = lane_active & (cond | (lane_t >= self.max_rounds))
+            done_rows = np.nonzero(done)[0]
+            if done_rows.size == 0:
+                return
+            for b in done_rows:
+                finalize_row(int(b), bool(cond[b]))
+            if not pending:
+                return
+            for b in done_rows:
+                if not pending:
+                    break
+                result_slot, seed = pending.popleft()
+                reset_row(int(b), result_slot, seed)
+
+    def _scatter_messages(
+        self, buffers: dict, lanes: int, deliver_rows, has_msg_d, msg_value_d, msg_phase_d
+    ):
+        """Full-width ``(B, n, n)`` views of one round's message arrays.
+
+        When every lane delivers this round the per-row arrays already
+        are full width; otherwise the delivering rows are scattered
+        into partial-width buffers cached in ``buffers`` (one dict per
+        kernel run, allocated lazily on the first partial round).
+        Stale rows from earlier rounds are never cleared -- the
+        per-round receiving mask filters them before any read.
+        """
+        if deliver_rows.size == lanes:
+            return has_msg_d, msg_value_d, msg_phase_d
+        np = _np
+        n = self.n
+        if not buffers:
+            buffers["has"] = np.empty((lanes, n, n), dtype=bool)
+            buffers["value"] = np.empty((lanes, n, n), dtype=np.float64)
+            buffers["phase"] = np.empty((lanes, n, n), dtype=np.int64)
+        buffers["has"][deliver_rows] = has_msg_d
+        buffers["value"][deliver_rows] = msg_value_d
+        buffers["phase"][deliver_rows] = msg_phase_d
+        return buffers["has"], buffers["value"], buffers["phase"]
+
+    def _rotate_matrix(self, salt: int):
+        """Receiver-major delivered-from bools of one ``rotate`` round.
+
+        Read off the same interned Topology the serial enforcing
+        adversaries replay. Every node transmits in these families
+        (Byzantine senders included, no crashes), so the matrix depends
+        only on ``salt mod n``.
+        """
+        np = _np
+        key = salt % self.n
+        cached = self._rotate_cache.get(key)
+        if cached is None:
+            topology = rotate_topology(
+                self.n, tuple(range(self.n)), salt, self.degree
+            )
+            matrix = np.zeros((self.n, self.n), dtype=bool)
+            for receiver, senders in enumerate(topology.in_rows()):
+                matrix[receiver, list(senders)] = True
+            self._rotate_cache[key] = matrix
+            cached = matrix
+        return cached
+
+    def _kernel_quorum(self, rows, pending, results) -> None:
+        """Advance DBAC lanes in lock-step until all rows (and, with a
+        ``pending`` queue, all queued refills) are finalized.
+
+        Port-major like the DAC kernel: deliveries are consumed sorted
+        by port, so processing port ``k`` across every (lane, node)
+        cell replicates each ``DBACProcess.deliver`` call's in-batch
+        order -- including quorum updates that fire mid-batch and
+        re-filter the remaining ports against the new phase. The self
+        message is never materialized: its port is pre-marked in
+        ``R_i`` at phase start, so the serial engine's reliable
+        self-delivery is always filtered (asserted by the equivalence
+        tests through full state keys).
+
+        The ``R_low``/``R_high`` recording lists are not maintained as
+        sorted lists per store (that cost dominated the kernel):
+        instead every stored value lands in a flat per-phase
+        ``(B, n, quorum)`` buffer indexed by the witness counter, and
+        the trimmed extremes -- the ``(f+1)``-st smallest and largest
+        of exactly ``quorum`` stored values -- come from one
+        ``np.partition`` over the cells whose quorum fired. The exact
+        serial lists are reconstructed from the buffer at finalize
+        time; both representations hold the same value multisets, so
+        the state keys (and the midpoint arithmetic) are bit-identical
+        (see :attr:`repro.core.dbac.DBACProcess.stored_count`).
+        """
+        np = _np
+        n = self.n
+        trim = self.trim
+        quorum = self.quorum
+        end_phase = self.end_phase
+        window = self.window
+        lanes = len(rows)
+        node_idx = np.arange(n)
+
+        byz = np.array(self._byz_nodes, dtype=np.intp)
+        ff = np.array(self._fault_free, dtype=np.intp)
+        honest = np.ones(n, dtype=bool)
+        if byz.size:
+            honest[byz] = False
+        byz_flag = ~honest
+        # Byzantine message tables: a static per-(sender, receiver)
+        # value matrix plus a per-sender phase rule (track the maximum
+        # fault-free phase with a fixed lead, or a constant).
+        byz_value = np.zeros((n, n), dtype=np.float64)
+        byz_track = np.zeros(n, dtype=bool)
+        byz_lead = np.zeros(n, dtype=np.int64)
+        byz_const = np.zeros(n, dtype=np.int64)
+        for node, strategy in zip(self._byz_nodes, self._byz_strategies):
+            plan = _strategy_vector_plan(strategy, n)
+            assert plan is not None  # guaranteed by backend resolution
+            row, phase_kind, phase_arg = plan
+            byz_value[node] = row
+            if phase_kind == "track":
+                byz_track[node] = True
+                byz_lead[node] = phase_arg
+            else:
+                byz_const[node] = phase_arg
+        # The serial nearest selector hands every honest receiver all
+        # (up to degree) Byzantine senders first, then the closest
+        # honest values; clamp like the serial walk does when it runs
+        # out of candidates.
+        byz_chosen = min(byz.size, self.degree)
+        remaining = max(0, min(self.degree - byz_chosen, ff.size - 1))
+
+        slot = np.zeros(lanes, dtype=np.intp)
+        lane_seed = [0] * lanes
+        inputs = np.empty((lanes, n), dtype=np.float64)
+        sender_at_port = np.empty((lanes, n, n), dtype=np.intp)
+        self_port = np.empty((lanes, n), dtype=np.intp)
+        value = np.empty((lanes, n), dtype=np.float64)
+        phase = np.zeros((lanes, n), dtype=np.int64)
+        received = np.zeros((lanes, n, n), dtype=bool)
+        count = np.ones((lanes, n), dtype=np.int64)
+        # Per-phase stored values in witness-counter order; slot i holds
+        # the (i+1)-th stored value of the current phase (slot 0 is the
+        # phase-start self value). count <= quorum always: the quorum
+        # fires, and resets the counter, on the accept that reaches it.
+        stored = np.zeros((lanes, n, quorum), dtype=np.float64)
+        out_mask = np.zeros((lanes, n), dtype=bool)
+        out_val = np.zeros((lanes, n), dtype=np.float64)
+        lane_t = np.zeros(lanes, dtype=np.int64)
+        lane_active = np.zeros(lanes, dtype=bool)
+
+        def reset_row(b: int, result_slot: int, seed: int) -> None:
+            lane_inputs, lane_sap, lane_self = self._lane_tables(seed)
+            slot[b] = result_slot
+            lane_seed[b] = seed
+            inputs[b] = lane_inputs
+            sender_at_port[b] = lane_sap
+            self_port[b] = lane_self
+            value[b] = inputs[b]
+            phase[b] = 0
+            received[b] = False
+            received[b, node_idx, self_port[b]] = True
+            count[b] = 1
+            stored[b, :, 0] = value[b]
+            if end_phase == 0:  # init-time _check_output: decide at once
+                out_mask[b] = True
+                out_val[b] = value[b]
+            else:
+                out_mask[b] = False
+                out_val[b] = 0.0
+            lane_t[b] = 0
+            lane_active[b] = True
+
+        def finalize_row(b: int, stopped: bool) -> None:
+            state_keys = {}
+            for node in self._fault_free:
+                # Reconstruct the exact R_low / R_high lists from the
+                # phase's stored-value buffer: the recording lists are
+                # the min(stored, f+1) smallest / largest stored values
+                # in ascending order (the DBACProcess.stored_count
+                # invariant).
+                stores = int(count[b, node])
+                length = min(stores, trim)
+                stored_sorted = np.sort(stored[b, node, :stores])
+                decided = bool(out_mask[b, node])
+                state_keys[node] = (
+                    float(value[b, node]),
+                    int(phase[b, node]),
+                    tuple(bool(bit) for bit in received[b, node]),
+                    tuple(float(v) for v in stored_sorted[:length]),
+                    tuple(float(v) for v in stored_sorted[stores - length :]),
+                    float(out_val[b, node]) if decided else None,
+                )
+            if self.stop_mode == "output":
+                outputs = {
+                    int(node): float(out_val[b, node])
+                    for node in ff
+                    if out_mask[b, node]
+                }
+            else:
+                outputs = {int(node): float(value[b, node]) for node in ff}
+            results[slot[b]] = LaneResult(
+                seed=lane_seed[b],
+                rounds=int(lane_t[b]),
+                stopped=stopped,
+                inputs={int(node): float(inputs[b, node]) for node in ff},
+                outputs=outputs,
+                state_keys=state_keys,
+            )
+            lane_active[b] = False
+
+        def stop_condition():
+            if self.stop_mode == "output":
+                return out_mask[:, ff].all(axis=1)
+            ff_values = value[:, ff]
+            return (ff_values.max(axis=1) - ff_values.min(axis=1)) <= self.epsilon
+
+        for b, (result_slot, seed) in enumerate(rows):
+            reset_row(b, result_slot, seed)
+
+        scatter_buffers: dict = {}
+
+        while True:
+            self._drain_and_refill(
+                stop_condition, lane_active, lane_t, finalize_row, reset_row, pending
+            )
+            if not lane_active.any():
+                return
+
+            delivering = (
+                lane_active
+                if window == 1
+                else lane_active & ((lane_t + 1) % window == 0)
+            )
+            if delivering.any():
+                deliver_rows = np.nonzero(delivering)[0]
+                # Round-start broadcast snapshot -- what the adversary
+                # and the Byzantine strategies see, and what honest
+                # senders transmit this round.
+                bc_value = value.copy()
+                bc_phase = phase.copy()
+                max_ff_phase = bc_phase[:, ff].max(axis=1)
+                sap_d = sender_at_port[deliver_rows]
+
+                if self.selector == "nearest":
+                    delivered_recv = nearest_delivered(
+                        bc_value[deliver_rows], byz, byz_chosen, remaining
+                    )
+                else:  # rotate
+                    salts = lane_t[deliver_rows] if window == 1 else lane_t[deliver_rows] // window
+                    delivered_recv = np.stack(
+                        [self._rotate_matrix(int(salt)) for salt in salts]
+                    )
+                has_msg_d = np.take_along_axis(delivered_recv, sap_d, axis=2)
+
+                msg_value_d = bc_value[deliver_rows[:, None, None], sap_d]
+                msg_phase_d = bc_phase[deliver_rows[:, None, None], sap_d]
+                if byz.size:
+                    is_byz_sender = byz_flag[sap_d]
+                    byz_value_d = byz_value[sap_d, node_idx[None, :, None]]
+                    msg_value_d = np.where(is_byz_sender, byz_value_d, msg_value_d)
+                    byz_phase = np.where(
+                        byz_track[None, :],
+                        max_ff_phase[:, None] + byz_lead[None, :],
+                        byz_const[None, :],
+                    )
+                    byz_phase_d = byz_phase[deliver_rows[:, None, None], sap_d]
+                    msg_phase_d = np.where(is_byz_sender, byz_phase_d, msg_phase_d)
+
+                has_msg, msg_value, msg_phase = self._scatter_messages(
+                    scatter_buffers, lanes, deliver_rows,
+                    has_msg_d, msg_value_d, msg_phase_d,
+                )
+
+                receiving = delivering[:, None] & honest[None, :]
+                for port in range(n):
+                    candidate = has_msg[:, :, port] & receiving
+                    if not candidate.any():
+                        continue
+                    # Lines 4-7 of Algorithm 2: frozen nodes skip the
+                    # rest of their batch, stale phases and repeat
+                    # ports are filtered, fresh ports are recorded.
+                    accept = (
+                        candidate
+                        & ~out_mask
+                        & (msg_phase[:, :, port] >= phase)
+                        & ~received[:, :, port]
+                    )
+                    if not accept.any():
+                        continue
+                    received[:, :, port] |= accept
+                    count = np.where(accept, count + 1, count)
+                    incoming = msg_value[:, :, port]
+                    accept_lane, accept_node = np.nonzero(accept)
+                    stored[
+                        accept_lane, accept_node, count[accept_lane, accept_node] - 1
+                    ] = incoming[accept_lane, accept_node]
+                    full = accept & (count >= quorum)
+                    if full.any():
+                        # Lines 8-11: trimmed-midpoint update -- the
+                        # (f+1)-st lowest and highest of the quorum
+                        # stored states (max(R_low) and min(R_high)) --
+                        # then next phase, reset, self-store.
+                        full_lane, full_node = np.nonzero(full)
+                        quorum_rows = stored[full_lane, full_node]
+                        kth = (trim - 1, quorum - trim)
+                        part = np.partition(
+                            quorum_rows, sorted(set(kth)), axis=1
+                        )
+                        value[full_lane, full_node] = 0.5 * (
+                            part[:, trim - 1] + part[:, quorum - trim]
+                        )
+                        phase = np.where(full, phase + 1, phase)
+                        received[full] = False
+                        received[full_lane, full_node, self_port[full_lane, full_node]] = True
+                        count = np.where(full, 1, count)
+                        stored[full_lane, full_node, 0] = value[full_lane, full_node]
+                        decided = full & (phase >= end_phase)
+                        if decided.any():
+                            phase = np.where(decided, end_phase, phase)
+                            out_mask |= decided
+                            out_val = np.where(decided, value, out_val)
+            # Silent window rounds change no state: the only delivery
+            # is each node's own message, whose port is already marked.
+            lane_t = np.where(lane_active, lane_t + 1, lane_t)
+
+    def _kernel_mobile(self, rows, pending, results) -> None:
+        """Advance mobile-omission DAC lanes in lock-step (with refill).
+
+        DAC's jump/quorum update rule (mirroring
+        :class:`BatchEngine`'s kernel) under per-lane delivered-from
+        matrices: the complete graph minus each receiver's targeted
+        in-link, computed per lane from the round-start values with
+        two ``argmin``/``argmax`` passes -- the vectorized form of
+        :func:`repro.adversary.mobile.mobile_victims`.
+        """
+        np = _np
+        n = self.n
+        quorum = self.quorum
+        end_phase = self.end_phase
+        mode = self.mode
+        lanes = len(rows)
+        node_idx = np.arange(n)
+
+        slot = np.zeros(lanes, dtype=np.intp)
+        lane_seed = [0] * lanes
+        inputs = np.empty((lanes, n), dtype=np.float64)
+        sender_at_port = np.empty((lanes, n, n), dtype=np.intp)
+        self_port = np.empty((lanes, n), dtype=np.intp)
+        value = np.empty((lanes, n), dtype=np.float64)
+        phase = np.zeros((lanes, n), dtype=np.int64)
+        v_min = np.empty((lanes, n), dtype=np.float64)
+        v_max = np.empty((lanes, n), dtype=np.float64)
+        received = np.zeros((lanes, n, n), dtype=bool)
+        count = np.ones((lanes, n), dtype=np.int64)
+        out_mask = np.zeros((lanes, n), dtype=bool)
+        out_val = np.zeros((lanes, n), dtype=np.float64)
+        lane_t = np.zeros(lanes, dtype=np.int64)
+        lane_active = np.zeros(lanes, dtype=bool)
+        complete = ~np.eye(n, dtype=bool)  # receiver-major, no self loop
+
+        def reset_row(b: int, result_slot: int, seed: int) -> None:
+            lane_inputs, lane_sap, lane_self = self._lane_tables(seed)
+            slot[b] = result_slot
+            lane_seed[b] = seed
+            inputs[b] = lane_inputs
+            sender_at_port[b] = lane_sap
+            self_port[b] = lane_self
+            value[b] = inputs[b]
+            v_min[b] = value[b]
+            v_max[b] = value[b]
+            phase[b] = 0
+            received[b] = False
+            received[b, node_idx, self_port[b]] = True
+            count[b] = 1
+            if end_phase == 0:
+                out_mask[b] = True
+                out_val[b] = value[b]
+            else:
+                out_mask[b] = False
+                out_val[b] = 0.0
+            lane_t[b] = 0
+            lane_active[b] = True
+
+        def finalize_row(b: int, stopped: bool) -> None:
+            state_keys = {}
+            for node in range(n):
+                decided = bool(out_mask[b, node])
+                state_keys[node] = (
+                    float(value[b, node]),
+                    int(phase[b, node]),
+                    tuple(bool(bit) for bit in received[b, node]),
+                    float(v_min[b, node]),
+                    float(v_max[b, node]),
+                    float(out_val[b, node]) if decided else None,
+                )
+            if self.stop_mode == "output":
+                outputs = {
+                    int(node): float(out_val[b, node])
+                    for node in range(n)
+                    if out_mask[b, node]
+                }
+            else:
+                outputs = {int(node): float(value[b, node]) for node in range(n)}
+            results[slot[b]] = LaneResult(
+                seed=lane_seed[b],
+                rounds=int(lane_t[b]),
+                stopped=stopped,
+                inputs={int(node): float(inputs[b, node]) for node in range(n)},
+                outputs=outputs,
+                state_keys=state_keys,
+            )
+            lane_active[b] = False
+
+        def stop_condition():
+            if self.stop_mode == "output":
+                return out_mask.all(axis=1)
+            return (value.max(axis=1) - value.min(axis=1)) <= self.epsilon
+
+        for b, (result_slot, seed) in enumerate(rows):
+            reset_row(b, result_slot, seed)
+
+        scatter_buffers: dict = {}
+
+        while True:
+            self._drain_and_refill(
+                stop_condition, lane_active, lane_t, finalize_row, reset_row, pending
+            )
+            if not lane_active.any():
+                return
+
+            deliver_rows = np.nonzero(lane_active)[0]
+            bc_value = value.copy()
+            bc_phase = phase.copy()
+            sap_d = sender_at_port[deliver_rows]
+
+            delivered_recv = np.broadcast_to(
+                complete, (deliver_rows.size, n, n)
+            ).copy()
+            if mode == "rotate":
+                victim = (node_idx[None, :] + lane_t[deliver_rows][:, None]) % n
+                cut = victim != node_idx[None, :]
+                delivered_recv[
+                    np.nonzero(cut)[0], np.nonzero(cut)[1], victim[cut]
+                ] = False
+            elif mode in ("block_min", "block_max"):
+                lane_values = bc_value[deliver_rows]
+                pick = np.argmin if mode == "block_min" else np.argmax
+                first = pick(lane_values, axis=1)
+                masked = lane_values.copy()
+                masked[np.arange(deliver_rows.size), first] = (
+                    np.inf if mode == "block_min" else -np.inf
+                )
+                second = pick(masked, axis=1)
+                victim = np.broadcast_to(first[:, None], (deliver_rows.size, n)).copy()
+                victim[np.arange(deliver_rows.size), first] = second
+                delivered_recv[
+                    np.arange(deliver_rows.size)[:, None],
+                    node_idx[None, :],
+                    victim,
+                ] = False
+            # mode == "none": keep the complete graph.
+            has_msg_d = np.take_along_axis(delivered_recv, sap_d, axis=2)
+            msg_value_d = bc_value[deliver_rows[:, None, None], sap_d]
+            msg_phase_d = bc_phase[deliver_rows[:, None, None], sap_d]
+
+            has_msg, msg_value, msg_phase = self._scatter_messages(
+                scatter_buffers, lanes, deliver_rows,
+                has_msg_d, msg_value_d, msg_phase_d,
+            )
+
+            receiving = np.broadcast_to(lane_active[:, None], (lanes, n))
+            for port in range(n):
+                here = has_msg[:, :, port] & receiving
+                if not here.any():
+                    continue
+                active = here & ~out_mask
+                if not active.any():
+                    continue
+                incoming_value = msg_value[:, :, port]
+                incoming_phase = msg_phase[:, :, port]
+                # Masks from the same pre-update phase, like the serial
+                # if/elif -- a jump must not re-match as same-phase.
+                jump = active & (incoming_phase > phase)
+                same = active & (incoming_phase == phase) & ~received[:, :, port]
+                if jump.any():
+                    value = np.where(jump, incoming_value, value)
+                    phase = np.where(jump, incoming_phase, phase)
+                    received[jump] = False
+                    jump_lane, jump_node = np.nonzero(jump)
+                    received[jump_lane, jump_node, self_port[jump_lane, jump_node]] = True
+                    count[jump] = 1
+                    v_min = np.where(jump, value, v_min)
+                    v_max = np.where(jump, value, v_max)
+                    decided = jump & (phase >= end_phase)
+                    if decided.any():
+                        phase = np.where(decided, end_phase, phase)
+                        out_mask |= decided
+                        out_val = np.where(decided, value, out_val)
+                if same.any():
+                    received[:, :, port] |= same
+                    count = np.where(same, count + 1, count)
+                    lower = same & (incoming_value < v_min)
+                    v_min = np.where(lower, incoming_value, v_min)
+                    higher = same & ~lower & (incoming_value > v_max)
+                    v_max = np.where(higher, incoming_value, v_max)
+                    full = same & (count >= quorum)
+                    if full.any():
+                        value = np.where(full, 0.5 * (v_min + v_max), value)
+                        phase = np.where(full, phase + 1, phase)
+                        received[full] = False
+                        full_lane, full_node = np.nonzero(full)
+                        received[full_lane, full_node, self_port[full_lane, full_node]] = True
+                        count[full] = 1
+                        v_min = np.where(full, value, v_min)
+                        v_max = np.where(full, value, v_max)
+                        decided = full & (phase >= end_phase)
+                        if decided.any():
+                            phase = np.where(decided, end_phase, phase)
+                            out_mask |= decided
+                            out_val = np.where(decided, value, out_val)
+            lane_t = np.where(lane_active, lane_t + 1, lane_t)
+
+
+def run_byz_batch(
+    n: int,
+    f: int | None,
+    seeds: Sequence[int],
+    *,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "nearest",
+    strategy: str = "extreme",
+    adversary: str = "quorum",
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+    backend: str = "auto",
+    width: int | None = None,
+    compact: bool = True,
+) -> list[LaneResult]:
+    """Run one batch of Byzantine-or-mobile executions, one lane per seed.
+
+    Convenience wrapper over :class:`ByzBatchEngine`; see its docstring
+    for parameter semantics and the bit-identity contract.
+
+    >>> lanes = run_byz_batch(6, 1, [0, 1], backend="python")
+    >>> [lane.stopped for lane in lanes]
+    [True, True]
+    """
+    return ByzBatchEngine(
+        n,
+        f,
+        seeds,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        strategy=strategy,
+        adversary=adversary,
+        stop_mode=stop_mode,
+        max_rounds=max_rounds,
+        backend=backend,
+        width=width,
+        compact=compact,
+    ).run()
+
+
+def run_dbac_batch(
+    n: int,
+    f: int | None,
+    seeds: Sequence[int],
+    *,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "nearest",
+    strategy: str = "extreme",
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+    backend: str = "auto",
+    width: int | None = None,
+    compact: bool = True,
+) -> list[LaneResult]:
+    """Run one batch of boundary DBAC executions, one lane per seed.
+
+    :func:`run_byz_batch` pinned to the ``"quorum"`` family -- the
+    batched counterpart of :func:`repro.workloads.run_dbac_trial`.
+
+    >>> lanes = run_dbac_batch(6, 1, [0, 1, 2], backend="python")
+    >>> [lane.seed for lane in lanes]
+    [0, 1, 2]
+    """
+    return run_byz_batch(
+        n,
+        f,
+        seeds,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        strategy=strategy,
+        adversary="quorum",
+        stop_mode=stop_mode,
+        max_rounds=max_rounds,
+        backend=backend,
+        width=width,
+        compact=compact,
+    )

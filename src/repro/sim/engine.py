@@ -232,11 +232,13 @@ class Engine:
         # the node -> list mapping every round dominated small-n rounds.
         self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n)]
         # Per-receiver port rows (P_node(sender) for every sender),
-        # precomputed so the delivery loop indexes a list instead of
-        # making an O(n^2)-per-round stream of port_of calls.
-        self._port_rows: dict[int, list[int]] = {
-            node: [ports.port_of(node, sender) for sender in range(self.n)]
-            for node in self.processes
+        # precomputed so the delivery loop indexes a row instead of
+        # making an O(n^2)-per-round stream of port_of calls. Taken
+        # from the numbering's bulk accessor -- no per-element calls
+        # at construction time either.
+        all_rows = ports.port_rows()
+        self._port_rows: dict[int, tuple[int, ...]] = {
+            node: all_rows[node] for node in self.processes
         }
 
     @property

@@ -103,7 +103,17 @@ def resolve_workers(workers: int | None) -> int:
 
 @dataclass(frozen=True)
 class TrialSpec:
-    """One schedulable unit: keyword parameters plus the trial's seed."""
+    """One schedulable unit: keyword parameters plus the trial's seed.
+
+    ``params`` is a tuple of ``(name, value)`` pairs (hashable, so
+    specs can be grouped); the seed is carried separately because the
+    scheduler owns it -- it is fixed before dispatch, which is what
+    makes ``workers=N`` deterministic.
+
+    >>> spec = TrialSpec((("n", 9), ("window", 2)), seed=7)
+    >>> spec.kwargs()
+    {'n': 9, 'window': 2}
+    """
 
     params: tuple[tuple[str, Any], ...]
     seed: int
@@ -186,6 +196,22 @@ def run_trials(
     form is an error; a process-wide *default* batch (``None`` here)
     silently degrades to unbatched execution for trial functions that
     have no batched form.
+
+    >>> specs = [TrialSpec((("scale", 10),), seed=s) for s in (1, 2, 3)]
+    >>> run_trials(lambda scale, seed: scale * seed, specs)
+    [10, 20, 30]
+
+    The batch_fn contract -- one result per seed, in seed order, equal
+    to the per-trial calls (how ``repro.workloads.run_dac_trial_batch``
+    and the DBAC/Byzantine forms are written, each backed by a
+    :mod:`repro.sim.batch` lock-step kernel):
+
+    >>> def scaled(scale, seed):
+    ...     return scale * seed
+    >>> def scaled_batch(scale, seeds=()):
+    ...     return [scale * seed for seed in seeds]
+    >>> run_trials(scaled, specs, batch=2, batch_fn=scaled_batch)
+    [10, 20, 30]
     """
     count = resolve_workers(workers)
     size = resolve_batch(batch)

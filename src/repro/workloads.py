@@ -379,6 +379,20 @@ def run_dac_trial(
     without phase bookkeeping by default, so the engine takes its fast
     path -- and returns plain scalars that ship cheaply between
     processes. ``f`` defaults to the boundary ``(n - 1) // 2``.
+
+    Deterministic in ``seed``: the same call always returns the same
+    summary, on any worker schedule and at any batch size (the
+    ``batch_fn`` attribute carries the
+    :mod:`repro.sim.batch`-backed lock-step form the parallel layer
+    dispatches under ``batch=B``).
+
+    >>> summary = run_dac_trial(n=5, seed=0)
+    >>> sorted(summary)
+    ['correct', 'rounds', 'spread', 'terminated']
+    >>> summary["correct"] and summary["terminated"]
+    True
+    >>> run_dac_trial.batch_fn(n=5, seeds=[0]) == [summary]
+    True
     """
     from repro.sim.runner import run_consensus  # local import: runner is heavy
 
@@ -401,12 +415,16 @@ def run_dac_trial(
 
 
 def _lane_summary(lane, epsilon: float) -> dict[str, Any]:
-    """The :func:`run_dac_trial` summary dict for one batch lane.
+    """The ``run_*_trial`` summary dict for one batch lane.
 
     Re-derives the runner's verdicts (spread, epsilon-agreement,
     validity) from the lane's outputs and inputs with the runner's own
     arithmetic and float slack, so batched and serial summaries are
-    equal value for value.
+    equal value for value. Works for every lane family because
+    :class:`repro.sim.batch.LaneResult.outputs` already carries the
+    stop-mode-appropriate outputs (decided values for ``"output"``
+    stopping, fault-free states for ``"oracle"``), exactly as
+    :func:`repro.sim.runner.run_consensus` reports them.
     """
     from repro.sim.runner import _FLOAT_SLACK
 
@@ -476,8 +494,9 @@ run_dac_trial.batch_fn = run_dac_trial_batch  # type: ignore[attr-defined]
 
 
 # Mobile-omission targeting modes accepted by run_byz_trial's
-# ``adversary`` parameter as "mobile-<mode>".
-_MOBILE_MODES = ("block_min", "block_max", "rotate", "none")
+# ``adversary`` parameter as "mobile-<mode>" -- the adversary module's
+# canonical tuple, so a new mode needs exactly one edit.
+from repro.adversary.mobile import MOBILE_MODES as _MOBILE_MODES  # noqa: E402
 
 
 # Byzantine strategy menu shared by the DBAC trial and the CLIs. Plain
@@ -511,7 +530,18 @@ def run_dbac_trial(
     the ``f`` highest nodes run the named Byzantine ``strategy`` (see
     ``TRIAL_BYZANTINE_STRATEGIES``), and stopping defaults to oracle
     mode like :func:`build_dbac_execution` (Equation 6's ``p_end`` is
-    astronomically conservative).
+    astronomically conservative) -- ``rounds`` then measures how long
+    the adversary can hold the honest spread above ``epsilon``.
+
+    Deterministic in ``seed`` with the same batch_fn contract as
+    :func:`run_dac_trial`; under ``batch=B`` the lanes advance through
+    the vectorized :class:`repro.sim.batch.ByzBatchEngine` kernel.
+
+    >>> summary = run_dbac_trial(n=6, seed=1)
+    >>> summary["terminated"]
+    True
+    >>> run_dbac_trial.batch_fn(n=6, seeds=[1]) == [summary]
+    True
     """
     from repro.sim.runner import run_consensus  # local import: runner is heavy
 
@@ -548,20 +578,60 @@ def run_dbac_trial(
 
 
 def run_dbac_trial_batch(
+    n: int,
+    f: int | None = None,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "nearest",
+    strategy: str = "extreme",
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+    fast: bool = True,
     seeds: Any = (),
-    **params: Any,
-) -> list[Any]:
+) -> list[dict[str, Any]]:
     """Batched :func:`run_dbac_trial`: one summary per seed, in order.
 
-    The batched-trial form the parallel layer dispatches (attached as
-    ``run_dbac_trial.batch_fn``). Byzantine executions have no
-    lock-step vectorized kernel yet (ROADMAP "Batched DBAC lanes"), so
-    the lanes run serially inside the one call -- batching here is a
-    *grouping* knob that lets ``Sweep.run(workers=N, batch=B)`` ship
-    whole seed groups to worker processes instead of single trials,
-    with results identical to per-trial dispatch by construction.
+    The batched-trial form the parallel layer dispatches (attached
+    below as ``run_dbac_trial.batch_fn``): returns exactly
+    ``[run_dbac_trial(..., seed=s) for s in seeds]``, computed by one
+    lock-step :class:`repro.sim.batch.ByzBatchEngine` pass --
+    vectorized (witness counters, trimmed updates, stable-argsort
+    ``nearest`` selection) when numpy is installed and the
+    selector/strategy pair is vectorizable, serial-engine lock-step
+    otherwise. The non-fast path records traces per trial, which
+    batching cannot amortize, so it delegates to the serial trial.
     """
-    return [run_dbac_trial(**params, seed=int(seed)) for seed in seeds]
+    from repro.sim.batch import run_dbac_batch
+
+    seeds = [int(seed) for seed in seeds]
+    if not fast:
+        return [
+            run_dbac_trial(
+                n=n,
+                f=f,
+                epsilon=epsilon,
+                window=window,
+                selector=selector,
+                strategy=strategy,
+                stop_mode=stop_mode,
+                max_rounds=max_rounds,
+                seed=seed,
+                fast=fast,
+            )
+            for seed in seeds
+        ]
+    lanes = run_dbac_batch(
+        n,
+        f,
+        seeds,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        strategy=strategy,
+        stop_mode=stop_mode,
+        max_rounds=max_rounds,
+    )
+    return [_lane_summary(lane, epsilon) for lane in lanes]
 
 
 run_dbac_trial.batch_fn = run_dbac_trial_batch  # type: ignore[attr-defined]
@@ -600,6 +670,17 @@ def run_byz_trial(
       ``<mode>`` (one of ``block_min``, ``block_max``, ``rotate``,
       ``none``). ``strategy``/``window``/``selector`` are ignored;
       ``f`` must be 0 (default).
+
+    Deterministic in ``seed``; both families batch through
+    :class:`repro.sim.batch.ByzBatchEngine` via the attached
+    ``batch_fn`` (one summary per seed, in seed order, equal to the
+    per-trial calls).
+
+    >>> summary = run_byz_trial(n=6, adversary="mobile-none", seed=0)
+    >>> summary["correct"]
+    True
+    >>> run_byz_trial.batch_fn(n=6, adversary="mobile-none", seeds=[0]) == [summary]
+    True
     """
     from repro.adversary.mobile import MobileOmissionAdversary
     from repro.sim.runner import run_consensus  # local import: runner is heavy
@@ -656,15 +737,62 @@ def run_byz_trial(
 
 
 def run_byz_trial_batch(
+    n: int,
+    f: int | None = None,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "nearest",
+    strategy: str = "extreme",
+    adversary: str = "quorum",
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+    fast: bool = True,
     seeds: Any = (),
-    **params: Any,
 ) -> list[dict[str, Any]]:
     """Batched :func:`run_byz_trial`: one summary per seed, in order.
 
-    Attached as ``run_byz_trial.batch_fn``; same grouping contract (and
-    caveat) as :func:`run_dbac_trial_batch`.
+    Attached as ``run_byz_trial.batch_fn`` and dispatched by the
+    parallel layer, so fault-model comparison grids batch too: both the
+    ``"quorum"`` (DBAC) and ``"mobile-<mode>"`` lane families run
+    through one lock-step :class:`repro.sim.batch.ByzBatchEngine` pass,
+    vectorized when numpy is installed (the ``random``
+    selector/strategy falls back to serial-engine lock-step). The
+    non-fast path delegates to the serial trial like
+    :func:`run_dbac_trial_batch` does.
     """
-    return [run_byz_trial(**params, seed=int(seed)) for seed in seeds]
+    from repro.sim.batch import run_byz_batch
+
+    seeds = [int(seed) for seed in seeds]
+    if not fast:
+        return [
+            run_byz_trial(
+                n=n,
+                f=f,
+                epsilon=epsilon,
+                window=window,
+                selector=selector,
+                strategy=strategy,
+                adversary=adversary,
+                stop_mode=stop_mode,
+                max_rounds=max_rounds,
+                seed=seed,
+                fast=fast,
+            )
+            for seed in seeds
+        ]
+    lanes = run_byz_batch(
+        n,
+        f,
+        seeds,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        strategy=strategy,
+        adversary=adversary,
+        stop_mode=stop_mode,
+        max_rounds=max_rounds,
+    )
+    return [_lane_summary(lane, epsilon) for lane in lanes]
 
 
 run_byz_trial.batch_fn = run_byz_trial_batch  # type: ignore[attr-defined]
@@ -698,6 +826,13 @@ def run_baseline_trial(
     ``num_rounds`` defaults to DAC's ``p_end`` (the baselines complete
     one phase per round on reliable graphs, making the round budgets
     comparable).
+
+    Deterministic in ``seed``; the attached ``batch_fn`` groups seeds
+    per dispatch (the baselines have no vectorized lock-step kernel --
+    see docs/batching.md for which families do).
+
+    >>> run_baseline_trial(n=6, algorithm="midpoint", seed=0)["terminated"]
+    True
     """
     from repro.sim.runner import run_consensus  # local import: runner is heavy
 

@@ -2,11 +2,15 @@
 
 Three contracts make ``batch=B`` a pure speed knob:
 
-1. :class:`repro.sim.batch.BatchEngine` produces **bit-identical final
-   states and round counts** to ``B`` serial ``Engine`` runs of the
-   same lanes -- full ``state_key`` equality, not just outputs;
+1. :class:`repro.sim.batch.BatchEngine` and
+   :class:`repro.sim.batch.ByzBatchEngine` produce **bit-identical
+   final states and round counts** to ``B`` serial ``Engine`` runs of
+   the same lanes -- full ``state_key`` equality, not just outputs --
+   across the DAC (crash), DBAC (Byzantine) and mobile-omission
+   families;
 2. the numpy backend and the always-importable pure-Python fallback
-   produce identical lane results (asserted when numpy is present);
+   produce identical lane results (asserted when numpy is present),
+   and lane compaction / vector-width chunking never change results;
 3. ``Sweep.run(workers=4, batch=4)`` records are identical, element
    for element, to ``Sweep.run(workers=1, batch=1)`` records.
 """
@@ -14,7 +18,14 @@ Three contracts make ``batch=B`` a pure speed knob:
 import pytest
 
 from repro.bench.sweep import Sweep
-from repro.sim.batch import BatchEngine, numpy_available, run_dac_batch
+from repro.sim.batch import (
+    BatchEngine,
+    ByzBatchEngine,
+    numpy_available,
+    run_byz_batch,
+    run_dac_batch,
+    run_dbac_batch,
+)
 from repro.sim.engine import Engine
 from repro.sim.parallel import (
     TrialSpec,
@@ -23,15 +34,35 @@ from repro.sim.parallel import (
     set_default_batch,
 )
 from repro.workloads import (
+    TRIAL_BYZANTINE_STRATEGIES,
     build_dac_execution,
+    build_dbac_execution,
+    run_byz_trial,
+    run_byz_trial_batch,
     run_dac_trial,
     run_dac_trial_batch,
+    run_dbac_trial,
+    run_dbac_trial_batch,
 )
 
 BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
 
 # (n, f, window): fault-free, crash-fault, multi-round windows.
 GRIDS = [(9, 0, 1), (9, 4, 1), (9, 4, 3), (12, 5, 2), (5, 2, 1)]
+
+# (n, f, window, selector, strategy): the Byzantine lane families --
+# value-dependent nearest selection, memoized rotate, windowed
+# delivery, every vectorizable strategy, and the f=0 degenerate case.
+BYZ_GRIDS = [
+    (11, 2, 1, "nearest", "extreme"),
+    (11, 2, 3, "nearest", "pin-high"),
+    (11, 2, 2, "rotate", "extreme"),
+    (6, 1, 1, "nearest", "phase-liar"),
+    (7, 0, 1, "nearest", "extreme"),
+    (11, 2, 1, "nearest", "pin-low"),
+]
+
+MOBILE_MODES = ["block_min", "block_max", "rotate", "none"]
 
 
 def run_serial_lane(n, f, seed, window):
@@ -47,6 +78,35 @@ def run_serial_lane(n, f, seed, window):
         record_trace=False,
     )
     result = engine.run(kwargs["max_rounds"], stop_when=Engine.all_fault_free_output)
+    return engine, result
+
+
+def run_serial_dbac_lane(
+    n, f, seed, window, selector, strategy, epsilon=1e-3, max_rounds=50_000
+):
+    """One serial oracle-mode DBAC run of the lane the batch engine claims."""
+    factory = TRIAL_BYZANTINE_STRATEGIES[strategy]
+    kwargs = build_dbac_execution(
+        n=n,
+        f=f,
+        epsilon=epsilon,
+        seed=seed,
+        window=window,
+        selector=selector,
+        byzantine_factory=lambda node: factory(),
+    )
+    engine = Engine(
+        kwargs["processes"],
+        kwargs["adversary"],
+        kwargs["ports"],
+        fault_plan=kwargs["fault_plan"],
+        f=kwargs["f"],
+        seed=kwargs["seed"],
+        record_trace=False,
+    )
+    result = engine.run(
+        max_rounds, stop_when=lambda eng: eng.fault_free_range() <= epsilon
+    )
     return engine, result
 
 
@@ -223,3 +283,356 @@ class TestSweepBatchIdentity:
         explicit.run(run_dac_trial, batch=4, batch_fn=run_dac_trial_batch)
         implicit.run(run_dac_trial, batch=4)  # run_dac_trial.batch_fn
         assert explicit.records == implicit.records
+
+
+class TestByzBatchMatchesSerial:
+    """DBAC / Byzantine lanes: bit-identity of ByzBatchEngine vs serial."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n,f,window,selector,strategy", BYZ_GRIDS)
+    def test_dbac_finals_and_rounds_bit_identical(
+        self, n, f, window, selector, strategy, backend
+    ):
+        seeds = list(range(6))
+        lanes = run_dbac_batch(
+            n, f, seeds, window=window, selector=selector, strategy=strategy,
+            backend=backend,
+        )
+        assert [lane.seed for lane in lanes] == seeds
+        for seed, lane in zip(seeds, lanes):
+            engine, result = run_serial_dbac_lane(n, f, seed, window, selector, strategy)
+            assert lane.rounds == int(result)
+            assert lane.stopped == result.stopped
+            # Full per-node state keys: value, phase, port bit vector,
+            # R_low / R_high recording lists, output -- the strongest
+            # equality available.
+            assert lane.state_keys == {
+                node: process.state_key()
+                for node, process in engine.processes.items()
+            }
+            # Oracle-mode outputs are the fault-free states at stop.
+            assert lane.outputs == engine.fault_free_values()
+            assert lane.inputs == {
+                node: process.input_value
+                for node, process in engine.processes.items()
+            }
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    @pytest.mark.parametrize("n,f,window,selector,strategy", BYZ_GRIDS)
+    def test_numpy_backend_matches_python_fallback(
+        self, n, f, window, selector, strategy
+    ):
+        seeds = [3, 11, 20, 21, 100]
+        assert run_dbac_batch(
+            n, f, seeds, window=window, selector=selector, strategy=strategy,
+            backend="numpy",
+        ) == run_dbac_batch(
+            n, f, seeds, window=window, selector=selector, strategy=strategy,
+            backend="python",
+        )
+
+    def test_stored_count_invariant_backs_the_kernel_layout(self, monkeypatch):
+        # The kernel reconstructs R_low/R_high from a flat stored-value
+        # buffer indexed by DBACProcess.stored_count. Count the actual
+        # _store calls of the current phase on a real mid-flight
+        # execution and assert the documented invariant: one store per
+        # accepted port (plus the phase-start self value), recording
+        # lists exactly min(stores, f+1) long.
+        from repro.core.dbac import DBACProcess
+
+        stores_this_phase: dict[int, int] = {}
+        real_store = DBACProcess._store
+        real_reset = DBACProcess._reset
+
+        def counting_store(self, incoming_value):
+            stores_this_phase[id(self)] = stores_this_phase.get(id(self), 0) + 1
+            real_store(self, incoming_value)
+
+        def counting_reset(self):
+            stores_this_phase[id(self)] = 0  # real_reset re-stores the self value
+            real_reset(self)
+
+        monkeypatch.setattr(DBACProcess, "_store", counting_store)
+        monkeypatch.setattr(DBACProcess, "_reset", counting_reset)
+        engine, _result = run_serial_dbac_lane(
+            11, 2, seed=5, window=1, selector="nearest", strategy="extreme",
+            epsilon=1e-9, max_rounds=7,
+        )
+        for process in engine.processes.values():
+            low, high = process.recording_lists
+            assert process.stored_count == stores_this_phase[id(process)]
+            assert process.stored_count == process.received_count
+            expected = min(process.stored_count, process.trim)
+            assert len(low) == expected and len(high) == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_max_rounds_cap_reports_unstopped_lanes(self, backend):
+        lanes = run_dbac_batch(
+            11, 2, [0, 1], epsilon=1e-15, max_rounds=4, backend=backend
+        )
+        assert [lane.rounds for lane in lanes] == [4, 4]
+        assert not any(lane.stopped for lane in lanes)
+        for seed, lane in zip([0, 1], lanes):
+            engine, result = run_serial_dbac_lane(
+                11, 2, seed, 1, "nearest", "extreme", epsilon=1e-15, max_rounds=4
+            )
+            assert lane.state_keys == {
+                node: process.state_key()
+                for node, process in engine.processes.items()
+            }
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_output_stop_mode_matches_serial_trials(self, backend):
+        # Algorithm-local stopping: p_end is astronomically conservative
+        # so cap tightly; summaries must equal the serial trial's.
+        seeds = [0, 1, 2]
+        batched = run_dbac_trial_batch(
+            n=11, stop_mode="output", max_rounds=6, seeds=seeds
+        )
+        assert batched == [
+            run_dbac_trial(n=11, stop_mode="output", max_rounds=6, seed=s)
+            for s in seeds
+        ]
+
+    def test_random_strategy_and_selector_fall_back_to_python(self):
+        assert ByzBatchEngine(11, 2, [0], strategy="random").backend == "python"
+        assert ByzBatchEngine(11, 2, [0], selector="random").backend == "python"
+        seeds = [0, 1]
+        for kwargs in ({"strategy": "random"}, {"selector": "random"}):
+            lanes = run_dbac_batch(11, 2, seeds, **kwargs)
+            serial = [run_dbac_trial(n=11, f=2, seed=s, **kwargs) for s in seeds]
+            assert [lane.rounds for lane in lanes] == [r["rounds"] for r in serial]
+
+    def test_backend_resolution_and_validation(self):
+        expected = "numpy" if numpy_available() else "python"
+        assert ByzBatchEngine(11, 2, [0]).backend == expected
+        if numpy_available():
+            with pytest.raises(ValueError, match="strategy"):
+                ByzBatchEngine(11, 2, [0], strategy="random", backend="numpy")
+            with pytest.raises(ValueError, match="selector"):
+                ByzBatchEngine(11, 2, [0], selector="random", backend="numpy")
+        with pytest.raises(ValueError, match="backend"):
+            ByzBatchEngine(11, 2, [0], backend="cuda")
+        with pytest.raises(ValueError, match="seed"):
+            ByzBatchEngine(11, 2, [])
+        with pytest.raises(ValueError, match="5f"):
+            ByzBatchEngine(10, 2, [0])
+        with pytest.raises(ValueError, match="strategy"):
+            ByzBatchEngine(11, 2, [0], strategy="nope")
+        with pytest.raises(ValueError, match="stop_mode"):
+            ByzBatchEngine(11, 2, [0], stop_mode="nope")
+        with pytest.raises(ValueError, match="adversary"):
+            ByzBatchEngine(11, 2, [0], adversary="nope")
+        with pytest.raises(ValueError, match="fault-free"):
+            ByzBatchEngine(8, 1, [0], adversary="mobile-rotate")
+        with pytest.raises(ValueError, match="mobile mode"):
+            ByzBatchEngine(8, None, [0], adversary="mobile-nope")
+        with pytest.raises(ValueError, match="width"):
+            ByzBatchEngine(11, 2, [0], width=0)
+
+
+class TestMobileBatchMatchesSerial:
+    """Mobile-omission lanes: the other run_byz_trial family."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mode", MOBILE_MODES)
+    def test_summaries_match_serial_trials(self, mode, backend):
+        seeds = list(range(5))
+        lanes = run_byz_batch(
+            8, None, seeds, adversary=f"mobile-{mode}", backend=backend
+        )
+        serial = [
+            run_byz_trial(n=8, adversary=f"mobile-{mode}", seed=s) for s in seeds
+        ]
+        from repro.workloads import _lane_summary
+
+        assert [_lane_summary(lane, 1e-3) for lane in lanes] == serial
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    @pytest.mark.parametrize("mode", MOBILE_MODES)
+    def test_numpy_backend_matches_python_fallback(self, mode):
+        seeds = [2, 7, 9]
+        assert run_byz_batch(
+            8, None, seeds, adversary=f"mobile-{mode}", backend="numpy"
+        ) == run_byz_batch(
+            8, None, seeds, adversary=f"mobile-{mode}", backend="python"
+        )
+
+    def test_victim_hook_matches_per_receiver_specification(self):
+        # mobile_victims (what both the serial adversary and the numpy
+        # kernel replicate) vs the retained per-receiver scan, on value
+        # vectors with duplicated extremes (tie-breaking).
+        from repro.adversary.mobile import MobileOmissionAdversary, mobile_victims
+
+        tie_grids = [
+            [0.5, 0.1, 0.1, 0.9, 0.9],
+            [0.3, 0.3, 0.3],
+            [1.0],
+            [0.2, 0.8],
+            [0.7, None, 0.1, 0.1],
+        ]
+        for values in tie_grids:
+            n = len(values)
+            for mode in ("block_min", "block_max"):
+                adversary = MobileOmissionAdversary(mode)
+                adversary.n = n
+
+                class _View:
+                    def value(self, node, _values=values):
+                        return _values[node]
+
+                spec = [
+                    adversary._victim_sender(v, 0, _View()) for v in range(n)
+                ]
+                assert mobile_victims(mode, n, 0, list(values)) == spec, (
+                    mode,
+                    values,
+                )
+
+
+class TestNearestVectorization:
+    """The stable-argsort nearest replication, ties included."""
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_vectorized_picks_match_selector_hook_on_tie_heavy_values(self):
+        import numpy as np
+
+        from repro.adversary.constrained import nearest_picks
+        from repro.sim.batch import nearest_delivered
+
+        n = 10
+        byzantine = frozenset({8, 9})
+        degree = 6
+        remaining = degree - len(byzantine)
+        # Crafted tie storms: duplicated values, symmetric distances
+        # around a receiver, converged lanes where everything ties.
+        value_rows = [
+            [0.5, 0.25, 0.75, 0.5, 0.5, 0.25, 0.75, 0.1, 0.0, 1.0],
+            [0.5] * 8 + [0.0, 1.0],
+            [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.0, 1.0],
+            [0.4, 0.6, 0.5, 0.5, 0.3, 0.7, 0.5, 0.5, 0.0, 1.0],
+        ]
+        values = np.array(value_rows)
+        byz = np.array(sorted(byzantine), dtype=np.intp)
+        delivered = nearest_delivered(values, byz, len(byzantine), remaining)
+        for lane, row in enumerate(value_rows):
+            spec_values = [
+                None if u in byzantine else row[u] for u in range(n)
+            ]
+            picks = nearest_picks(n, tuple(range(n)), spec_values, byzantine, degree)
+            for receiver in range(n):
+                if receiver in byzantine:
+                    continue  # kernel rows for Byzantine receivers are unused
+                chosen = {u for u in range(n) if delivered[lane, receiver, u]}
+                assert chosen == set(picks[receiver]), (lane, receiver)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_tie_heavy_grid_stays_bit_identical(self):
+        # Converged DBAC lanes are the real tie storm: after one
+        # trimmed-midpoint update many honest nodes share a value, so
+        # every later round breaks distance ties by node ID. A tiny
+        # epsilon keeps the lanes in that regime for many rounds.
+        seeds = list(range(4))
+        lanes = run_dbac_batch(11, 2, seeds, epsilon=1e-12, backend="numpy")
+        assert lanes == run_dbac_batch(11, 2, seeds, epsilon=1e-12, backend="python")
+        for seed, lane in zip(seeds, lanes):
+            engine, result = run_serial_dbac_lane(
+                11, 2, seed, 1, "nearest", "extreme", epsilon=1e-12
+            )
+            assert lane.rounds == int(result)
+            assert lane.state_keys == {
+                node: process.state_key()
+                for node, process in engine.processes.items()
+            }
+
+
+class TestLaneCompaction:
+    """Compaction / width chunking: a pure scheduling knob."""
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    @pytest.mark.parametrize("width,compact", [
+        (3, True), (3, False), (4, True), (1, True), (16, True), (16, False),
+    ])
+    def test_dbac_results_identical_at_any_width(self, width, compact):
+        seeds = [5, 0, 13, 2, 7, 7, 1, 9, 4, 3, 11, 6, 8, 10, 12, 14]
+        base = run_dbac_batch(11, 2, seeds, backend="numpy")
+        assert run_dbac_batch(
+            11, 2, seeds, width=width, compact=compact, backend="numpy"
+        ) == base
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_compaction_on_off_equality_across_families(self):
+        seeds = list(range(12))
+        for kwargs in (
+            {"adversary": "quorum"},
+            {"adversary": "mobile-block_min"},
+            {"adversary": "quorum", "window": 2},
+        ):
+            on = run_byz_batch(
+                11, None if "mobile" in kwargs["adversary"] else 2, seeds,
+                width=4, compact=True, **kwargs,
+            )
+            off = run_byz_batch(
+                11, None if "mobile" in kwargs["adversary"] else 2, seeds,
+                width=4, compact=False, **kwargs,
+            )
+            assert on == off, kwargs
+            assert [lane.seed for lane in on] == seeds
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_refilled_rows_restart_from_round_zero(self):
+        # Mixed caps: with width 2 and compaction, later seeds run in
+        # rows freed by earlier lanes; their round counts must match
+        # full-width runs exactly.
+        seeds = list(range(8))
+        full = run_dbac_batch(11, 2, seeds, backend="numpy")
+        narrow = run_dbac_batch(11, 2, seeds, width=2, compact=True, backend="numpy")
+        assert [lane.rounds for lane in narrow] == [lane.rounds for lane in full]
+        assert narrow == full
+
+
+class TestByzBatchedTrialFunctions:
+    def test_dbac_batched_summaries_equal_serial_summaries(self):
+        seeds = list(range(5))
+        batched = run_dbac_trial_batch(n=11, window=2, seeds=seeds)
+        assert batched == [
+            run_dbac_trial(n=11, window=2, seed=s) for s in seeds
+        ]
+
+    def test_byz_batched_summaries_equal_serial_summaries(self):
+        seeds = list(range(4))
+        for adversary in ("quorum", "mobile-block_max"):
+            batched = run_byz_trial_batch(n=7, adversary=adversary, seeds=seeds)
+            assert batched == [
+                run_byz_trial(n=7, adversary=adversary, seed=s) for s in seeds
+            ]
+
+    def test_non_fast_batch_delegates_to_serial_trials(self):
+        seeds = [0, 1]
+        assert run_dbac_trial_batch(
+            n=6, fast=False, stop_mode="output", max_rounds=5, seeds=seeds
+        ) == [
+            run_dbac_trial(n=6, fast=False, stop_mode="output", max_rounds=5, seed=s)
+            for s in seeds
+        ]
+
+    def test_trials_carry_their_batched_forms(self):
+        assert run_dbac_trial.batch_fn is run_dbac_trial_batch
+        assert run_byz_trial.batch_fn is run_byz_trial_batch
+
+    def test_sweep_workers_and_batch_identical_for_dbac(self):
+        grid = {"n": [6, 11], "window": [1, 2]}
+        serial = Sweep(grid=grid, repeats=4)
+        composed = Sweep(grid=grid, repeats=4)
+        serial.run(run_dbac_trial, workers=1, batch=1)
+        composed.run(run_dbac_trial, workers=4, batch=4)
+        assert serial.records == composed.records
+        assert all(record.result["correct"] for record in composed.records)
+
+    def test_sweep_workers_and_batch_identical_for_byz_families(self):
+        grid = {"n": [8], "adversary": ["quorum", "mobile-block_min", "mobile-rotate"]}
+        serial = Sweep(grid=grid, repeats=3)
+        composed = Sweep(grid=grid, repeats=3)
+        serial.run(run_byz_trial, workers=1, batch=1)
+        composed.run(run_byz_trial, workers=2, batch=3)
+        assert serial.records == composed.records

@@ -48,7 +48,7 @@ class TestRegistry:
             "F1", "E1", "E2", "E3", "E4", "E5",
             "I1", "I2", "I4",
             "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8",
-            "S1", "S2", "S3",
+            "S1", "S2", "S3", "S4",
         }
         assert set(EXPERIMENTS) == expected
 

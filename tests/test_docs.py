@@ -1,0 +1,78 @@
+"""Docs hygiene inside tier-1: dead links and doctest-checked examples.
+
+CI runs the same two checks as standalone steps
+(``tools/check_docs.py`` and ``python -m doctest``); running them here
+too means an ordinary ``pytest`` catches a dead link or a drifted
+docstring example without any CI round-trip.
+"""
+
+import doctest
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The public-API modules whose docstrings carry executable examples
+# (the PR 4 docstring pass): batching, the parallel layer, and the
+# picklable trial functions.
+DOCTEST_MODULES = ["repro.sim.batch", "repro.sim.parallel", "repro.workloads"]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_have_no_dead_links():
+    checker = _load_checker()
+    assert checker.dead_links(REPO_ROOT) == []
+
+
+def test_docs_checker_covers_the_docs_site():
+    checker = _load_checker()
+    names = {path.name for path in checker.doc_files(REPO_ROOT)}
+    assert {"index.md", "batching.md", "scaling.md", "topology.md"} <= names
+
+
+def test_docs_checker_flags_a_dead_link(tmp_path):
+    checker = _load_checker()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "a.md").write_text(
+        "[ok](b.md) [anchored](b.md#sec) [ext](https://example.com) "
+        "[self](#here) [broken](missing.md)"
+    )
+    (docs / "b.md").write_text("hello")
+    assert checker.dead_links(tmp_path) == ["docs/a.md: missing.md"]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_docstring_examples_execute(module_name):
+    module = __import__(module_name, fromlist=["_"])
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module_name} lost its doctest examples"
+    assert result.failed == 0
+
+
+def test_quickstart_commands_reference_real_entry_points():
+    # index.md's quickstart names modules and scripts; keep it honest.
+    index = (REPO_ROOT / "docs" / "index.md").read_text()
+    for entry in ("repro.cli", "repro.bench.cli", "examples/"):
+        assert entry in index
+    for script in ("quickstart.py", "batched_sweep.py", "batched_dbac_grid.py"):
+        assert script in index
+        assert (REPO_ROOT / "examples" / script).exists(), script
+
+
+def test_checker_cli_exits_zero_on_this_repo(capsys):
+    checker = _load_checker()
+    assert checker.main([str(REPO_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Docs hygiene checker: dead markdown links under docs/ (and the repo
+root), exit non-zero on any miss.
+
+Checks every ``[text](target)`` link in ``docs/*.md`` and the top-level
+``*.md`` files:
+
+- external targets (``http://``, ``https://``, ``mailto:``) are left
+  alone (CI must not depend on the network);
+- pure-anchor targets (``#section``) are left alone;
+- everything else is treated as a path relative to the linking file's
+  directory (any ``#fragment`` stripped) and must exist.
+
+Used two ways: CI runs it as a standalone step, and
+``tests/test_docs.py`` runs it inside tier-1 so a dead link fails the
+ordinary test suite too.
+
+Usage::
+
+    python tools/check_docs.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) with no nested parens in the target; images (![..])
+# resolve the same way, so the optional leading ! needs no special case.
+_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown set under check: docs/*.md plus top-level *.md."""
+    files = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    files += sorted(root.glob("*.md"))
+    return files
+
+
+def dead_links(root: Path) -> list[str]:
+    """All dead relative links, as ``file: target`` strings."""
+    problems: list[str] = []
+    for path in doc_files(root):
+        text = path.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}: {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    problems = dead_links(root)
+    for problem in problems:
+        print(f"dead link: {problem}")
+    print(f"checked {len(files)} markdown files: "
+          f"{'FAIL' if problems else 'OK'} ({len(problems)} dead links)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
