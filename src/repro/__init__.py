@@ -67,7 +67,6 @@ from repro.faults import (
 )
 from repro.mc import BoundedExplorer, mobile_omission_choices
 from repro.net import (
-    DirectedGraph,
     Topology,
     DynaDegreeChecker,
     DynamicGraph,
@@ -102,6 +101,18 @@ from repro.workloads import (
 )
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # ``DirectedGraph`` resolves lazily through repro.net.graph so its
+    # one-time DeprecationWarning fires on first use, not on
+    # ``import repro`` (see repro.net.graph's module docstring).
+    if name == "DirectedGraph":
+        from repro.net import graph
+
+        return graph.DirectedGraph
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     # Algorithms

@@ -26,13 +26,49 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.adversary.base import MessageAdversary
-from repro.net.topology import Edge, Topology
+from repro.net.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import EngineView
 
 MOBILE_MODES = ("block_min", "block_max", "rotate", "none")
 _MODES = MOBILE_MODES  # backward-compatible alias
+
+# Victim-vector -> Topology memo, bounded like the Topology intern
+# table. The value-targeted modes produce very few distinct victim
+# vectors per execution (the global extremum holder changes rarely and
+# "rotate" cycles with period n), so replaying a round's mask is a
+# dict hit instead of an O(n^2) edge rebuild.
+_MASK_MEMO_MAX = 4096
+_mask_memo: dict[tuple[int, tuple[int | None, ...]], Topology] = {}
+
+
+def mobile_topology(n: int, victims: "tuple[int | None, ...]") -> Topology:
+    """The complete graph minus each receiver's victim in-link, memoized.
+
+    ``victims`` is one round's mask as produced by
+    :func:`mobile_victims` (entry ``v`` is the sender whose link into
+    ``v`` is cut, ``None`` for no cut). The topology is built through
+    :meth:`~repro.net.topology.Topology.from_receiver_lists` (trusted,
+    O(m + n), seeds the adjacency rows directly), and interning makes
+    repeated masks resolve to the identical instance -- which is what
+    lets the engine's delivery sweep reuse its cached routing plan
+    across mobile rounds with a stable extremum.
+    """
+    key = (n, victims)
+    cached = _mask_memo.get(key)
+    if cached is None:
+        if len(_mask_memo) >= _MASK_MEMO_MAX:
+            _mask_memo.clear()
+        cached = Topology.from_receiver_lists(
+            n,
+            (
+                [u for u in range(n) if u != v and u != victims[v]]
+                for v in range(n)
+            ),
+        )
+        _mask_memo[key] = cached
+    return cached
 
 
 def mobile_victims(
@@ -117,13 +153,7 @@ class MobileOmissionAdversary(MessageAdversary):
     def choose(self, t: int, view: "EngineView") -> Topology:
         values = [view.value(u) for u in range(self.n)]
         victims = mobile_victims(self.mode, self.n, t, values)
-        edges: list[Edge] = []
-        for v in range(self.n):
-            victim = victims[v]
-            for u in range(self.n):
-                if u != v and u != victim:
-                    edges.append((u, v))
-        return Topology(self.n, edges)
+        return mobile_topology(self.n, tuple(victims))
 
     def promised_dynadegree(self) -> tuple[int, int] | None:
         # Every node keeps at least n-2 incoming links every round.

@@ -1,0 +1,230 @@
+"""Delivery-sweep perf smoke: the serial engine's port-major sweep.
+
+Measures the untraced round families the PR 5 delivery rewrite
+targeted and emits a machine-readable ``BENCH_delivery.json`` so the
+perf trajectory is tracked from this PR on (CI runs it at tiny sizes;
+the ``bench_engine_scaling`` suite runs the same legs at the ISSUE's
+acceptance sizes n = 33 and 65):
+
+- **enforced** -- fault-free boundary DAC under the enforcing
+  rotating-quorum adversary: port-major sweep vs the retained legacy
+  sender-major loop (the traced path's implementation), steady-state
+  and cold-start-inclusive rounds/s;
+- **crash** -- the same comparison with the full staggered-crash
+  schedule (sender-axis masking + stopped receivers);
+- **plan-cache** -- the routing-plan cache's hit behavior: rounds/s on
+  a replayed interned graph cycle (plan-cache hits every round) vs an
+  adversary that never repeats a graph (every round pays graph
+  construction plus a plan build -- the full cost of a novel
+  schedule).
+
+Also asserts the sweep's identity contract at tiny ``n`` (sweep vs
+legacy loop by full state key, crash and Byzantine grids), so the CI
+smoke is a correctness gate as well as a trend line.
+
+Usage::
+
+    python -m repro.bench.delivery_smoke --out BENCH_delivery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.sim.engine import Engine
+from repro.workloads import build_dac_execution, build_dbac_execution
+
+
+def _make_engine(kwargs: dict[str, Any], use_sweep: bool) -> Engine:
+    engine = Engine(
+        kwargs["processes"],
+        kwargs["adversary"],
+        kwargs["ports"],
+        fault_plan=kwargs["fault_plan"],
+        f=kwargs["f"],
+        seed=kwargs["seed"],
+        record_trace=False,
+    )
+    engine._use_sweep = use_sweep
+    return engine
+
+
+def _state(engine: Engine) -> dict[int, tuple]:
+    return {node: proc.state_key() for node, proc in engine.processes.items()}
+
+
+def verify_contracts(n: int = 9) -> dict[str, Any]:
+    """The sweep's identity contracts at tiny ``n`` (asserted)."""
+    checks: dict[str, Any] = {}
+    for label, build in (
+        ("enforced", lambda s: build_dac_execution(n=n, f=(n - 1) // 2, seed=s, crash_nodes=0)),
+        ("crash", lambda s: build_dac_execution(n=n, f=(n - 1) // 2, seed=s)),
+        ("window", lambda s: build_dac_execution(n=n, f=(n - 1) // 2, seed=s, window=2)),
+        ("byzantine", lambda s: build_dbac_execution(n=max(n, 6), f=1, seed=s)),
+    ):
+        for seed in (0, 1):
+            swept = _make_engine(build(seed), True)
+            legacy = _make_engine(build(seed), False)
+            rounds = 40
+            swept_result = swept.run(rounds)
+            legacy_result = legacy.run(rounds)
+            assert int(swept_result) == int(legacy_result), label
+            assert _state(swept) == _state(legacy), (
+                f"sweep diverged from legacy loop ({label}, seed {seed})"
+            )
+            assert (swept.metrics.delivered, swept.metrics.bits) == (
+                legacy.metrics.delivered,
+                legacy.metrics.bits,
+            ), f"sweep metrics diverged ({label}, seed {seed})"
+        checks[label] = True
+    return checks
+
+
+def _rounds_per_second(engine: Engine, rounds: int) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        engine.run_round()
+    return rounds / max(time.perf_counter() - start, 1e-9)
+
+
+def measure_family(
+    n: int, rounds: int, crash: bool, warmup: int | None = None
+) -> dict[str, Any]:
+    """Sweep vs legacy rounds/s for one enforced family at size ``n``.
+
+    ``warmup`` rounds (default ``2n + 5``: one full rotate cycle plus
+    slack) run first so the steady-state numbers measure the cached
+    routing-plan regime; the cold figure includes plan/graph builds.
+    """
+    if warmup is None:
+        warmup = 2 * n + 5
+    f = (n - 1) // 2
+    build = lambda: build_dac_execution(  # noqa: E731
+        n=n, f=f, seed=1, crash_nodes=None if crash else 0
+    )
+    result: dict[str, Any] = {"n": n, "f": f, "crash": crash, "rounds": rounds}
+    for label, use_sweep in (("sweep", True), ("legacy", False)):
+        cold_engine = _make_engine(build(), use_sweep)
+        result[f"{label}_cold_rounds_per_s"] = _rounds_per_second(
+            cold_engine, warmup + rounds
+        )
+        warm_engine = _make_engine(build(), use_sweep)
+        _rounds_per_second(warm_engine, warmup)
+        result[f"{label}_rounds_per_s"] = _rounds_per_second(warm_engine, rounds)
+    result["speedup"] = result["sweep_rounds_per_s"] / result["legacy_rounds_per_s"]
+    result["speedup_cold"] = (
+        result["sweep_cold_rounds_per_s"] / result["legacy_cold_rounds_per_s"]
+    )
+    return result
+
+
+def measure_plan_cache(n: int, rounds: int) -> dict[str, Any]:
+    """Replayed-cycle (plan cache hits) vs novel-graph (misses) rounds/s.
+
+    Both legs run the sweep. The hit leg replays the enforcing rotate
+    cycle of interned graphs, so every measured round reuses a cached
+    routing plan. The miss leg's adversary derives its dropped-edge
+    set from the bits of ``t``, so every measured round (up to
+    ``2^(n-1)`` rounds) presents a graph the engine has never seen --
+    paying graph construction *and* a routing-plan build, which is
+    exactly what a never-repeating schedule costs per round. The gap
+    is therefore the full stable-vs-novel-schedule spread, not the
+    plan build in isolation.
+    """
+    from repro.adversary.base import MessageAdversary
+    from repro.net.topology import Topology
+
+    if rounds + 2 * n + 16 >= 2 ** (n - 1):
+        raise ValueError(
+            f"rounds={rounds} would wrap the novel-graph space at n={n}"
+        )
+
+    class _NovelGraphAdversary(MessageAdversary):
+        """Complete graph minus a t-bitmask edge set: structurally
+        distinct every round for 2^(n-1) rounds, so neither the intern
+        table nor the routing-plan slot ever serves a measured round."""
+
+        def choose(self, t, view):
+            n = self.n
+            drop = {(i, (i + 1) % n) for i in range(n - 1) if t >> i & 1}
+            edges = [
+                (a, b)
+                for a in range(n)
+                for b in range(n)
+                if a != b and (a, b) not in drop
+            ]
+            return Topology(n, edges)
+
+    f = (n - 1) // 2
+    kwargs = build_dac_execution(n=n, f=f, seed=1, crash_nodes=0)
+    hit_engine = _make_engine(kwargs, True)
+    _rounds_per_second(hit_engine, 2 * n + 5)
+    hit = _rounds_per_second(hit_engine, rounds)
+
+    kwargs = build_dac_execution(n=n, f=f, seed=1, crash_nodes=0)
+    kwargs["adversary"] = _NovelGraphAdversary()
+    miss_engine = _make_engine(kwargs, True)
+    _rounds_per_second(miss_engine, n + 5)
+    miss = _rounds_per_second(miss_engine, rounds)
+    return {
+        "n": n,
+        "rounds": rounds,
+        "replayed_rounds_per_s": hit,
+        "novel_graph_rounds_per_s": miss,
+        "stable_schedule_speedup": hit / miss,
+    }
+
+
+def run_smoke(n: int = 17, rounds: int = 1500) -> dict[str, Any]:
+    """All legs at one size; the payload written to BENCH_delivery.json."""
+    return {
+        "bench": "delivery",
+        "contracts": verify_contracts(min(n, 9)),
+        "enforced": measure_family(n=n, rounds=rounds, crash=False),
+        "crash": measure_family(n=n, rounds=rounds, crash=True),
+        "plan_cache": measure_plan_cache(n=n, rounds=max(200, rounds // 4)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-delivery-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--n", type=int, default=17, help="network size (default 17)")
+    parser.add_argument(
+        "--rounds", type=int, default=1500, help="measured rounds per leg (default 1500)"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_delivery.json",
+        help="JSON output path (default BENCH_delivery.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_smoke(n=args.n, rounds=args.rounds)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"contracts: {payload['contracts']}")
+    for leg in ("enforced", "crash"):
+        data = payload[leg]
+        print(
+            f"{leg:8s} n={data['n']}: sweep {data['sweep_rounds_per_s']:.0f} rounds/s, "
+            f"legacy {data['legacy_rounds_per_s']:.0f} rounds/s "
+            f"({data['speedup']:.2f}x warm, {data['speedup_cold']:.2f}x cold-incl.)"
+        )
+    cache = payload["plan_cache"]
+    print(
+        f"plan-cache n={cache['n']}: replayed {cache['replayed_rounds_per_s']:.0f} "
+        f"vs novel-graph {cache['novel_graph_rounds_per_s']:.0f} rounds/s "
+        f"({cache['stable_schedule_speedup']:.2f}x stable vs novel schedule)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,10 @@ class FaultPlan:
             tuple[int, ...],
             tuple[dict[int, frozenset[int] | None], frozenset[int]],
         ] = {}
+        self._mask_cache: dict[
+            tuple[int, ...],
+            tuple[frozenset[int], dict[int, frozenset[int]], frozenset[int]],
+        ] = {}
 
     @classmethod
     def fault_free_plan(cls, n: int) -> "FaultPlan":
@@ -139,6 +143,15 @@ class FaultPlan:
             return True
         return event.processes_at(t)
 
+    def _phase_key(self, t: int) -> tuple[int, ...]:
+        """The crash-phase memo key: where ``t`` sits relative to every
+        crash round (before / at / after). Shared by the per-round
+        memos below so their tables can never key differently."""
+        return tuple(
+            0 if t < self.crashes[node].round else 1 if t == self.crashes[node].round else 2
+            for node in self._crash_order
+        )
+
     def round_profile(
         self, t: int
     ) -> tuple[dict[int, frozenset[int] | None], frozenset[int]]:
@@ -152,10 +165,7 @@ class FaultPlan:
         with one dict hit per round, since they change only when a
         crash event passes through its crash round.
         """
-        key = tuple(
-            0 if t < self.crashes[node].round else 1 if t == self.crashes[node].round else 2
-            for node in self._crash_order
-        )
+        key = self._phase_key(t)
         cached = self._round_cache.get(key)
         if cached is None:
             targets_map = {
@@ -166,6 +176,44 @@ class FaultPlan:
             )
             cached = (targets_map, stopped)
             self._round_cache[key] = cached
+        return cached
+
+    def sender_masks(
+        self, t: int
+    ) -> tuple[frozenset[int], dict[int, frozenset[int]], frozenset[int]]:
+        """Sender-axis crash masks for round ``t``, memoized.
+
+        Returns ``(silent, restricted, stopped)``:
+
+        - ``silent`` -- senders that transmit nothing this round (clean
+          crashes past their crash round); the delivery sweep drops
+          them before any fan-in work;
+        - ``restricted`` -- ``node -> receiver whitelist`` for senders
+          crashing *mid-broadcast* this round (non-empty whitelists
+          only); empty most rounds, so the sweep can branch on it once;
+        - ``stopped`` -- nodes no longer processing deliveries, exactly
+          :meth:`round_profile`'s second element.
+
+        This is :meth:`round_profile` re-cut along the sender axis: the
+        engine's port-major sweep masks senders *before* fan-in instead
+        of filtering per edge, so it wants the silent/partial split
+        precomputed. Memoized on the same crash-phase key, since masks
+        only change when a crash event passes through its round.
+        """
+        key = self._phase_key(t)
+        cached = self._mask_cache.get(key)
+        if cached is None:
+            targets_map, stopped = self.round_profile(t)
+            silent = frozenset(
+                node
+                for node, targets in targets_map.items()
+                if targets is not None and not targets
+            )
+            restricted = {
+                node: targets for node, targets in targets_map.items() if targets
+            }
+            cached = (silent, restricted, stopped)
+            self._mask_cache[key] = cached
         return cached
 
     def live_senders(self, t: int) -> frozenset[int]:

@@ -24,7 +24,6 @@ from repro.net.dynadegree import (
     min_window_for_degree,
 )
 from repro.net.dynamic import DynamicGraph, EdgeSchedule, window_union
-from repro.net.graph import DirectedGraph
 from repro.net.topology import Topology
 from repro.net.generators import (
     complete_edges,
@@ -41,6 +40,18 @@ from repro.net.properties import (
     property_profile,
 )
 from repro.net.temporal import check_dynareach, max_reach_for_window, window_reach_sets
+
+
+def __getattr__(name: str):
+    # ``DirectedGraph`` resolves lazily through repro.net.graph so its
+    # one-time DeprecationWarning fires on first use, not on package
+    # import (see repro.net.graph's module docstring).
+    if name == "DirectedGraph":
+        from repro.net import graph
+
+        return graph.DirectedGraph
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Topology",

@@ -16,13 +16,45 @@ New code should import :class:`Topology` from
 :meth:`~repro.net.topology.Topology.in_rows`,
 :attr:`~repro.net.topology.Topology.edge_list`,
 :attr:`~repro.net.topology.Topology.content_hash`) on hot paths.
+
+The alias is served lazily (PEP 562) so its :class:`DeprecationWarning`
+fires on first *use*, exactly once per process -- importing
+:mod:`repro` or :mod:`repro.net` alone stays warning-clean, and legacy
+call sites keep running under ``-W error::DeprecationWarning`` once
+the single pinned warning has been seen.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.net.topology import Edge, Topology
 
-# Deprecated alias, kept for backward compatibility (see module docstring).
-DirectedGraph = Topology
-
 __all__ = ["DirectedGraph", "Edge", "Topology"]
+
+_warned = False
+
+
+def __getattr__(name: str):
+    if name == "DirectedGraph":
+        global _warned
+        if not _warned:
+            # The flag flips *before* warning so an "error"-filtered
+            # first access raises once and later accesses still work.
+            _warned = True
+            warnings.warn(
+                "DirectedGraph is a deprecated alias of "
+                "repro.net.topology.Topology; import Topology directly "
+                "(DirectedGraph(n, edges) returns the interned Topology)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        # Cache the resolved alias: subsequent accesses are plain
+        # attribute hits, guaranteeing the once-per-process contract.
+        globals()["DirectedGraph"] = Topology
+        return Topology
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Iterable, Iterator
+from typing import Any
 
 Edge = tuple[int, int]
 
@@ -85,6 +86,7 @@ class Topology:
         "_in_rows",
         "_hash",
         "_content_hash",
+        "_route_cache",
     )
 
     _intern: dict[tuple[int, tuple[Edge, ...]], "Topology"] = {}
@@ -131,6 +133,7 @@ class Topology:
         self._in_rows = None
         self._hash = None
         self._content_hash = None
+        self._route_cache = None
         if len(table) >= _INTERN_MAX:
             table.clear()
         table[key] = self
@@ -259,6 +262,33 @@ class Topology:
         if self._in_rows is None:
             self._build_rows()
         return self._in_rows
+
+    def routing_plan(self, token: object) -> Any | None:
+        """The routing plan cached on this instance for ``token``, if any.
+
+        Single-slot per-topology cache backing the engine's port-major
+        delivery sweep: a plan derives from ``(graph, ports)``, so the
+        engine stores its per-receiver plan here under a private token
+        object (compared by identity) and gets an O(1) hit every round
+        that replays this graph -- including alternating or cyclic
+        schedules, where each interned topology in the cycle holds its
+        own plan. A different token (another execution's engine)
+        simply overwrites the slot, bounding the cache at one plan per
+        interned topology.
+        """
+        cached = self._route_cache
+        if cached is not None and cached[0] is token:
+            return cached[1]
+        return None
+
+    def set_routing_plan(self, token: object, plan: Any) -> None:
+        """Store ``plan`` for ``token``, replacing any previous entry.
+
+        Tokens should be small dedicated objects (never the engine
+        itself): interned topologies outlive executions, and the slot
+        keeps its token and plan alive until overwritten.
+        """
+        self._route_cache = (token, plan)
 
     def out_row(self, u: int) -> tuple[int, ...]:
         """Receivers of ``u`` as a sorted tuple."""

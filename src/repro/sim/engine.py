@@ -18,11 +18,27 @@ One round proceeds exactly as in Section II-A of the paper:
 The engine is deliberately single-threaded and deterministic: given the
 same processes, adversary, ports, fault plan and seed, two runs produce
 bit-identical traces (asserted by property tests).
+
+Untraced rounds run a **port-major delivery sweep**: instead of
+materializing per-receiver inboxes edge by edge, each receiver's
+delivery batch is built in one pass from its ``Topology.in_rows()``
+row, pre-zipped with its port bijection *in port order* (so the batch
+needs no sort), against a per-round sender-message table with crash
+and omission masks applied on the sender axis before fan-in. The
+per-receiver routing plans are cached on the Topology instance itself
+(:meth:`~repro.net.topology.Topology.routing_plan`), so stable or
+cyclic schedules -- the common case, guaranteed by ``EdgeSchedule``
+and the interned enforcing-adversary graphs -- pay the plan build once
+per distinct graph, not per round. Traced rounds (and observer runs)
+keep the original sender-major loop; both paths are bit-identical,
+which the differential harness in ``tests/helpers.py`` pins.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections.abc import Mapping
+from itertools import repeat
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -30,11 +46,20 @@ from repro.adversary.base import MessageAdversary
 from repro.faults.base import FaultPlan
 from repro.net.ports import PortNumbering
 from repro.net.topology import Topology
-from repro.sim.messages import message_bits
+from repro.sim.messages import PHASE_BITS, VALUE_BITS, StateMessage, message_bits
+
+# One (value, phase) entry under the accounting convention -- the
+# delivery sweep inlines the StateMessage case of message_bits.
+_STATE_BITS = VALUE_BITS + PHASE_BITS
 from repro.sim.metrics import MetricsCollector
 from repro.sim.node import ConsensusProcess, Delivery
 from repro.sim.rng import child_rng
 from repro.sim.trace import ExecutionTrace, RoundSnapshot
+
+
+def _pair_sender(pair: tuple[int, Any]) -> int:
+    """Sort key for Byzantine observation merges (sender ID)."""
+    return pair[0]
 
 
 @dataclass(frozen=True)
@@ -92,7 +117,10 @@ class EngineView:
     def __init__(self, engine: "Engine", t: int, broadcasts: Mapping[int, Any]) -> None:
         self._engine = engine
         self._t = t
-        self._broadcasts = dict(broadcasts)
+        # Shared, not copied: the engine never mutates a round's
+        # broadcast map after constructing the view, and views live for
+        # exactly one round.
+        self._broadcasts = broadcasts
 
     @property
     def round(self) -> int:
@@ -240,6 +268,19 @@ class Engine:
         self._port_rows: dict[int, tuple[int, ...]] = {
             node: all_rows[node] for node in self.processes
         }
+        # Port-major sweep state: the fixed receiver iteration order
+        # (node, process, self-delivery port), the token under which
+        # this engine's routing plans are cached on Topology instances
+        # (identity-compared; a bare object so a cached plan never pins
+        # the engine or its processes alive), and the sweep/legacy
+        # switch -- differential tests and benches flip it to compare
+        # both delivery implementations on the untraced path.
+        self._proc_plan: list[tuple[int, ConsensusProcess, int]] = [
+            (node, proc, all_rows[node][node])
+            for node, proc in self.processes.items()
+        ]
+        self._route_token = object()
+        self._use_sweep = True
 
     @property
     def current_round(self) -> int:
@@ -297,12 +338,29 @@ class Engine:
         """Execute one synchronous round and return its record.
 
         When no trace is being recorded and no observers are registered
-        the engine takes a *fast path*: per-round state snapshots are
-        never materialized (they existed only to feed those consumers),
-        which removes the O(n) snapshot cost from every round. The
-        node transitions themselves are identical on both paths.
+        the engine takes a *fast path*: the round runs as a port-major
+        delivery sweep (:meth:`_run_round_swept`) -- no per-receiver
+        inbox construction, no per-batch sort, no per-round state
+        snapshots (those existed only to feed the trace/observers).
+        Traced rounds keep the original sender-major loop; the node
+        transitions are bit-identical on both paths, which the
+        differential harness (``tests/helpers.py``) pins.
         """
         t = self._t
+        if self.trace is None and not self.observers and self._use_sweep:
+            record = self._run_round_swept(t)
+        else:
+            record = self._run_round_legacy(t)
+        self._t += 1
+        return record
+
+    def _run_round_legacy(self, t: int) -> RoundRecord:
+        """The sender-major inbox loop (traced path / sweep reference).
+
+        Kept as the reference implementation the sweep is pinned
+        against, and as the path that materializes
+        :class:`RoundSnapshot`s for the trace and observers.
+        """
         fault_plan = self.fault_plan
         broadcasts, send_meta = self._collect_broadcasts(t)
         view = EngineView(self, t, broadcasts)
@@ -398,7 +456,200 @@ class Engine:
             for observer in self.observers:
                 observer(self, snapshot)
 
-        self._t += 1
+        return RoundRecord(t, graph, delivered, bits)
+
+    def _routing_plan(self, graph: Topology) -> tuple[tuple, tuple[int, ...]]:
+        """This engine's per-receiver routing plan for ``graph``.
+
+        The plan is ``(rows_by_proc, sources)``: for every process
+        receiver (in :attr:`_proc_plan` order) its in-row as parallel
+        ``(ports, senders)`` tuples pre-sorted by port -- iterating
+        them column-wise builds the delivery batch already in delivery
+        order -- plus the tuple of nodes with outgoing links (the
+        sweep's fast-path probe: when every source has an unrestricted
+        message, per-pair mask checks are skipped and batches build via
+        C-level ``map``/``zip``). Plans derive from ``(graph, ports)``; since ports
+        are fixed per engine, each plan is cached on the Topology
+        instance under this engine's private token, so replayed graphs
+        -- ``EdgeSchedule`` stable patterns, interned enforcing-rotate
+        cycles, repeated mobile masks -- hit O(1) per round.
+        """
+        plan = graph.routing_plan(self._route_token)
+        if plan is None:
+            in_rows = graph.in_rows()
+            port_pairs = self.ports.port_pairs
+            rows_by_proc = []
+            for node, _proc, _port in self._proc_plan:
+                pairs = port_pairs(node, in_rows[node])
+                # Split into parallel tuples so the sweep's full-senders
+                # path can run entirely in C (map/zip over the columns).
+                rows_by_proc.append(
+                    (tuple(p for p, _s in pairs), tuple(s for _p, s in pairs))
+                )
+            out_rows = graph.out_rows()
+            sources = tuple(u for u in range(self.n) if out_rows[u])
+            plan = (tuple(rows_by_proc), sources)
+            graph.set_routing_plan(self._route_token, plan)
+        return plan
+
+    def _run_round_swept(self, t: int) -> RoundRecord:
+        """One untraced round as a port-major sweep over ``in_rows()``.
+
+        Crash/omission masks are applied on the sender axis *before*
+        fan-in: silent senders never enter the per-round message table,
+        and the rare mid-broadcast crashers and equivocating Byzantine
+        senders route through a per-receiver extras map instead of
+        per-edge checks. Each receiver's batch is then built in one
+        pass from its cached ``(port, sender)`` plan -- already in port
+        order, so there is no per-batch sort; self-delivery and extras
+        are insorted. Delivered/bit accounting happens on the sender
+        axis (out-degree times message size), which is exactly what the
+        legacy loop's per-edge counting sums to.
+        """
+        n = self.n
+        fault_plan = self.fault_plan
+        silent, restricted, stopped = fault_plan.sender_masks(t)
+
+        broadcasts: dict[int, Any] = {}
+        msgs: list[Any] = [None] * n
+        own_msgs: list[Any] = []  # aligned with _proc_plan (self-delivery)
+        active: list[tuple[int, int]] = []  # (sender, message bits)
+        restricted_meta: list[tuple[int, Any, frozenset[int], int]] = []
+        for node, proc, _self_port in self._proc_plan:
+            if node in silent:
+                own_msgs.append(None)  # also stopped: never delivered to
+                continue  # crashed: silent
+            message = proc.broadcast()
+            broadcasts[node] = message
+            own_msgs.append(message)
+            # A None broadcast is a deliberately silent round: the view
+            # still shows the node as broadcasting None, but nothing is
+            # routed (and self-delivery skips it too).
+            if message is None:
+                continue
+            # Inlined message_bits: the exact-type common case (plain
+            # DAC/DBAC state messages) without two calls per sender.
+            if type(message) is StateMessage:
+                size = _STATE_BITS + _STATE_BITS * len(message.history)
+            else:
+                size = message_bits(message)
+            targets = restricted.get(node) if restricted else None
+            if targets is None:
+                msgs[node] = message
+                active.append((node, size))
+            else:
+                restricted_meta.append((node, message, targets, size))
+
+        view = EngineView(self, t, broadcasts)
+        byz_out = self._byzantine_messages(t, view)
+
+        graph = self.adversary.choose(t, view)
+        if graph.n != n:
+            raise ValueError(f"adversary chose a graph with n={graph.n}, expected {n}")
+        rows_by_proc, sources = self._routing_plan(graph)
+        out_rows = graph.out_rows()
+
+        delivered = 0
+        bits = 0
+        extras: dict[int, list[tuple[int, Any]]] | None = None
+        for u, outgoing in byz_out.items():
+            if isinstance(outgoing, Mapping):
+                # Equivocator: a (possibly) different message per
+                # receiver -- cannot share a message-table entry.
+                if extras is None:
+                    extras = {}
+                for v in out_rows[u]:
+                    message = outgoing.get(v)
+                    if message is None:
+                        continue
+                    extras.setdefault(v, []).append((u, message))
+                    delivered += 1
+                    bits += message_bits(message)
+            elif outgoing is not None:
+                msgs[u] = outgoing
+                active.append((u, message_bits(outgoing)))
+        for u, message, targets, size in restricted_meta:
+            if extras is None:
+                extras = {}
+            count = 0
+            for v in out_rows[u]:
+                if v in targets:
+                    extras.setdefault(v, []).append((u, message))
+                    count += 1
+            delivered += count
+            bits += size * count
+        for u, size in active:
+            count = len(out_rows[u])
+            delivered += count
+            bits += size * count
+
+        # Fan-in. Delivery instances are built via tuple.__new__,
+        # skipping the namedtuple constructor wrapper in this
+        # O(n^2)-per-round loop; ports are a bijection per receiver, so
+        # insort never compares messages. When every source holds an
+        # unrestricted message (the common case: fault-free rounds, and
+        # crash rounds once the enforcing adversary draws only live
+        # senders) the whole batch builds in C -- map over a zip of the
+        # plan's port column with the gathered message column.
+        new_delivery = tuple.__new__
+        get_message = msgs.__getitem__
+        delivery_type = repeat(Delivery)
+        full = extras is None and (
+            len(active) == n or all(msgs[u] is not None for u in sources)
+        )
+        if full:
+            for (node, proc, self_port), (ports_row, senders_row), own in zip(
+                self._proc_plan, rows_by_proc, own_msgs
+            ):
+                if node in stopped:
+                    continue
+                batch = list(
+                    map(
+                        new_delivery,
+                        delivery_type,
+                        zip(ports_row, map(get_message, senders_row)),
+                    )
+                )
+                if own is not None:
+                    insort(batch, new_delivery(Delivery, (self_port, own)))
+                proc.deliver(batch)
+        else:
+            port_rows = self._port_rows
+            for (node, proc, self_port), (ports_row, senders_row), own in zip(
+                self._proc_plan, rows_by_proc, own_msgs
+            ):
+                if node in stopped:
+                    continue
+                batch = [
+                    new_delivery(Delivery, (p, msgs[s]))
+                    for p, s in zip(ports_row, senders_row)
+                    if msgs[s] is not None
+                ]
+                ex = extras.get(node) if extras else None
+                if ex:
+                    row = port_rows[node]
+                    for u, message in ex:
+                        insort(batch, new_delivery(Delivery, (row[u], message)))
+                if own is not None:
+                    insort(batch, new_delivery(Delivery, (self_port, own)))
+                proc.deliver(batch)
+
+        # Byzantine strategies observe their inbox with true sender
+        # IDs, in sender order -- in-rows are already sorted, extras
+        # (disjoint senders) merge in by one stable sort.
+        if fault_plan.byzantine:
+            in_rows = graph.in_rows()
+            for node, strategy in fault_plan.byzantine.items():
+                observed = [
+                    (u, msgs[u]) for u in in_rows[node] if msgs[u] is not None
+                ]
+                ex = extras.get(node) if extras else None
+                if ex:
+                    observed.extend(ex)
+                    observed.sort(key=_pair_sender)
+                strategy.observe(t, observed)
+
+        self.metrics.on_round(delivered, bits, broadcasts=len(broadcasts) + len(byz_out))
         return RoundRecord(t, graph, delivered, bits)
 
     def run(

@@ -1,6 +1,54 @@
-"""Shared plain-function helpers for tests (importable, unlike conftest)."""
+"""Shared plain-function helpers for tests (importable, unlike conftest).
+
+Home of the **unified differential-testing harness**: every "rewrite X
+but stay bit-identical" PR so far (engine fast path, batched kernels,
+Topology layer, the port-major delivery sweep) was only safe because
+full-state equality was pinned across executors. The harness makes
+that one reusable assertion instead of per-file copy-pasted grid
+loops:
+
+- a **config** is a plain dict naming a scenario family (``"dac"``,
+  ``"dbac"`` or ``"mobile"``), its parameters, and a tuple of seeds;
+- an **executor** maps a config to one canonical result per seed --
+  rounds, stopped, inputs, outputs and full per-node ``state_key()``s
+  (the strongest equality available);
+- :func:`assert_equivalent_runs` runs a grid of configs through a
+  suite of executors and asserts every executor agrees with the first,
+  printing the offending config (seed included) for reproduction.
+
+Executors cover the serial engine's port-major sweep, the legacy
+sender-major loop, fully traced execution, both
+:mod:`repro.sim.batch` backends (multi-seed lanes, exercising
+lock-step interplay), and a ``workers=4`` process-pool leg.
+"""
 
 from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.adversary.mobile import MOBILE_MODES, MobileOmissionAdversary
+from repro.core.dac import DACProcess
+from repro.faults.base import FaultPlan
+from repro.net.ports import random_ports
+from repro.sim.batch import (
+    numpy_available,
+    run_byz_batch,
+    run_dac_batch,
+    run_dbac_batch,
+)
+from repro.sim.engine import Engine
+from repro.sim.parallel import TrialSpec, run_trials
+from repro.sim.rng import child_rng, spawn_inputs
+from repro.workloads import (
+    TRIAL_BYZANTINE_STRATEGIES,
+    build_dac_execution,
+    build_dbac_execution,
+)
+
+#: Sentinel an executor returns when a config is outside its domain
+#: (e.g. the numpy kernel for a non-vectorizable selector). The
+#: harness skips the comparison instead of failing.
+SKIPPED = object()
 
 
 def spread_inputs(n: int) -> list[float]:
@@ -8,3 +56,372 @@ def spread_inputs(n: int) -> list[float]:
     if n == 1:
         return [0.0]
     return [i / (n - 1) for i in range(n)]
+
+
+# -- Configs ---------------------------------------------------------------
+
+_FAMILY_DEFAULTS: dict[str, dict[str, Any]] = {
+    "dac": {
+        "f": None,  # boundary (n - 1) // 2
+        "window": 1,
+        "selector": "rotate",
+        "crash_nodes": None,  # default: f
+        "epsilon": 1e-3,
+        "max_rounds": None,  # family default (rounds_upper_bound based)
+    },
+    "dbac": {
+        "f": None,  # boundary (n - 1) // 5
+        "window": 1,
+        "selector": "nearest",
+        "strategy": "extreme",
+        "epsilon": 1e-3,
+        "max_rounds": 2_000,
+    },
+    "mobile": {
+        "mode": "block_min",
+        "epsilon": 1e-3,
+        "max_rounds": 2_000,
+    },
+}
+
+
+def normalize_config(config: dict[str, Any]) -> dict[str, Any]:
+    """Fill family defaults and canonicalize the seed list.
+
+    Accepts ``seed=7`` as shorthand for ``seeds=(7,)``. The result is
+    a complete, deterministic parameter assignment, so it doubles as
+    the reproduction recipe printed on divergence.
+    """
+    family = config.get("family", "dac")
+    if family not in _FAMILY_DEFAULTS:
+        raise ValueError(
+            f"unknown family {family!r}; known: {sorted(_FAMILY_DEFAULTS)}"
+        )
+    full = dict(_FAMILY_DEFAULTS[family])
+    full["family"] = family
+    full.update(config)
+    if "seed" in full:
+        if "seeds" in full:
+            raise ValueError("pass either seed or seeds, not both")
+        full["seeds"] = (full.pop("seed"),)
+    full["seeds"] = tuple(int(s) for s in full.get("seeds", (0,)))
+    if "n" not in full:
+        raise ValueError(f"config needs n: {config!r}")
+    if family == "dac":
+        if full["f"] is None:
+            full["f"] = (full["n"] - 1) // 2
+    elif family == "dbac":
+        if full["f"] is None:
+            full["f"] = (full["n"] - 1) // 5
+    else:
+        if full["mode"] not in MOBILE_MODES:
+            raise ValueError(f"unknown mobile mode {full['mode']!r}")
+    return full
+
+
+def _build_serial(
+    config: dict[str, Any], seed: int
+) -> tuple[dict, Callable, int, str]:
+    """(engine kwargs, stop condition, max_rounds, stop mode) for one lane."""
+    family = config["family"]
+    epsilon = config["epsilon"]
+    if family == "dac":
+        kwargs = build_dac_execution(
+            n=config["n"],
+            f=config["f"],
+            epsilon=epsilon,
+            seed=seed,
+            window=config["window"],
+            selector=config["selector"],
+            crash_nodes=config["crash_nodes"],
+        )
+        max_rounds = config["max_rounds"] or kwargs["max_rounds"]
+        return kwargs, Engine.all_fault_free_output, max_rounds, "output"
+    if family == "dbac":
+        factory = TRIAL_BYZANTINE_STRATEGIES[config["strategy"]]
+        kwargs = build_dbac_execution(
+            n=config["n"],
+            f=config["f"],
+            epsilon=epsilon,
+            seed=seed,
+            window=config["window"],
+            selector=config["selector"],
+            byzantine_factory=lambda node: factory(),
+        )
+        stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
+        return kwargs, stop, config["max_rounds"], "oracle"
+    # mobile: fault-free DAC on the complete graph minus one in-link
+    # per receiver per round, oracle stopping (run_byz_trial's family).
+    n = config["n"]
+    ports = random_ports(n, child_rng(seed, "ports"))
+    inputs = spawn_inputs(seed, n)
+    processes = {
+        v: DACProcess(n, 0, inputs[v], ports.self_port(v), epsilon=epsilon)
+        for v in range(n)
+    }
+    kwargs = {
+        "processes": processes,
+        "adversary": MobileOmissionAdversary(config["mode"]),
+        "ports": ports,
+        "f": 0,
+        "fault_plan": FaultPlan.fault_free_plan(n),
+        "seed": seed,
+    }
+    stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
+    return kwargs, stop, config["max_rounds"], "oracle"
+
+
+def _canonical(engine: Engine, result, stop_mode: str) -> dict[str, Any]:
+    """One lane's canonical comparison payload (LaneResult-compatible)."""
+    if stop_mode == "output":
+        outputs = {
+            v: engine.processes[v].output()
+            for v in sorted(engine.fault_plan.fault_free)
+            if engine.processes[v].has_output()
+        }
+    else:
+        outputs = engine.fault_free_values()
+    return {
+        "rounds": int(result),
+        "stopped": result.stopped,
+        "inputs": {
+            node: proc.input_value for node, proc in engine.processes.items()
+        },
+        "outputs": outputs,
+        "state_keys": {
+            node: proc.state_key() for node, proc in engine.processes.items()
+        },
+    }
+
+
+def run_config_serial(
+    config: dict[str, Any],
+    *,
+    traced: bool = False,
+    sweep: bool = True,
+    wrap_adversary: Callable | None = None,
+) -> list[dict[str, Any]]:
+    """Run every seed of ``config`` on the serial engine.
+
+    ``traced`` records a full trace (the engine's legacy loop with
+    snapshots); ``sweep=False`` forces the untraced legacy loop (the
+    port-major sweep's reference implementation); ``wrap_adversary``
+    lets callers interpose on the chosen graphs (e.g. the
+    ``DirectedGraph`` shim round-trip in test_topology_equivalence).
+    """
+    config = normalize_config(config)
+    results = []
+    for seed in config["seeds"]:
+        kwargs, stop, max_rounds, stop_mode = _build_serial(config, seed)
+        adversary = kwargs["adversary"]
+        if wrap_adversary is not None:
+            adversary = wrap_adversary(adversary)
+        engine = Engine(
+            kwargs["processes"],
+            adversary,
+            kwargs["ports"],
+            fault_plan=kwargs["fault_plan"],
+            f=kwargs["f"],
+            seed=kwargs["seed"],
+            record_trace=traced,
+        )
+        engine._use_sweep = sweep
+        result = engine.run(max_rounds, stop_when=stop)
+        results.append(_canonical(engine, result, stop_mode))
+    return results
+
+
+def differential_trial(seed: int, **params: Any) -> dict[str, Any]:
+    """Picklable per-seed trial for the ``workers=N`` executor."""
+    config = dict(params)
+    config["seeds"] = (seed,)
+    return run_config_serial(config)[0]
+
+
+def run_config_batch(
+    config: dict[str, Any], backend: str
+) -> list[dict[str, Any]] | object:
+    """Run ``config``'s seeds as one lock-step batch, or ``SKIPPED``.
+
+    All seeds go through a single batch-engine call, so multi-seed
+    configs exercise genuine lane interplay (mixed termination rounds,
+    shared kernel state), not just per-lane agreement.
+    """
+    config = normalize_config(config)
+    family = config["family"]
+    seeds = list(config["seeds"])
+    if backend == "numpy":
+        if not numpy_available():
+            return SKIPPED
+        if family == "dac" and config["selector"] != "rotate":
+            return SKIPPED  # the DAC kernel replicates rotate only
+        if family == "dbac" and (
+            config["selector"] == "random" or config["strategy"] == "random"
+        ):
+            return SKIPPED  # RNG-stream consumers fall back to python
+    if family == "dac":
+        lanes = run_dac_batch(
+            config["n"],
+            config["f"],
+            seeds,
+            epsilon=config["epsilon"],
+            window=config["window"],
+            selector=config["selector"],
+            crash_nodes=config["crash_nodes"],
+            max_rounds=config["max_rounds"],
+            backend=backend,
+        )
+    elif family == "dbac":
+        lanes = run_dbac_batch(
+            config["n"],
+            config["f"],
+            seeds,
+            epsilon=config["epsilon"],
+            window=config["window"],
+            selector=config["selector"],
+            strategy=config["strategy"],
+            max_rounds=config["max_rounds"],
+            backend=backend,
+        )
+    else:
+        lanes = run_byz_batch(
+            config["n"],
+            None,
+            seeds,
+            epsilon=config["epsilon"],
+            adversary=f"mobile-{config['mode']}",
+            max_rounds=config["max_rounds"],
+            backend=backend,
+        )
+    return [
+        {
+            "rounds": lane.rounds,
+            "stopped": lane.stopped,
+            "inputs": lane.inputs,
+            "outputs": lane.outputs,
+            "state_keys": lane.state_keys,
+        }
+        for lane in lanes
+    ]
+
+
+# -- Executor suite --------------------------------------------------------
+
+
+def serial_executor(**options: Any) -> Callable:
+    """Per-config executor over :func:`run_config_serial`."""
+
+    def executor(config: dict[str, Any]) -> list[dict[str, Any]]:
+        return run_config_serial(config, **options)
+
+    return executor
+
+
+def batch_executor(backend: str) -> Callable:
+    """Per-config executor over :func:`run_config_batch`."""
+
+    def executor(config: dict[str, Any]):
+        return run_config_batch(config, backend)
+
+    return executor
+
+
+def workers_executor(workers: int = 4) -> Callable:
+    """Grid-mode executor: all (config, seed) lanes through one
+    ``run_trials(workers=N)`` pool, results regrouped per config."""
+
+    def executor(configs: list[dict[str, Any]]):
+        configs = [normalize_config(config) for config in configs]
+        specs = []
+        for config in configs:
+            params = tuple(
+                sorted((k, v) for k, v in config.items() if k != "seeds")
+            )
+            for seed in config["seeds"]:
+                specs.append(TrialSpec(params, seed=seed))
+        flat = run_trials(differential_trial, specs, workers=workers)
+        grouped, index = [], 0
+        for config in configs:
+            count = len(config["seeds"])
+            grouped.append(flat[index : index + count])
+            index += count
+        return grouped
+
+    executor.grid_mode = True
+    return executor
+
+
+def differential_executors(
+    *, workers: int | None = 4, legacy: bool = True, traced: bool = True
+) -> dict[str, Callable]:
+    """The standard executor suite, reference (port-major sweep) first."""
+    executors: dict[str, Callable] = {"serial-fast": serial_executor()}
+    if legacy:
+        executors["serial-legacy"] = serial_executor(sweep=False)
+    if traced:
+        executors["traced"] = serial_executor(traced=True)
+    executors["batch-python"] = batch_executor("python")
+    executors["batch-numpy"] = batch_executor("numpy")
+    if workers:
+        executors[f"workers-{workers}"] = workers_executor(workers)
+    return executors
+
+
+def assert_equivalent_runs(
+    grid, executors: dict[str, Callable] | None = None
+) -> dict[str, list]:
+    """Assert full-state equivalence of every executor on every config.
+
+    ``grid`` is an iterable of config dicts (see
+    :func:`normalize_config`); ``executors`` maps name -> executor
+    (default: :func:`differential_executors`). The first executor is
+    the reference; any divergence fails with the complete config --
+    seeds included -- so one paste reproduces it. Returns the
+    per-executor results for callers wanting extra assertions.
+    """
+    configs = [normalize_config(config) for config in grid]
+    if executors is None:
+        executors = differential_executors()
+    names = list(executors)
+    if not names:
+        raise ValueError("need at least one executor")
+    results: dict[str, list] = {}
+    for name, executor in executors.items():
+        if getattr(executor, "grid_mode", False):
+            results[name] = executor(configs)
+        else:
+            results[name] = [executor(config) for config in configs]
+    reference_name = names[0]
+    for index, config in enumerate(configs):
+        reference = results[reference_name][index]
+        assert reference is not SKIPPED, (
+            f"reference executor {reference_name!r} cannot skip: {config!r}"
+        )
+        for name in names[1:]:
+            outcome = results[name][index]
+            if outcome is SKIPPED:
+                continue
+            assert outcome == reference, (
+                f"executor {name!r} diverged from {reference_name!r}\n"
+                f"  config (reproduce with this): {config!r}\n"
+                f"  reference: {_divergence(reference, outcome)}"
+            )
+    return results
+
+
+def _divergence(reference, outcome) -> str:
+    """A compact first-divergence description for assertion messages."""
+    if not isinstance(reference, list) or not isinstance(outcome, list):
+        return f"{reference!r} != {outcome!r}"
+    if len(reference) != len(outcome):
+        return f"lane counts differ: {len(reference)} vs {len(outcome)}"
+    for lane, (ref, out) in enumerate(zip(reference, outcome)):
+        if ref == out:
+            continue
+        for key in ref:
+            if ref.get(key) != out.get(key):
+                return (
+                    f"lane {lane} field {key!r}: {ref.get(key)!r} != {out.get(key)!r}"
+                )
+        return f"lane {lane} differs"
+    return "equal (?)"

@@ -16,6 +16,11 @@ Three contracts make ``batch=B`` a pure speed knob:
 """
 
 import pytest
+from tests.helpers import (
+    assert_equivalent_runs,
+    batch_executor,
+    serial_executor,
+)
 
 from repro.bench.sweep import Sweep
 from repro.sim.batch import (
@@ -65,22 +70,6 @@ BYZ_GRIDS = [
 MOBILE_MODES = ["block_min", "block_max", "rotate", "none"]
 
 
-def run_serial_lane(n, f, seed, window):
-    """One serial engine run of the exact lane the batch engine claims."""
-    kwargs = build_dac_execution(n=n, f=f, seed=seed, window=window)
-    engine = Engine(
-        kwargs["processes"],
-        kwargs["adversary"],
-        kwargs["ports"],
-        fault_plan=kwargs["fault_plan"],
-        f=kwargs["f"],
-        seed=kwargs["seed"],
-        record_trace=False,
-    )
-    result = engine.run(kwargs["max_rounds"], stop_when=Engine.all_fault_free_output)
-    return engine, result
-
-
 def run_serial_dbac_lane(
     n, f, seed, window, selector, strategy, epsilon=1e-3, max_rounds=50_000
 ):
@@ -111,31 +100,22 @@ def run_serial_dbac_lane(
 
 
 class TestBatchMatchesSerial:
-    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("n,f,window", GRIDS)
-    def test_finals_and_rounds_bit_identical(self, n, f, window, backend):
-        seeds = list(range(8))
-        lanes = run_dac_batch(n, f, seeds, window=window, backend=backend)
-        assert [lane.seed for lane in lanes] == seeds
-        for seed, lane in zip(seeds, lanes):
-            engine, result = run_serial_lane(n, f, seed, window)
-            assert lane.rounds == int(result)
-            assert lane.stopped == result.stopped
-            # Full per-node state keys: value, phase, port bit vector,
-            # extremes, output -- the strongest equality available.
-            assert lane.state_keys == {
-                node: process.state_key()
-                for node, process in engine.processes.items()
-            }
-            assert lane.outputs == {
-                v: engine.processes[v].output()
-                for v in engine.fault_plan.fault_free
-                if engine.processes[v].has_output()
-            }
-            assert lane.inputs == {
-                node: process.input_value
-                for node, process in engine.processes.items()
-            }
+    def test_finals_and_rounds_bit_identical(self, n, f, window):
+        # The shared harness: serial sweep (reference) == python
+        # backend == numpy backend (when installed), all 8 seeds as ONE
+        # multi-lane batch per backend so lock-step lane interplay is
+        # exercised; full per-node state keys -- value, phase, port bit
+        # vector, extremes, output -- the strongest equality available.
+        assert_equivalent_runs(
+            [{"family": "dac", "n": n, "f": f, "window": window,
+              "seeds": tuple(range(8))}],
+            {
+                "serial-fast": serial_executor(),
+                "batch-python": batch_executor("python"),
+                "batch-numpy": batch_executor("numpy"),
+            },
+        )
 
     @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
     @pytest.mark.parametrize("n,f,window", GRIDS)
@@ -288,34 +268,28 @@ class TestSweepBatchIdentity:
 class TestByzBatchMatchesSerial:
     """DBAC / Byzantine lanes: bit-identity of ByzBatchEngine vs serial."""
 
-    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("n,f,window,selector,strategy", BYZ_GRIDS)
     def test_dbac_finals_and_rounds_bit_identical(
-        self, n, f, window, selector, strategy, backend
+        self, n, f, window, selector, strategy
     ):
-        seeds = list(range(6))
-        lanes = run_dbac_batch(
-            n, f, seeds, window=window, selector=selector, strategy=strategy,
-            backend=backend,
+        # The shared harness: serial sweep (reference) == python
+        # backend == numpy backend (when installed), all 6 seeds as ONE
+        # multi-lane batch per backend. Full per-node state keys --
+        # value, phase, port bit vector, R_low / R_high recording
+        # lists, output -- the strongest equality available; oracle
+        # outputs (the fault-free states at stop) ride along.
+        assert_equivalent_runs(
+            [{
+                "family": "dbac", "n": n, "f": f, "window": window,
+                "selector": selector, "strategy": strategy,
+                "seeds": tuple(range(6)),
+            }],
+            {
+                "serial-fast": serial_executor(),
+                "batch-python": batch_executor("python"),
+                "batch-numpy": batch_executor("numpy"),
+            },
         )
-        assert [lane.seed for lane in lanes] == seeds
-        for seed, lane in zip(seeds, lanes):
-            engine, result = run_serial_dbac_lane(n, f, seed, window, selector, strategy)
-            assert lane.rounds == int(result)
-            assert lane.stopped == result.stopped
-            # Full per-node state keys: value, phase, port bit vector,
-            # R_low / R_high recording lists, output -- the strongest
-            # equality available.
-            assert lane.state_keys == {
-                node: process.state_key()
-                for node, process in engine.processes.items()
-            }
-            # Oracle-mode outputs are the fault-free states at stop.
-            assert lane.outputs == engine.fault_free_values()
-            assert lane.inputs == {
-                node: process.input_value
-                for node, process in engine.processes.items()
-            }
 
     @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
     @pytest.mark.parametrize("n,f,window,selector,strategy", BYZ_GRIDS)
@@ -434,15 +408,25 @@ class TestByzBatchMatchesSerial:
 class TestMobileBatchMatchesSerial:
     """Mobile-omission lanes: the other run_byz_trial family."""
 
-    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("mode", MOBILE_MODES)
-    def test_summaries_match_serial_trials(self, mode, backend):
-        seeds = list(range(5))
-        lanes = run_byz_batch(
-            8, None, seeds, adversary=f"mobile-{mode}", backend=backend
+    def test_lanes_match_serial_engines_full_state(self, mode):
+        # The shared harness, full state keys (strictly stronger than
+        # the old picklable-summary comparison): serial sweep == both
+        # batch backends on one 5-lane batch per backend.
+        assert_equivalent_runs(
+            [{"family": "mobile", "n": 8, "mode": mode, "seeds": tuple(range(5))}],
+            {
+                "serial-fast": serial_executor(),
+                "batch-python": batch_executor("python"),
+                "batch-numpy": batch_executor("numpy"),
+            },
         )
+
+    def test_batched_summaries_equal_serial_trial_summaries(self):
+        seeds = list(range(3))
+        lanes = run_byz_batch(8, None, seeds, adversary="mobile-block_min")
         serial = [
-            run_byz_trial(n=8, adversary=f"mobile-{mode}", seed=s) for s in seeds
+            run_byz_trial(n=8, adversary="mobile-block_min", seed=s) for s in seeds
         ]
         from repro.workloads import _lane_summary
 

@@ -1,0 +1,137 @@
+"""The ``DirectedGraph`` alias's deprecation contract.
+
+Three properties, each checked in a fresh subprocess because the
+warning is once-per-*process* state:
+
+1. first use emits exactly one :class:`DeprecationWarning`; every
+   later access (any import path: ``repro.net.graph``, ``repro.net``,
+   ``repro``) is silent and resolves to the same interned
+   ``Topology``;
+2. merely importing the packages emits nothing -- the alias is lazy;
+3. legacy call sites run warning-clean under
+   ``-W error::DeprecationWarning`` once the single pinned alias
+   warning has been seen (and that first access raises, once, under
+   the error filter if not caught).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run(code: str, *python_args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, *python_args, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+
+
+def _check(proc: subprocess.CompletedProcess) -> None:
+    assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    assert proc.stdout.strip().endswith("OK"), proc.stdout
+
+
+def test_warns_exactly_once_per_process_across_all_import_paths():
+    _check(_run(
+        """
+import warnings
+
+with warnings.catch_warnings(record=True) as first:
+    warnings.simplefilter("always")
+    from repro.net.graph import DirectedGraph
+deprecations = [w for w in first if issubclass(w.category, DeprecationWarning)]
+assert len(deprecations) == 1, [str(w.message) for w in first]
+assert "Topology" in str(deprecations[0].message)
+
+with warnings.catch_warnings(record=True) as later:
+    warnings.simplefilter("always")
+    from repro.net.graph import DirectedGraph as again
+    from repro.net import DirectedGraph as from_net
+    import repro
+    from_pkg = repro.DirectedGraph
+    _ = DirectedGraph(3, [(0, 1)])
+assert later == [], [str(w.message) for w in later]
+
+from repro.net.topology import Topology
+assert DirectedGraph is again is from_net is from_pkg is Topology
+print("OK")
+"""
+    ))
+
+
+def test_package_imports_alone_stay_silent():
+    _check(_run(
+        """
+import warnings
+
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    import repro
+    import repro.net
+    import repro.net.graph
+assert not any(
+    issubclass(w.category, DeprecationWarning) for w in caught
+), [str(w.message) for w in caught]
+print("OK")
+"""
+    ))
+
+
+def test_legacy_call_sites_run_clean_under_error_filter():
+    # -W error::DeprecationWarning for the whole process: after the one
+    # pinned alias warning (caught below), any further
+    # DeprecationWarning anywhere in the legacy paths would raise.
+    _check(_run(
+        """
+import warnings
+
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    from repro.net.graph import DirectedGraph
+assert len(caught) == 1 and issubclass(caught[0].category, DeprecationWarning)
+
+# Legacy construction surface, now under the error filter.
+graph = DirectedGraph(4, [(0, 1), (1, 2), (2, 3)])
+assert graph.in_neighbors(1) == frozenset({0})
+assert DirectedGraph.complete(3) is DirectedGraph.complete(3)
+assert DirectedGraph.empty(2).edges == frozenset()
+
+# A legacy end-to-end execution (engine, adversary, runner).
+from repro import build_dac_execution, run_consensus
+report = run_consensus(**build_dac_execution(n=5, f=2, seed=0))
+assert report.correct
+print("OK")
+""",
+        "-W",
+        "error::DeprecationWarning",
+    ))
+
+
+def test_unfiltered_first_use_raises_once_then_recovers():
+    _check(_run(
+        """
+try:
+    from repro.net.graph import DirectedGraph
+except DeprecationWarning:
+    pass
+else:
+    raise AssertionError("first access should raise under the error filter")
+from repro.net.graph import DirectedGraph  # second access: warned already
+from repro.net.topology import Topology
+assert DirectedGraph is Topology
+print("OK")
+""",
+        "-W",
+        "error::DeprecationWarning",
+    ))

@@ -12,6 +12,11 @@ Two contracts make ``workers=N`` a pure speed knob:
 """
 
 import pytest
+from tests.helpers import (
+    assert_equivalent_runs,
+    serial_executor,
+    workers_executor,
+)
 
 from repro.adversary.base import StaticAdversary
 from repro.bench.sweep import Sweep
@@ -155,6 +160,25 @@ class TestFastPathIdentity:
         assert fast.fault_free_values() == traced.fault_free_values()
         assert fast.metrics.delivered == traced.metrics.delivered
         assert fast.metrics.bits == traced.metrics.bits
+
+    def test_sweep_legacy_traced_and_workers_full_state_identity(self):
+        # The shared harness replaces this file's old per-scenario
+        # loops: port-major sweep (reference) == legacy untraced loop
+        # == fully traced execution == a workers=4 pool, by full
+        # state_key equality across crash/window/selector grids.
+        assert_equivalent_runs(
+            [
+                {"family": "dac", "n": 9, "f": 4, "seeds": (5, 6)},
+                {"family": "dac", "n": 9, "f": 4, "window": 2, "seeds": (5,)},
+                {"family": "dac", "n": 7, "selector": "nearest", "seeds": (3,)},
+            ],
+            {
+                "serial-fast": serial_executor(),
+                "serial-legacy": serial_executor(sweep=False),
+                "traced": serial_executor(traced=True),
+                "workers-4": workers_executor(4),
+            },
+        )
 
     def test_run_consensus_fast_matches_traced_outputs(self):
         # Two builds of the same scenario (processes are stateful), one

@@ -4,34 +4,52 @@ paths must be bit-identical, across the grids the paper sweeps.
 The Topology refactor rewired the graph representation under every
 layer (net sources, adversaries, engine routing, batch executor) with
 the hard requirement that outputs stay *bit-identical*. This suite
-pins that: full ``state_key`` / rounds / outputs equality between
+pins that through the shared differential harness
+(:func:`tests.helpers.assert_equivalent_runs`): full ``state_key`` /
+rounds / outputs equality between
 
 - an engine driven by an adversary whose graphs pass through the
   deprecated ``DirectedGraph`` constructor (the shim path), and the
   same execution on the native adversary (Topology path);
-- the serial engine and both ``repro.sim.batch`` backends;
+- the serial engine (port-major sweep *and* the legacy loop) and both
+  ``repro.sim.batch`` backends;
 
 across crash, enforced-rotate and window (last-minute) grids.
 """
 
-import pytest
+from tests.helpers import (
+    assert_equivalent_runs,
+    differential_executors,
+    serial_executor,
+)
 
 from repro.adversary.base import MessageAdversary
 from repro.net.graph import DirectedGraph
-from repro.sim.batch import numpy_available, run_dac_batch
-from repro.sim.engine import Engine
-from repro.workloads import build_dac_execution
 
-# (n, f, window, selector, crash_nodes): the boundary grids of E1.
+# The boundary grids of E1, two seeds per config; crash counts and
+# windows as in the original copy-pasted loops.
 GRIDS = [
-    pytest.param(9, 0, 1, "rotate", 0, id="enforced-rotate-faultfree"),
-    pytest.param(7, 3, 1, "rotate", 3, id="crash-rotate"),
-    pytest.param(9, 4, 1, "nearest", 4, id="crash-nearest"),
-    pytest.param(9, 4, 3, "rotate", 4, id="window-rotate"),
-    pytest.param(6, 2, 2, "nearest", 2, id="window-nearest"),
+    {"family": "dac", "n": 9, "f": 0, "crash_nodes": 0, "seeds": (0, 7)},
+    {"family": "dac", "n": 7, "f": 3, "crash_nodes": 3, "seeds": (0, 7)},
+    {
+        "family": "dac",
+        "n": 9,
+        "f": 4,
+        "crash_nodes": 4,
+        "selector": "nearest",
+        "seeds": (0, 7),
+    },
+    {"family": "dac", "n": 9, "f": 4, "crash_nodes": 4, "window": 3, "seeds": (0, 7)},
+    {
+        "family": "dac",
+        "n": 6,
+        "f": 2,
+        "crash_nodes": 2,
+        "window": 2,
+        "selector": "nearest",
+        "seeds": (0, 7),
+    },
 ]
-
-SEEDS = (0, 7)
 
 
 class _ShimRewrapAdversary(MessageAdversary):
@@ -59,102 +77,10 @@ class _ShimRewrapAdversary(MessageAdversary):
         return self._inner.promised_dynadegree()
 
 
-def _run_engine(kwargs, wrap_shim: bool) -> dict:
-    adversary = kwargs["adversary"]
-    if wrap_shim:
-        adversary = _ShimRewrapAdversary(adversary)
-    engine = Engine(
-        kwargs["processes"],
-        adversary,
-        kwargs["ports"],
-        fault_plan=kwargs["fault_plan"],
-        f=kwargs["f"],
-        seed=kwargs["seed"],
-        record_trace=False,
-    )
-    result = engine.run(kwargs["max_rounds"], stop_when=Engine.all_fault_free_output)
-    return {
-        "rounds": int(result),
-        "stopped": result.stopped,
-        "outputs": {
-            v: engine.processes[v].output()
-            for v in sorted(engine.fault_plan.fault_free)
-            if engine.processes[v].has_output()
-        },
-        "state_keys": {
-            node: proc.state_key() for node, proc in engine.processes.items()
-        },
-    }
-
-
-@pytest.mark.parametrize("n, f, window, selector, crash_nodes", GRIDS)
-@pytest.mark.parametrize("seed", SEEDS)
-class TestShimVsNative:
-    def test_full_state_equality(self, n, f, window, selector, crash_nodes, seed):
-        build = lambda: build_dac_execution(  # noqa: E731
-            n=n,
-            f=f,
-            seed=seed,
-            window=window,
-            selector=selector,
-            crash_nodes=crash_nodes,
-        )
-        native = _run_engine(build(), wrap_shim=False)
-        shimmed = _run_engine(build(), wrap_shim=True)
-        assert shimmed == native
-
-
-@pytest.mark.parametrize("n, f, window, selector, crash_nodes", GRIDS)
-class TestSerialVsBatchBackends:
-    def _serial_lanes(self, n, f, window, selector, crash_nodes):
-        return run_dac_batch(
-            n,
-            f,
-            list(SEEDS),
-            window=window,
-            selector=selector,
-            crash_nodes=crash_nodes,
-            backend="python",
-        )
-
-    def test_python_backend_matches_serial_engines(
-        self, n, f, window, selector, crash_nodes
-    ):
-        # The python backend *is* lock-step over serial engines; pin
-        # its state keys against independent serial runs.
-        lanes = self._serial_lanes(n, f, window, selector, crash_nodes)
-        for seed, lane in zip(SEEDS, lanes):
-            serial = _run_engine(
-                build_dac_execution(
-                    n=n,
-                    f=f,
-                    seed=seed,
-                    window=window,
-                    selector=selector,
-                    crash_nodes=crash_nodes,
-                ),
-                wrap_shim=False,
-            )
-            assert lane.rounds == serial["rounds"]
-            assert lane.stopped == serial["stopped"]
-            assert lane.outputs == serial["outputs"]
-            assert lane.state_keys == serial["state_keys"]
-
-    def test_numpy_backend_matches_python_backend(
-        self, n, f, window, selector, crash_nodes
-    ):
-        if selector != "rotate":
-            pytest.skip("vectorized kernel replicates the rotate selector only")
-        if not numpy_available():
-            pytest.skip("numpy not installed")
-        python_lanes = self._serial_lanes(n, f, window, selector, crash_nodes)
-        numpy_lanes = run_dac_batch(
-            n,
-            f,
-            list(SEEDS),
-            window=window,
-            selector=selector,
-            crash_nodes=crash_nodes,
-            backend="numpy",
-        )
-        assert numpy_lanes == python_lanes
+def test_shim_native_and_batch_backends_bit_identical():
+    """One harness pass covers the whole old-vs-new matrix: native
+    sweep (reference) == shim-rewrapped == legacy loop == traced ==
+    both batch backends, full state keys throughout."""
+    executors = differential_executors(workers=None)
+    executors["shim-rewrap"] = serial_executor(wrap_adversary=_ShimRewrapAdversary)
+    assert_equivalent_runs(GRIDS, executors)
