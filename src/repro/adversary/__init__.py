@@ -14,14 +14,14 @@ trace after the run.
 """
 
 from repro.adversary.base import MessageAdversary, ScheduleAdversary, StaticAdversary
+from repro.adversary.comparative import (
+    RootedStarAdversary,
+    StableSpanningTreeAdversary,
+)
 from repro.adversary.constrained import (
     LastMinuteQuorumAdversary,
     PhaseSkewAdversary,
     RotatingQuorumAdversary,
-)
-from repro.adversary.comparative import (
-    RootedStarAdversary,
-    StableSpanningTreeAdversary,
 )
 from repro.adversary.greedy import LookaheadQuorumAdversary
 from repro.adversary.mobile import MobileOmissionAdversary

@@ -87,7 +87,7 @@ class ReceiveSetsAdversary(MessageAdversary):
             senders = self.receive_sets.get(v)
             if senders is None:
                 senders = frozenset(range(self.n))
-            for u in senders:
+            for u in sorted(senders):
                 if not (0 <= u < self.n):
                     raise ValueError(f"sender {u} out of range for n={self.n}")
                 if u != v:

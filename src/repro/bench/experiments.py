@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import time
 
-from repro.adversary.mobile import MobileOmissionAdversary
 from repro.adversary.base import StaticAdversary
-from repro.adversary.constrained import PhaseSkewAdversary, RotatingQuorumAdversary
+from repro.adversary.constrained import PhaseSkewAdversary
+from repro.adversary.mobile import MobileOmissionAdversary
 from repro.adversary.periodic import figure1_adversary
 from repro.adversary.random_adv import RandomLinkAdversary
 from repro.analysis.agreement import cross_group_gap, groupwise_spread
@@ -23,7 +23,6 @@ from repro.analysis.statistics import summarize
 from repro.bench.tables import TableResult
 from repro.core.baselines import FloodMinProcess, IteratedMidpointProcess, MajorityVoteProcess
 from repro.core.dac import DACProcess
-from repro.core.dbac import DBACProcess
 from repro.core.phases import (
     dac_end_phase,
     dbac_convergence_rate,

@@ -28,8 +28,8 @@ from repro.bench.tables import TableResult
 from repro.core.asymptotic import AsymptoticAveragingProcess
 from repro.core.dac import DACProcess
 from repro.core.phases import dac_end_phase, dbac_convergence_rate
-from repro.net.properties import property_profile
 from repro.net.ports import random_ports
+from repro.net.properties import property_profile
 from repro.sim.rng import child_rng, spawn_inputs
 from repro.sim.runner import run_consensus
 from repro.workloads import build_dbac_execution, dac_degree

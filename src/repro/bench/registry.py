@@ -4,12 +4,6 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.bench.experiments_ext import (
-    experiment_x5,
-    experiment_x6,
-    experiment_x7,
-    experiment_x8,
-)
 from repro.bench.experiments import (
     experiment_e1,
     experiment_e2,
@@ -28,6 +22,12 @@ from repro.bench.experiments import (
     experiment_x2,
     experiment_x3,
     experiment_x4,
+)
+from repro.bench.experiments_ext import (
+    experiment_x5,
+    experiment_x6,
+    experiment_x7,
+    experiment_x8,
 )
 from repro.bench.tables import TableResult
 

@@ -13,13 +13,13 @@
   convergence trade-off extension (crash model).
 """
 
+from repro.core.asymptotic import AsymptoticAveragingProcess
 from repro.core.baselines import (
     FloodMinProcess,
     IteratedMidpointProcess,
     MajorityVoteProcess,
     TrimmedMeanProcess,
 )
-from repro.core.asymptotic import AsymptoticAveragingProcess
 from repro.core.dac import DACProcess
 from repro.core.dbac import DBACProcess
 from repro.core.phases import (

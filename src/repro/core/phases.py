@@ -106,6 +106,7 @@ def measured_phases_to_epsilon(
     (one implementation of the search, including the skip over empty
     ``None`` phases of an aligned series).
     """
+    # lint: ignore[layering] — documented delegation upward: the one search implementation lives in analysis; deferred so core never imports it at module load
     from repro.analysis.convergence import phases_until
 
     return phases_until(range_series, epsilon)

@@ -88,7 +88,7 @@ def staggered_crashes(
 
 def simultaneous_crashes(nodes: Iterable[int], at_round: int) -> dict[int, CrashEvent]:
     """Clean crashes of all the given nodes in the same round."""
-    return {node: CrashEvent(node, at_round) for node in set(nodes)}
+    return {node: CrashEvent(node, at_round) for node in sorted(set(nodes))}
 
 
 def partial_crash(node: int, at_round: int, receivers: Collection[int]) -> CrashEvent:

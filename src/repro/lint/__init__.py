@@ -1,0 +1,46 @@
+"""``repro.lint``: static enforcement of the repo's runtime contracts.
+
+The differential harness proves, *dynamically*, that five executors
+stay bit-identical; this package enforces, *statically*, the
+invariants that equality rides on -- seeded randomness only, frozen
+hash-consed topologies, sealed fault-plan memos, a downward-only
+layer DAG, optional numpy confined to the batch kernel, and picklable
+worker functions. Pure stdlib ``ast``; no third-party dependencies.
+
+Usage::
+
+    python -m repro.lint [--format json] [--out FILE] [paths...]
+
+Library surface: :func:`run_lint` over paths, :func:`lint_source` over
+one source blob (what the fixture-corpus tests drive), the rule
+:mod:`registry <repro.lint.registry>`, and :class:`LintConfig` -- the
+single reviewable statement of every contract the rules pin.
+
+Deliberate exceptions are suppressed inline, never silently::
+
+    self._hash = cached  # lint: ignore[topology-mutation] — lazy cache ...
+
+A suppression without a written reason is itself a finding
+(``bad-suppression``), and one that stops matching anything is too
+(``unused-suppression``); see docs/static-analysis.md.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import FileContext, Finding, LintResult, lint_source, run_lint
+from repro.lint.registry import Rule, all_rules, known_ids
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "known_ids",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

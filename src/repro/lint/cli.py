@@ -1,0 +1,112 @@
+"""``python -m repro.lint``: the static invariant checker's CLI.
+
+Exit codes follow the usual lint convention: ``0`` clean, ``1`` any
+finding, ``2`` usage error (unknown rule id, missing path). CI runs::
+
+    python -m repro.lint --format json --out lint-report.json src/
+
+which prints the text report for the build log *and* writes the JSON
+artifact in one pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import run_lint
+from repro.lint.registry import all_rules
+from repro.lint.report import render, render_text
+
+
+def _split_ids(values: list[str]) -> list[str]:
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker: determinism, immutability "
+        "and layering contracts, statically enforced.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format for stdout (and --out, when given)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE; stdout then always shows the "
+        "text form",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="run only these rule ids (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="skip these rule ids (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for entry in all_rules():
+            kind = " (meta)" if entry.is_meta else ""
+            print(f"{entry.id}{kind}: {entry.summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_lint(
+            paths,
+            select=_split_ids(args.select) or None,
+            ignore=_split_ids(args.ignore) or None,
+        )
+    except KeyError as exc:
+        print(f"error: unknown rule id {exc.args[0]!r}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        Path(args.out).write_text(render(result, args.format) + "\n", encoding="utf-8")
+        print(render_text(result))
+    else:
+        print(render(result, args.format))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""The linted contracts, as data: layers, hot paths, frozen types.
+
+Rules are generic mechanisms (iterate-over-set detection, import-DAG
+checking, attribute-mutation tracking); this module pins them to the
+*repo's* actual contracts. Everything a rule needs to know about this
+codebase -- the layer DAG, which modules are deterministic, where
+numpy may appear, which classes are frozen and which of their methods
+legitimately write slots -- lives in one :class:`LintConfig` value, so
+the contracts are reviewable in a single place and tests can run rules
+against synthetic configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the built-in rules know about the codebase."""
+
+    # -- layering ---------------------------------------------------------
+    # Bottom-up layer DAG: a module may import its own layer and any
+    # layer *below* it, never above. Matching is by longest dotted
+    # prefix, so the "model" carve-out (the message/state vocabulary in
+    # repro.sim that core/faults/adversary legitimately speak) wins
+    # over the broader "sim" entry. The package root is exact-match
+    # only: a brand-new repro.* module that matches no entry is itself
+    # a layering finding, which keeps the DAG total as the tree grows.
+    layers: tuple[tuple[str, tuple[str, ...]], ...] = (
+        ("model", ("repro.sim.messages", "repro.sim.node", "repro.sim.rng")),
+        ("core", ("repro.core",)),
+        ("net", ("repro.net",)),
+        ("faults", ("repro.faults",)),
+        ("adversary", ("repro.adversary",)),
+        ("sim", ("repro.sim",)),
+        ("analysis", ("repro.analysis",)),
+        ("mc", ("repro.mc",)),
+        ("workloads", ("repro.workloads",)),
+        ("bench", ("repro.bench",)),
+        ("top", ("repro.cli", "repro.lint", "repro.__main__", "repro")),
+    )
+    root_package: str = "repro"
+
+    # -- determinism ------------------------------------------------------
+    # Modules whose execution feeds state_key equality across the five
+    # executors: set-iteration order, wall clocks, process-local ids
+    # and ambient randomness are all hazards here. bench/ and cli/ sit
+    # outside (timing loops are their job).
+    deterministic_modules: tuple[str, ...] = (
+        "repro.core",
+        "repro.net",
+        "repro.faults",
+        "repro.adversary",
+        "repro.sim",
+        "repro.mc",
+        "repro.workloads",
+    )
+
+    # -- optional numpy ---------------------------------------------------
+    # numpy is an optional extra: only the batch kernel may import it,
+    # and only behind the documented try/except ImportError guard so
+    # the pure-Python fallback keeps the package importable without it.
+    numpy_modules: tuple[str, ...] = ("repro.sim.batch",)
+
+    # -- engine hot path --------------------------------------------------
+    # The round engine and the batch kernels must stay free of the
+    # observability/persistence/reporting planes (the extension->core
+    # dependency direction): an observer bus or trace spill plugs in
+    # from above, never the other way around.
+    hot_modules: tuple[str, ...] = ("repro.sim.engine", "repro.sim.batch")
+    hot_forbidden: tuple[str, ...] = (
+        "repro.sim.persistence",
+        "repro.analysis",
+        "repro.bench",
+        "repro.mc",
+        "repro.cli",
+        "repro.lint",
+        "repro.workloads",
+    )
+
+    # -- frozen Topology --------------------------------------------------
+    # Topology instances are interned and shared across executions;
+    # the only sanctioned writes are construction-time slot fills and
+    # the documented set_routing_plan one-slot cache hook. The lazy
+    # derived-view caches inside the class carry inline suppressions
+    # instead of blanket method exemptions, so each one states why it
+    # is safe.
+    topology_module: str = "repro.net.topology"
+    topology_class: str = "Topology"
+    topology_init_methods: tuple[str, ...] = (
+        "__init__",
+        "__new__",
+        "_lookup",
+        "from_receiver_lists",
+        "_build_rows",
+        "set_routing_plan",
+    )
+    # Factory callables whose results rules treat as Topology values
+    # when tracking mutation outside the defining module.
+    topology_factories: tuple[str, ...] = (
+        "Topology",
+        "Topology.complete",
+        "Topology.empty",
+        "Topology.from_sorted_edges",
+        "Topology.from_receiver_lists",
+        "rotate_topology",
+        "mobile_topology",
+    )
+
+    # -- FaultPlan memo fields --------------------------------------------
+    # FaultPlan memoizes live profiles / crash metadata under the
+    # documented immutable-after-construction contract; nothing
+    # outside faults/base.py may write or clear those tables (a stale
+    # or poisoned memo silently desynchronizes the executors).
+    plan_module: str = "repro.faults.base"
+    plan_class: str = "FaultPlan"
+    plan_memo_fields: tuple[str, ...] = (
+        "_crash_order",
+        "_fault_free",
+        "_non_byzantine",
+        "_live_cache",
+        "_round_cache",
+        "_mask_cache",
+    )
+    plan_public_fields: tuple[str, ...] = ("crashes", "byzantine", "n")
+
+    # -- seeded randomness ------------------------------------------------
+    # The one module that owns the root-seed discipline; everything
+    # else receives an explicitly seeded random.Random.
+    rng_module: str = "repro.sim.rng"
+
+    # -- worker contracts --------------------------------------------------
+    # Keyword names that mark a call as fanning work over processes;
+    # function-valued arguments in such calls must be module-level.
+    worker_keywords: tuple[str, ...] = ("workers",)
+    batch_fn_attr: str = "batch_fn"
+
+    # Free-form extras for tests / future rules.
+    extras: dict = field(default_factory=dict)
+
+
+DEFAULT_CONFIG = LintConfig()

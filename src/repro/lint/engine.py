@@ -1,0 +1,268 @@
+"""The lint engine: discover files, parse once, run rules, apply
+suppressions.
+
+The engine owns everything rule-agnostic: mapping file paths to dotted
+module names (so rules can reason in import-space), parsing each file
+to one shared :class:`ast.Module`, dispatching the registered rules,
+and folding the suppression layer over the raw findings -- including
+the two meta findings (``bad-suppression``, ``unused-suppression``)
+that keep the suppression comments themselves honest.
+
+Rules are pure functions from :class:`FileContext` to findings; they
+never see the filesystem or each other.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.registry import Rule, all_rules, known_ids
+from repro.lint.suppress import scan
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    module: str  # dotted module name, e.g. "repro.sim.engine"
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    lines: list[str] = field(default_factory=list)
+
+    def finding(self, node: ast.AST | int, rule_id: str, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(self.path, line, col, rule_id, message)
+
+    def in_module(self, prefixes: tuple[str, ...] | list[str]) -> bool:
+        """Whether this file's module falls under any dotted prefix."""
+        return any(module_matches(self.module, prefix) for prefix in prefixes)
+
+
+def module_matches(module: str, prefix: str) -> bool:
+    """Dotted-prefix match: ``repro.sim.engine`` matches ``repro.sim``."""
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name from a file's package position.
+
+    Walks upward while ``__init__.py`` marks the parent as a package,
+    exactly like the import system would; a file outside any package
+    is its own single-segment module. ``__init__.py`` itself names the
+    package.
+    """
+    path = path.resolve()
+    parts: list[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        parts.append(path.stem)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into the sorted ``.py`` file set."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def select_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> tuple[list[Rule], bool]:
+    """Resolve ``--select``/``--ignore`` to concrete checker rules.
+
+    Returns the rules plus whether the set is *restricted* (a partial
+    run must not report unused-suppression: a comment aimed at a rule
+    that was not run is not stale).
+    """
+    valid = known_ids()
+    for rule_id in (select or []) + (ignore or []):
+        if rule_id not in valid:
+            raise KeyError(rule_id)
+    chosen = []
+    for entry in all_rules():
+        if entry.is_meta:
+            continue
+        if select and entry.id not in select:
+            continue
+        if ignore and entry.id in ignore:
+            continue
+        chosen.append(entry)
+    restricted = bool(select) or bool(ignore)
+    return chosen, restricted
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig = DEFAULT_CONFIG,
+    rules: list[Rule] | None = None,
+    restricted: bool | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit the tests drive).
+
+    A corpus override comment (``# lint-corpus-module: repro.x.y``)
+    always wins, so fixture snippets lint as the module they claim to
+    be even through ``run_lint``; otherwise ``module`` defaults to the
+    file stem and real runs pass the package-derived name.
+    """
+    if rules is None:
+        rules, default_restricted = select_rules()
+        restricted = default_restricted if restricted is None else restricted
+    restricted = bool(restricted)
+    module = _corpus_module(source) or module or Path(path).stem
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = max((exc.offset or 1) - 1, 0)
+        return [Finding(path, line, col, "syntax-error", f"file does not parse: {exc.msg}")]
+
+    ctx = FileContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source=source,
+        config=config,
+        lines=source.splitlines(),
+    )
+
+    raw: list[Finding] = []
+    for entry in rules:
+        raw.extend(entry.checker(ctx))
+    # One finding per (location, rule): a rule revisiting a node (e.g.
+    # via overlapping scope views) must not double-report.
+    raw = sorted(set(raw))
+
+    suppressions, errors = scan(source)
+    valid = known_ids()
+    findings: list[Finding] = []
+    for error in errors:
+        findings.append(Finding(path, error.line, 0, "bad-suppression", error.message))
+    for supp in suppressions:
+        for rule_id in supp.rule_ids:
+            if rule_id not in valid:
+                findings.append(
+                    Finding(
+                        path,
+                        supp.line,
+                        0,
+                        "bad-suppression",
+                        f"unknown rule id {rule_id!r} in suppression",
+                    )
+                )
+
+    for item in raw:
+        suppressed = False
+        for supp in suppressions:
+            if supp.matches(item.rule_id, item.line):
+                supp.used.add(item.rule_id)
+                suppressed = True
+        if not suppressed:
+            findings.append(item)
+
+    if not restricted:
+        for supp in suppressions:
+            unused = [rid for rid in supp.rule_ids if rid in valid and rid not in supp.used]
+            if unused:
+                findings.append(
+                    Finding(
+                        path,
+                        supp.line,
+                        0,
+                        "unused-suppression",
+                        f"suppression for [{', '.join(unused)}] matched no finding "
+                        f"on line {supp.target_line}; delete it or fix the id",
+                    )
+                )
+    return sorted(findings)
+
+
+def _corpus_module(source: str) -> str | None:
+    """Honor a ``# lint-corpus-module:`` override in the first lines."""
+    for line in source.splitlines()[:5]:
+        stripped = line.strip()
+        if stripped.startswith("# lint-corpus-module:"):
+            return stripped.split(":", 1)[1].strip()
+    return None
+
+
+def run_lint(
+    paths: list[Path],
+    *,
+    config: LintConfig = DEFAULT_CONFIG,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` with the chosen rules."""
+    rules, restricted = select_rules(select, ignore)
+    files = discover(paths)
+    findings: list[Finding] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                path=str(file_path),
+                module=module_name_for(file_path),
+                config=config,
+                rules=rules,
+                restricted=restricted,
+            )
+        )
+    return LintResult(
+        findings=sorted(findings),
+        files_checked=len(files),
+        rules_run=tuple(entry.id for entry in rules),
+    )

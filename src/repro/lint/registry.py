@@ -1,0 +1,124 @@
+"""The rule registry: every invariant the checker knows, by id.
+
+A rule is a plain function ``(FileContext) -> Iterable[Finding]``
+registered under a stable kebab-case id via the :func:`rule`
+decorator. The registry is the single source of truth consulted by
+the engine (which rules to run), the CLI (``--list-rules``,
+``--select``/``--ignore`` validation), the suppression parser (which
+ids a ``# lint: ignore[...]`` comment may name) and the docs checker
+(``tools/check_docs.py`` verifies ``docs/static-analysis.md`` and this
+registry agree, both directions).
+
+Two *meta* rules -- ``bad-suppression`` and ``unused-suppression`` --
+are produced by the engine itself while honoring suppression comments,
+not by a registered checker function; they are registered here with
+``checker=None`` so they still have documented ids, appear in
+``--list-rules`` and participate in the docs-parity check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import FileContext, Finding
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check.
+
+    ``id`` is the stable kebab-case name used in reports, suppression
+    comments and the docs; ``summary`` is the one-line description
+    shown by ``--list-rules``; ``invariant`` names the repo contract
+    the rule protects (the docs expand on it).
+    """
+
+    id: str
+    summary: str
+    invariant: str
+    checker: Callable[["FileContext"], Iterable["Finding"]] | None
+
+    @property
+    def is_meta(self) -> bool:
+        """Engine-produced rules (suppression hygiene) have no checker."""
+        return self.checker is None
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, *, summary: str, invariant: str) -> Callable:
+    """Register the decorated function as the checker for ``rule_id``."""
+
+    def decorate(fn: Callable[["FileContext"], Iterable["Finding"]]) -> Callable:
+        register(Rule(rule_id, summary, invariant, fn))
+        return fn
+
+    return decorate
+
+
+def register(entry: Rule) -> None:
+    """Add ``entry`` to the registry (ids are unique, kebab-case)."""
+    if entry.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {entry.id!r}")
+    if not entry.id or not all(part.isalnum() for part in entry.id.split("-")):
+        raise ValueError(f"rule id {entry.id!r} is not kebab-case")
+    _REGISTRY[entry.id] = entry
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id (loads the built-in set)."""
+    _load_builtin()
+    return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def get(rule_id: str) -> Rule:
+    """Look up one rule by id (:exc:`KeyError` on unknown ids)."""
+    _load_builtin()
+    return _REGISTRY[rule_id]
+
+
+def known_ids() -> frozenset[str]:
+    """The set of valid rule ids (suppression comments validate here)."""
+    _load_builtin()
+    return frozenset(_REGISTRY)
+
+
+def _load_builtin() -> None:
+    """Import the built-in rule modules exactly once.
+
+    Importing :mod:`repro.lint.rules` triggers the ``@rule``
+    decorators; the meta rules are registered here because no checker
+    module owns them.
+    """
+    if "bad-suppression" in _REGISTRY:
+        return
+    register(
+        Rule(
+            "bad-suppression",
+            summary="suppression comment is malformed, names an unknown rule, "
+            "or carries no reason",
+            invariant="every suppression documents why the exception is safe",
+            checker=None,
+        )
+    )
+    register(
+        Rule(
+            "unused-suppression",
+            summary="suppression comment matched no finding on its target line",
+            invariant="suppressions cannot outlive the exception they justified",
+            checker=None,
+        )
+    )
+    register(
+        Rule(
+            "syntax-error",
+            summary="file does not parse; no other rule can run on it",
+            invariant="every linted file is valid Python",
+            checker=None,
+        )
+    )
+    import repro.lint.rules  # noqa: F401  (registers via decorators)

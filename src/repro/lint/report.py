@@ -1,0 +1,60 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON form is the CI artifact (schema version 1, stable field
+names) so external tooling can diff reports across commits; the text
+form is what a developer reads in the terminal, one
+``path:line:col: [rule-id] message`` per finding plus a summary line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "LintResult") -> str:
+    """One line per finding plus a trailing summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: [{f.rule_id}] {f.message}"
+        for f in result.findings
+    ]
+    verdict = "OK" if result.ok else "FAIL"
+    lines.append(
+        f"repro.lint: {verdict} — {len(result.findings)} finding(s) in "
+        f"{result.files_checked} file(s), {len(result.rules_run)} rule(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """The machine-readable report uploaded as a CI artifact."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule_id,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(result: "LintResult", fmt: str) -> str:
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "text":
+        return render_text(result)
+    raise ValueError(f"unknown report format {fmt!r}")

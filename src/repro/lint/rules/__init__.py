@@ -1,0 +1,19 @@
+"""Built-in rule set: importing this package registers every rule.
+
+Each module groups the rules protecting one family of invariants:
+
+- :mod:`repro.lint.rules.determinism` -- bit-reproducibility hazards
+  (unordered iteration, ambient randomness, process-local identity,
+  wall clocks / environment);
+- :mod:`repro.lint.rules.imports` -- the layer DAG, the optional-numpy
+  guard and the engine hot-path import ban;
+- :mod:`repro.lint.rules.mutation` -- immutability of the hash-consed
+  :class:`~repro.net.topology.Topology` and the
+  :class:`~repro.faults.base.FaultPlan` memo tables;
+- :mod:`repro.lint.rules.workers` -- picklability contracts for
+  functions fanned out over process pools.
+"""
+
+from repro.lint.rules import determinism, imports, mutation, workers
+
+__all__ = ["determinism", "imports", "mutation", "workers"]

@@ -1,0 +1,161 @@
+"""Shared AST plumbing for the built-in rules.
+
+Nothing here is rule-specific: scope walking, import collection with
+``TYPE_CHECKING`` awareness, and dotted-name rendering. Rules stay
+small by leaning on these.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+ScopeNode = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (async) function definition, outermost
+    first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, FunctionNode):
+            yield node
+
+
+def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every AST node inside ``scope``, nested function bodies excluded
+    (each node exactly once: the walk prunes at inner function defs)."""
+    stack: list[ast.AST] = list(reversed(list(ast.iter_child_nodes(scope))))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, FunctionNode):
+            continue  # its body is the nested scope's business
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def is_type_checking_test(test: ast.expr) -> bool:
+    """``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` tests."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def type_checking_nodes(tree: ast.Module) -> set[int]:
+    """ids() of all nodes living under ``if TYPE_CHECKING:`` blocks."""
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and is_type_checking_test(node.test):
+            for stmt in node.body:
+                guarded.add(id(stmt))
+                for inner in ast.walk(stmt):
+                    guarded.add(id(inner))
+    return guarded
+
+
+def import_guards(tree: ast.Module) -> set[int]:
+    """ids() of import statements guarded by ``try: ... except
+    ImportError`` (the optional-dependency idiom)."""
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        catches_import_error = False
+        for handler in node.handlers:
+            names: list[str] = []
+            if handler.type is None:
+                catches_import_error = True
+                break
+            types = (
+                handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+            )
+            for entry in types:
+                name = dotted(entry)
+                if name:
+                    names.append(name.rsplit(".", 1)[-1])
+            if any(n in ("ImportError", "ModuleNotFoundError", "Exception") for n in names):
+                catches_import_error = True
+        if not catches_import_error:
+            continue
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    guarded.add(id(inner))
+    return guarded
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One imported dotted target, with context the rules care about."""
+
+    node: ast.stmt
+    target: str  # resolved dotted target (module[.name] for from-imports)
+    type_checking: bool
+    guarded: bool  # inside try/except ImportError
+    in_function: bool
+
+
+def collect_imports(tree: ast.Module, module: str) -> list[ImportRecord]:
+    """Every import in the file, resolved to absolute dotted targets.
+
+    Relative imports are resolved against ``module`` assuming the file
+    is a plain module (not a package ``__init__``); the repo uses
+    absolute imports throughout, so this is a best-effort fallback.
+    """
+    tc_nodes = type_checking_nodes(tree)
+    guards = import_guards(tree)
+    in_function: set[int] = set()
+    for scope in iter_scopes(tree):
+        if isinstance(scope, FunctionNode):
+            for stmt in ast.walk(scope):
+                if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    in_function.add(id(stmt))
+
+    records: list[ImportRecord] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                records.append(
+                    ImportRecord(
+                        node,
+                        alias.name,
+                        id(node) in tc_nodes,
+                        id(node) in guards,
+                        id(node) in in_function,
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = module.split(".")
+                base = parts[: len(parts) - node.level]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            for alias in node.names:
+                target = f"{prefix}.{alias.name}" if prefix else alias.name
+                records.append(
+                    ImportRecord(
+                        node,
+                        target,
+                        id(node) in tc_nodes,
+                        id(node) in guards,
+                        id(node) in in_function,
+                    )
+                )
+    return records

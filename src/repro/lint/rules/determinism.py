@@ -1,0 +1,252 @@
+"""Determinism rules: what bit-identical ``state_key`` equality rides on.
+
+The differential harness pins five executors (serial sweep, legacy,
+traced, batch x2, process pool) to identical states. That only holds
+if the layers they share never consult a source of nondeterminism:
+set iteration order, ambient module-level RNG state, process-local
+object identity, wall clocks or the environment. These rules make
+each hazard a finding at the line that introduces it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.registry import rule
+from repro.lint.rules.common import dotted, iter_scopes, scope_nodes
+
+_SET_METHODS = ("union", "intersection", "difference", "symmetric_difference")
+
+# time.* attributes that read a clock.
+_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def _is_unordered(expr: ast.expr, env: set[str]) -> bool:
+    """Whether ``expr`` evaluates to a set-like value with arbitrary
+    iteration order (syntactic inference plus same-scope name tracking)."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in env
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_unordered(expr.left, env) or _is_unordered(expr.right, env)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_unordered(func.value, env)
+    return False
+
+
+def _scope_env(scope: ast.AST) -> set[str]:
+    """Names assigned a set-like value anywhere in ``scope``.
+
+    Any ordered reassignment removes the name again, so a variable
+    that is *sometimes* a set stays flagged only while no ordered
+    binding exists -- a deliberate lean toward reporting.
+    """
+    env: set[str] = set()
+    for node in scope_nodes(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if _is_unordered(node.value, env):
+                    env.add(target.id)
+                else:
+                    env.discard(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            note = ast.unparse(node.annotation)
+            if note.startswith(("set", "frozenset", "Set", "FrozenSet", "AbstractSet")):
+                env.add(node.target.id)
+    return env
+
+
+@rule(
+    "set-iteration",
+    summary="iteration over a set/frozenset value whose order is arbitrary",
+    invariant="ordering-sensitive layers never iterate unordered collections",
+)
+def check_set_iteration(ctx) -> Iterator:
+    if not ctx.in_module(ctx.config.deterministic_modules):
+        return
+    for scope in iter_scopes(ctx.tree):
+        env = _scope_env(scope)
+        for node in scope_nodes(scope):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                iters.append(node.args[0])
+            for candidate in iters:
+                if _is_unordered(candidate, env):
+                    yield ctx.finding(
+                        candidate,
+                        "set-iteration",
+                        "iteration order of a set/frozenset is arbitrary; "
+                        "wrap it in sorted(...) so downstream state is "
+                        "order-independent",
+                    )
+
+
+@rule(
+    "unseeded-random",
+    summary="module-level random.* state used outside the seeded-RNG module",
+    invariant="all randomness flows from an explicitly seeded random.Random "
+    "derived via repro.sim.rng",
+)
+def check_unseeded_random(ctx) -> Iterator:
+    if ctx.module == ctx.config.rng_module:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            bad = [a.name for a in node.names if a.name != "Random"]
+            if bad:
+                yield ctx.finding(
+                    node,
+                    "unseeded-random",
+                    f"importing {', '.join(bad)} from random pulls in "
+                    "module-level RNG state; accept a seeded random.Random "
+                    "(repro.sim.rng.child_rng) instead",
+                )
+        elif isinstance(node, ast.Call):
+            name = dotted(node.func)
+            if name == "random.Random" and not node.args and not node.keywords:
+                yield ctx.finding(
+                    node,
+                    "unseeded-random",
+                    "random.Random() with no seed draws from OS entropy; "
+                    "pass an explicit seed (repro.sim.rng.derive_seed)",
+                )
+            elif (
+                name is not None
+                and name.startswith("random.")
+                and name not in ("random.Random", "random.SystemRandom")
+            ):
+                yield ctx.finding(
+                    node,
+                    "unseeded-random",
+                    f"{name}() mutates/reads the shared module-level RNG; "
+                    "draw from an explicitly seeded random.Random instead",
+                )
+            elif name == "random.SystemRandom":
+                yield ctx.finding(
+                    node,
+                    "unseeded-random",
+                    "random.SystemRandom is OS entropy and can never be "
+                    "seeded; use a derived random.Random",
+                )
+
+
+def _identity_key(expr: ast.expr) -> str | None:
+    """'id' / 'hash' when ``expr`` is that builtin (possibly inside a
+    one-expression lambda)."""
+    if isinstance(expr, ast.Name) and expr.id in ("id", "hash"):
+        return expr.id
+    if isinstance(expr, ast.Lambda):
+        for inner in ast.walk(expr.body):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id in ("id", "hash")
+            ):
+                return inner.func.id
+    return None
+
+
+@rule(
+    "id-ordering",
+    summary="id()/hash() used to order values",
+    invariant="orderings are derived from values, never from "
+    "process-local object identity or per-run hashes",
+)
+def check_id_ordering(ctx) -> Iterator:
+    if not ctx.in_module(ctx.config.deterministic_modules):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "key":
+                    which = _identity_key(kw.value)
+                    if which is not None:
+                        yield ctx.finding(
+                            kw.value,
+                            "id-ordering",
+                            f"sort key built on {which}() is process-local; "
+                            "two runs (or two workers) order differently",
+                        )
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)) for op in node.ops
+        ):
+            for operand in [node.left, *node.comparators]:
+                if (
+                    isinstance(operand, ast.Call)
+                    and isinstance(operand.func, ast.Name)
+                    and operand.func.id in ("id", "hash")
+                ):
+                    yield ctx.finding(
+                        operand,
+                        "id-ordering",
+                        f"comparing {operand.func.id}() values orders by "
+                        "process-local identity; compare the values "
+                        "themselves",
+                    )
+
+
+@rule(
+    "time-env",
+    summary="wall clock, environment or OS entropy read in a deterministic layer",
+    invariant="simulation state depends only on (topology, config, seed), "
+    "never on when/where it runs",
+)
+def check_time_env(ctx) -> Iterator:
+    if not ctx.in_module(ctx.config.deterministic_modules):
+        return
+    for node in ast.walk(ctx.tree):
+        name = dotted(node) if isinstance(node, ast.Attribute) else None
+        if name is None:
+            continue
+        head, _, attr = name.rpartition(".")
+        offending = None
+        if head == "time" and attr in _CLOCK_ATTRS:
+            offending = f"{name}() reads a clock"
+        elif attr in ("now", "utcnow", "today") and head.rsplit(".", 1)[-1] in (
+            "datetime",
+            "date",
+        ):
+            offending = f"{name}() reads the wall clock"
+        elif name in ("os.environ", "os.getenv", "os.urandom"):
+            offending = f"{name} depends on the process environment"
+        elif head == "uuid" and attr in ("uuid1", "uuid4"):
+            offending = f"{name}() is time/entropy derived"
+        elif head == "secrets" or name.startswith("secrets."):
+            offending = f"{name} is OS entropy"
+        if offending:
+            yield ctx.finding(
+                node,
+                "time-env",
+                f"{offending}; deterministic layers must depend only on "
+                "(inputs, topology, seed)",
+            )

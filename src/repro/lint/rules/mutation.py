@@ -1,0 +1,276 @@
+"""Immutability rules: frozen Topology, sealed FaultPlan memos.
+
+``Topology`` instances are interned and shared across executions --
+adversary memos, schedule cycles and trace dedup all rely on a graph
+never changing after construction. ``FaultPlan`` memoizes live
+profiles and crash metadata under an immutable-after-construction
+contract. A single stray attribute write poisons every consumer, so
+both contracts are enforced at the assignment site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.registry import rule
+from repro.lint.rules.common import FunctionNode, dotted, iter_scopes, scope_nodes
+
+_MUTATORS = ("clear", "update", "setdefault", "pop", "popitem", "add", "discard", "remove")
+
+
+def _annotation_is(annotation: ast.expr | None, class_name: str) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation).strip("'\"")
+    return text == class_name or text.endswith("." + class_name)
+
+
+def _topology_names(scope: ast.AST, ctx) -> set[str]:
+    """Names in ``scope`` known to hold Topology instances."""
+    names: set[str] = set()
+    config = ctx.config
+    if isinstance(scope, FunctionNode):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _annotation_is(arg.annotation, config.topology_class):
+                names.add(arg.arg)
+    for node in scope_nodes(scope):
+        value = None
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if _annotation_is(node.annotation, config.topology_class):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                continue
+            value = node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if isinstance(value, ast.Call):
+            callee = dotted(value.func)
+            if callee is not None and (
+                callee in config.topology_factories
+                or callee.rsplit(".", 1)[-1] in config.topology_factories
+            ):
+                names.add(target.id)
+                continue
+        names.discard(target.id)
+    return names
+
+
+def _is_factory_call(expr: ast.expr, ctx) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    callee = dotted(expr.func)
+    return callee is not None and (
+        callee in ctx.config.topology_factories
+        or callee.rsplit(".", 1)[-1] in ctx.config.topology_factories
+    )
+
+
+@rule(
+    "topology-mutation",
+    summary="attribute write on a (frozen, interned) Topology",
+    invariant="Topology never changes after construction; the only "
+    "sanctioned post-construction write is the set_routing_plan hook",
+)
+def check_topology_mutation(ctx) -> Iterator:
+    config = ctx.config
+
+    # Part 1: inside the defining module, methods of the class itself
+    # may only fill slots during construction (or via the documented
+    # one-slot routing-plan hook). Lazy caches carry inline
+    # suppressions, each with its reason.
+    if ctx.module == config.topology_module:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name == config.topology_class):
+                continue
+            for method in node.body:
+                if not isinstance(method, FunctionNode):
+                    continue
+                if method.name in config.topology_init_methods:
+                    continue
+                for stmt in ast.walk(method):
+                    targets: list[ast.expr] = []
+                    if isinstance(stmt, ast.Assign):
+                        targets = stmt.targets
+                    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [stmt.target]
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            yield ctx.finding(
+                                target,
+                                "topology-mutation",
+                                f"{config.topology_class}.{method.name} writes "
+                                f"self.{target.attr} outside the construction "
+                                "path of a frozen, interned class",
+                            )
+
+    # Part 2: everywhere, attribute writes on values known to be
+    # Topology instances (annotated parameters, factory-call results).
+    for scope in iter_scopes(ctx.tree):
+        names = _topology_names(scope, ctx)
+        for node in scope_nodes(scope):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "setattr"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in names
+            ):
+                yield ctx.finding(
+                    node,
+                    "topology-mutation",
+                    f"setattr on Topology value {node.args[0].id!r}: "
+                    "topologies are immutable; derive a new instance instead",
+                )
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                if (isinstance(base, ast.Name) and base.id in names) or _is_factory_call(
+                    base, ctx
+                ):
+                    yield ctx.finding(
+                        target,
+                        "topology-mutation",
+                        f"write to .{target.attr} on a Topology value: "
+                        "topologies are frozen and interned; use the "
+                        "derive-a-new-instance APIs (union, without_sources, "
+                        "...) or the set_routing_plan hook",
+                    )
+
+
+@rule(
+    "plan-mutation",
+    summary="FaultPlan memo table or fault map mutated outside faults/base.py",
+    invariant="FaultPlan is immutable after construction; its memo tables "
+    "are private to the class",
+)
+def check_plan_mutation(ctx) -> Iterator:
+    config = ctx.config
+    if ctx.module == config.plan_module:
+        return
+    memo = frozenset(config.plan_memo_fields)
+
+    for scope in iter_scopes(ctx.tree):
+        plan_names: set[str] = set()
+        if isinstance(scope, FunctionNode):
+            args = scope.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if _annotation_is(arg.annotation, config.plan_class):
+                    plan_names.add(arg.arg)
+        for node in scope_nodes(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                if isinstance(target, ast.Name):
+                    if isinstance(value, ast.Call) and dotted(value.func) in (
+                        config.plan_class,
+                        f"{config.plan_module}.{config.plan_class}",
+                    ):
+                        plan_names.add(target.id)
+                    else:
+                        plan_names.discard(target.id)
+
+        def _memo_attr(expr: ast.expr) -> str | None:
+            """``plan._live_cache``-style access to a memo field.
+
+            ``self._fault_free`` in some *other* class is that class's
+            own slot, not a FaultPlan memo, so self/cls receivers are
+            exempt (FaultPlan's own methods live in the exempted
+            defining module anyway).
+            """
+            if (
+                isinstance(expr, ast.Attribute)
+                and expr.attr in memo
+                and not (isinstance(expr.value, ast.Name) and expr.value.id in ("self", "cls"))
+            ):
+                return expr.attr
+            return None
+
+        for node in scope_nodes(scope):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                if node.func.attr in _MUTATORS and _memo_attr(receiver):
+                    yield ctx.finding(
+                        node,
+                        "plan-mutation",
+                        f".{node.func.attr}() on FaultPlan memo "
+                        f".{receiver.attr}: memo tables are private to "
+                        "faults/base.py",
+                    )
+                elif (
+                    node.func.attr in _MUTATORS
+                    and isinstance(receiver, ast.Attribute)
+                    and receiver.attr in config.plan_public_fields
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id in plan_names
+                ):
+                    yield ctx.finding(
+                        node,
+                        "plan-mutation",
+                        f"mutating .{receiver.attr} of a FaultPlan after "
+                        "construction desynchronizes its memo tables; build "
+                        "a new plan instead",
+                    )
+                continue
+            for target in targets:
+                attr = _memo_attr(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = _memo_attr(target.value)
+                if attr is not None:
+                    yield ctx.finding(
+                        target,
+                        "plan-mutation",
+                        f"write to FaultPlan memo .{attr} outside "
+                        "faults/base.py: memo tables are private to the class",
+                    )
+                    continue
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in config.plan_public_fields
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in plan_names
+                ):
+                    yield ctx.finding(
+                        target,
+                        "plan-mutation",
+                        f"write to .{target.attr} of a FaultPlan after "
+                        "construction; plans are immutable once built",
+                    )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr in config.plan_public_fields
+                    and isinstance(target.value.value, ast.Name)
+                    and target.value.value.id in plan_names
+                ):
+                    yield ctx.finding(
+                        target,
+                        "plan-mutation",
+                        f"item write into .{target.value.attr} of a FaultPlan "
+                        "after construction; plans are immutable once built",
+                    )

@@ -1,0 +1,104 @@
+"""Worker-contract rules: what may cross a process boundary.
+
+``Sweep.run(workers=N)`` / ``run_trials(..., workers=N)`` pickle the
+trial function into worker processes, and ``batch_fn`` attributes are
+dispatched the same way. Lambdas and closures fail at runtime deep in
+the pool machinery (or worse, only when a CLI raises the process-wide
+worker default); this rule moves the failure to the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.registry import rule
+from repro.lint.rules.common import FunctionNode, iter_scopes, scope_nodes
+
+
+def _local_functions(scope: ast.AST) -> set[str]:
+    """Names bound to nested defs / lambdas directly inside ``scope``
+    (only meaningful for function scopes: module-level defs pickle fine)."""
+    if not isinstance(scope, FunctionNode):
+        return set()
+    names: set[str] = set()
+    for node in scope_nodes(scope):
+        if isinstance(node, FunctionNode) and node is not scope:
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(node.value, ast.Lambda):
+                names.add(target.id)
+    return names
+
+
+def _serial_literal(expr: ast.expr) -> bool:
+    """``workers=1`` / ``workers=None`` never leave the process."""
+    return isinstance(expr, ast.Constant) and expr.value in (1, None)
+
+
+@rule(
+    "worker-closure",
+    summary="lambda/closure handed to a process-pool call or batch_fn slot",
+    invariant="functions fanned out over workers are module-level and "
+    "picklable; batch_fn attributes equally so",
+)
+def check_worker_closure(ctx) -> Iterator:
+    config = ctx.config
+    for scope in iter_scopes(ctx.tree):
+        local_fns = _local_functions(scope)
+        for node in scope_nodes(scope):
+            if isinstance(node, ast.Call):
+                worker_kw = next(
+                    (kw for kw in node.keywords if kw.arg in config.worker_keywords),
+                    None,
+                )
+                if worker_kw is None or _serial_literal(worker_kw.value):
+                    continue
+                candidates = list(node.args) + [
+                    kw.value
+                    for kw in node.keywords
+                    if kw.arg not in config.worker_keywords
+                ]
+                for arg in candidates:
+                    if isinstance(arg, ast.Lambda):
+                        yield ctx.finding(
+                            arg,
+                            "worker-closure",
+                            "lambda passed to a workers= call cannot be "
+                            "pickled into worker processes; define a "
+                            "module-level trial function",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in local_fns:
+                        yield ctx.finding(
+                            arg,
+                            "worker-closure",
+                            f"locally-defined function {arg.id!r} passed to a "
+                            "workers= call cannot be pickled; hoist it to "
+                            "module level",
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == config.batch_fn_attr
+                    ):
+                        if isinstance(node.value, ast.Lambda):
+                            yield ctx.finding(
+                                node.value,
+                                "worker-closure",
+                                "batch_fn must be a module-level function "
+                                "(it is dispatched over process pools); a "
+                                "lambda cannot be pickled",
+                            )
+                        elif (
+                            isinstance(node.value, ast.Name)
+                            and node.value.id in local_fns
+                        ):
+                            yield ctx.finding(
+                                node.value,
+                                "worker-closure",
+                                f"batch_fn bound to local function "
+                                f"{node.value.id!r}; batch functions must be "
+                                "module-level and picklable",
+                            )

@@ -1,0 +1,137 @@
+"""Per-line suppression comments, with mandatory written reasons.
+
+The syntax is::
+
+    do_risky_thing()  # lint: ignore[rule-id] — why this is safe here
+    # lint: ignore[rule-id, other-rule] — reason covering the next line
+    do_risky_thing()
+
+A trailing comment suppresses findings of the named rule(s) on its own
+line; a comment that stands alone on a line suppresses the next line
+that carries code. The em-dash separator may also be ``--`` or ``-``.
+
+Two properties keep suppressions honest (both enforced by the engine,
+reported under the meta rule ids):
+
+- **a reason is mandatory** -- an ``ignore`` with no text after the
+  separator, an unknown rule id, or a malformed bracket list is a
+  ``bad-suppression`` finding, not a working suppression;
+- **suppressions must pay their way** -- one that matched no finding
+  on its target line is reported as ``unused-suppression``, so stale
+  exceptions are deleted instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+# Marker prefix, anchored at the start of the comment text so prose
+# merely mentioning the syntax never parses; the bracket payload is
+# parsed separately so malformed payloads can be reported precisely.
+_MARKER = re.compile(r"#\s*lint\s*:\s*(.*)$")
+_IGNORE = re.compile(
+    r"ignore\s*\[(?P<ids>[^\]]*)\]\s*(?:(?:—|--|-)\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# lint: ignore[...]`` comment."""
+
+    line: int  # line the comment sits on
+    target_line: int  # line whose findings it suppresses
+    rule_ids: tuple[str, ...]
+    reason: str
+    comment: str
+    used: set = field(default_factory=set)
+
+    def matches(self, rule_id: str, line: int) -> bool:
+        return line == self.target_line and rule_id in self.rule_ids
+
+
+@dataclass(frozen=True)
+class SuppressionError:
+    """A malformed suppression comment (becomes a bad-suppression finding)."""
+
+    line: int
+    message: str
+
+
+def scan(source: str) -> tuple[list[Suppression], list[SuppressionError]]:
+    """Extract all suppression comments (and the malformed ones) from
+    ``source``.
+
+    Tokenization (rather than a per-line regex) keeps ``# lint:``
+    sequences inside string literals from being treated as comments.
+    """
+    comments: list[tuple[int, int, str]] = []  # (line, col, text)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparsable files separately; suppression
+        # scanning just degrades to whatever tokenized cleanly.
+        pass
+
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    errors: list[SuppressionError] = []
+    for line_no, col, text in comments:
+        marker = _MARKER.match(text)
+        if marker is None:
+            continue
+        payload = marker.group(1).strip()
+        parsed = _IGNORE.match(payload)
+        if parsed is None:
+            errors.append(
+                SuppressionError(
+                    line_no,
+                    "malformed lint comment: expected "
+                    "'# lint: ignore[rule-id] — reason'",
+                )
+            )
+            continue
+        ids = tuple(part.strip() for part in parsed.group("ids").split(",") if part.strip())
+        reason = (parsed.group("reason") or "").strip()
+        if not ids:
+            errors.append(
+                SuppressionError(line_no, "suppression names no rule ids")
+            )
+            continue
+        if not reason:
+            errors.append(
+                SuppressionError(
+                    line_no,
+                    f"suppression for [{', '.join(ids)}] carries no reason "
+                    "(append '— why this exception is safe')",
+                )
+            )
+            continue
+        own_line = lines[line_no - 1] if line_no <= len(lines) else ""
+        standalone = own_line[:col].strip() == ""
+        target = _next_code_line(lines, line_no) if standalone else line_no
+        suppressions.append(
+            Suppression(
+                line=line_no,
+                target_line=target,
+                rule_ids=ids,
+                reason=reason,
+                comment=text,
+            )
+        )
+    return suppressions, errors
+
+
+def _next_code_line(lines: list[str], comment_line: int) -> int:
+    """First line after ``comment_line`` that carries code (not blank,
+    not another comment); falls back to the comment's own line."""
+    for offset in range(comment_line, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return comment_line

@@ -24,7 +24,6 @@ from repro.net.dynadegree import (
     min_window_for_degree,
 )
 from repro.net.dynamic import DynamicGraph, EdgeSchedule, window_union
-from repro.net.topology import Topology
 from repro.net.generators import (
     complete_edges,
     cycle_edges,
@@ -40,6 +39,7 @@ from repro.net.properties import (
     property_profile,
 )
 from repro.net.temporal import check_dynareach, max_reach_for_window, window_reach_sets
+from repro.net.topology import Topology
 
 
 def __getattr__(name: str):

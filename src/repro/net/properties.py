@@ -36,7 +36,7 @@ def _stable_undirected_component_count(graphs: list[Topology]) -> int:
         stable &= graph.edges
     # Symmetrize: T-interval connectivity assumes bidirectional links,
     # so only edges stable in both directions connect.
-    undirected = {(u, v) for (u, v) in stable if (v, u) in stable}
+    undirected = [(u, v) for (u, v) in sorted(stable) if (v, u) in stable]
     parent = list(range(n))
 
     def find(x: int) -> int:

@@ -213,6 +213,7 @@ class Topology:
         cached = self._edge_set
         if cached is None:
             cached = frozenset(self._edges)
+            # lint: ignore[topology-mutation] — single-fill lazy cache of a pure derived view
             self._edge_set = cached
         return cached
 
@@ -234,6 +235,7 @@ class Topology:
             for u, v in self._edges:
                 digest.update(b"%d,%d;" % (u, v))
             cached = int.from_bytes(digest.digest(), "big")
+            # lint: ignore[topology-mutation] — single-fill lazy cache of the stable digest
             self._content_hash = cached
         return cached
 
@@ -347,6 +349,7 @@ class Topology:
         cached = self._hash
         if cached is None:
             cached = hash((self._n, self._edges))
+            # lint: ignore[topology-mutation] — single-fill lazy cache of a pure derived value
             self._hash = cached
         return cached
 

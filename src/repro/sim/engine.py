@@ -38,8 +38,8 @@ from __future__ import annotations
 
 from bisect import insort
 from collections.abc import Mapping
-from itertools import repeat
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Any, Callable
 
 from repro.adversary.base import MessageAdversary

@@ -1,0 +1,7 @@
+# lint-corpus-module: repro.sim.engine
+"""Known-bad: the engine hot path importing the persistence plane."""
+from repro.sim.persistence import save_trace
+
+
+def run_round(trace, path):
+    save_trace(trace, path)  # the engine must never reach up

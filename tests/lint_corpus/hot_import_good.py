@@ -1,0 +1,9 @@
+# lint-corpus-module: repro.sim.engine
+"""Known-good twin: the engine speaks only downward vocabulary."""
+from repro.net.topology import Topology
+from repro.sim.messages import StateMessage
+from repro.sim.trace import ExecutionTrace
+
+
+def run_round(graph: Topology, trace: ExecutionTrace):
+    return StateMessage, graph, trace

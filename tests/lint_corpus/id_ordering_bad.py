@@ -1,0 +1,16 @@
+# lint-corpus-module: repro.core.widget
+"""Known-bad: ordering values by process-local identity."""
+
+
+def stable_order(items):
+    return sorted(items, key=id)
+
+
+def pick_first(a, b):
+    if id(a) < id(b):  # identity comparison as a tiebreak
+        return a
+    return b
+
+
+def hash_order(items):
+    return sorted(items, key=lambda item: hash(item))

@@ -1,0 +1,16 @@
+# lint-corpus-module: repro.core.widget
+"""Known-good twin: order by value, compare by identity only for 'is'."""
+
+
+def stable_order(items):
+    return sorted(items, key=lambda item: item.value)
+
+
+def pick_first(a, b):
+    if a is b:  # identity *equality* is deterministic
+        return a
+    return min(a, b)
+
+
+def memo_lookup(table, value):
+    return table.get(id(value))  # identity as a memo key, never ordered

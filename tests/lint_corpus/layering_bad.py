@@ -1,0 +1,9 @@
+# lint-corpus-module: repro.core.widget
+"""Known-bad: a core-layer module reaching up the stack."""
+from repro.sim.engine import Engine  # core may not import the engine
+
+import repro.bench  # nor the bench layer
+
+
+def run(processes):
+    return Engine, repro.bench, processes

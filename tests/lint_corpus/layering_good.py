@@ -1,0 +1,15 @@
+# lint-corpus-module: repro.core.widget
+"""Known-good twin: core speaks the model vocabulary; typing-only
+imports of higher layers are free."""
+from typing import TYPE_CHECKING
+
+from repro.core.dac import DACProcess
+from repro.sim.messages import StateMessage  # model carve-out: below core
+from repro.sim.node import Delivery
+
+if TYPE_CHECKING:  # typing-only: no runtime dependency
+    from repro.sim.engine import EngineView
+
+
+def describe(view: "EngineView"):
+    return DACProcess, StateMessage, Delivery, view

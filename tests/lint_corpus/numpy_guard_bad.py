@@ -1,0 +1,7 @@
+# lint-corpus-module: repro.analysis.widget
+"""Known-bad: unconditional numpy import outside the batch kernel."""
+import numpy as np
+
+
+def mean(xs):
+    return float(np.mean(np.asarray(xs)))

@@ -1,0 +1,10 @@
+# lint-corpus-module: repro.sim.batch
+"""Known-good twin: the batch kernel's guarded optional import."""
+try:  # numpy is an optional extra
+    import numpy as _np
+except ImportError:
+    _np = None
+
+
+def backend() -> str:
+    return "numpy" if _np is not None else "python"

@@ -1,0 +1,18 @@
+# lint-corpus-module: repro.sim.widget
+"""Known-bad: mutating a FaultPlan (or its memo tables) after construction."""
+from repro.faults.base import FaultPlan
+
+
+def poison(plan: FaultPlan, event):
+    plan.crashes[3] = event  # item write into the fault map
+    plan.byzantine = {}  # rebinding a public field
+    plan._live_cache.clear()  # reaching into a private memo table
+    return plan
+
+
+def rebuild(n: int, event):
+    plan = FaultPlan(n)
+    plan.crashes.update({0: event})  # mutating method on the fault map
+    other = plan
+    other._fault_free = None  # memo field write through an alias
+    return plan

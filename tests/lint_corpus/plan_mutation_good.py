@@ -1,0 +1,13 @@
+# lint-corpus-module: repro.sim.widget
+"""Known-good twin: read plans; build a new one to change anything."""
+from repro.faults.base import FaultPlan
+
+
+def widen(plan: FaultPlan, event):
+    crashes = dict(plan.crashes)  # copy, then edit the copy
+    crashes[3] = event
+    return FaultPlan(plan.n, crashes=crashes, byzantine=plan.byzantine)
+
+
+def inspect(plan: FaultPlan):
+    return sorted(plan.crashes), sorted(plan.byzantine)

@@ -1,0 +1,18 @@
+# lint-corpus-module: repro.core.widget
+"""Known-bad: iterating set-like values whose order is arbitrary."""
+
+
+def first_pass(items):
+    for x in {3, 1, 2}:  # literal set iteration
+        items.append(x)
+    vals = set(items)
+    squared = [v * v for v in vals]  # comprehension over a tracked set name
+    return squared
+
+
+def materialize(items):
+    return list(frozenset(items))  # list(...) freezes an arbitrary order
+
+
+def merged(a, b):
+    return [x for x in set(a) | set(b)]  # set algebra is still unordered

@@ -1,0 +1,23 @@
+# lint-corpus-module: repro.core.widget
+"""Known-good twin: sorted iteration and membership-only set use."""
+
+
+def first_pass(items):
+    for x in sorted({3, 1, 2}):
+        items.append(x)
+    vals = set(items)
+    squared = [v * v for v in sorted(vals)]
+    return squared
+
+
+def materialize(items):
+    return sorted(frozenset(items))
+
+
+def merged(a, b):
+    return [x for x in sorted(set(a) | set(b))]
+
+
+def membership_only(items, banned):
+    drop = set(banned)
+    return [x for x in items if x not in drop]  # never iterated: fine

@@ -1,0 +1,12 @@
+# lint-corpus-module: repro.sim.widget
+"""Known-bad: wall clock / environment reads in a deterministic layer."""
+import os
+import time
+
+
+def stamp_round(record):
+    record["at"] = time.time()
+    record["t0"] = time.perf_counter()
+    record["host_salt"] = os.environ["SALT"]
+    record["mode"] = os.getenv("MODE", "fast")
+    return record

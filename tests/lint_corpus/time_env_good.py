@@ -1,0 +1,14 @@
+# lint-corpus-module: repro.sim.widget
+"""Known-good twin: time/config flow in as explicit parameters."""
+import os
+
+
+def stamp_round(record, at: float, salt: str, mode: str = "fast"):
+    record["at"] = at
+    record["host_salt"] = salt
+    record["mode"] = mode
+    return record
+
+
+def pool_width() -> int:
+    return os.cpu_count() or 1  # capacity query, not simulation state

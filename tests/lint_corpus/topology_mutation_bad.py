@@ -1,0 +1,19 @@
+# lint-corpus-module: repro.adversary.widget
+"""Known-bad: attribute writes on frozen, interned Topology values."""
+from repro.net.topology import Topology
+
+
+def tag(topo: Topology, label: str):
+    topo.label = label  # annotated parameter: known Topology
+    return topo
+
+
+def build(n: int):
+    graph = Topology(n, [(0, 1)])
+    graph.round_hint = 0  # factory-call result: known Topology
+    Topology.complete(n).salt = 3  # write straight onto a factory result
+    return graph
+
+
+def sneak(topo: Topology):
+    setattr(topo, "cache", {})

@@ -1,0 +1,15 @@
+# lint-corpus-module: repro.adversary.widget
+"""Known-good twin: derive new instances; use the sanctioned hook."""
+from repro.net.topology import Topology
+
+
+def widen(topo: Topology, other: Topology) -> Topology:
+    return topo.union(other)  # derivation returns a new interned value
+
+
+def drop_crashed(topo: Topology, crashed) -> Topology:
+    return topo.without_sources(crashed)
+
+
+def cache_plan(topo: Topology, token, plan) -> None:
+    topo.set_routing_plan(token, plan)  # the documented one-slot hook

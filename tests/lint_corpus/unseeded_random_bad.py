@@ -1,0 +1,13 @@
+# lint-corpus-module: repro.core.widget
+"""Known-bad: ambient module-level RNG state."""
+import random
+
+from random import shuffle  # pulls module-level state in by name
+
+
+def sample(items):
+    random.shuffle(items)  # mutates the shared module RNG
+    pick = random.choice(items)
+    rng = random.Random()  # unseeded: OS entropy
+    shuffle(items)
+    return pick, rng.random()

@@ -1,0 +1,12 @@
+# lint-corpus-module: repro.core.widget
+"""Known-good twin: explicitly seeded, injected random.Random."""
+import random
+
+
+def sample(items, rng: random.Random):
+    rng.shuffle(items)
+    return rng.choice(items)
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)  # explicit seed: fine

@@ -1,0 +1,15 @@
+# lint-corpus-module: repro.bench.widget
+"""Known-bad: unpicklable functions handed to process-pool calls."""
+from repro.workloads import run_dac_trial
+
+
+def comparative(sweep):
+    def local_trial(**kwargs):  # nested: dies in pickle
+        return 0
+
+    sweep.run(local_trial, workers=4)
+    sweep.run(lambda **kwargs: 0, workers=2)
+
+
+def attach():
+    run_dac_trial.batch_fn = lambda seeds, **kw: [0 for _ in seeds]

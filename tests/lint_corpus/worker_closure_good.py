@@ -1,0 +1,16 @@
+# lint-corpus-module: repro.bench.widget
+"""Known-good twin: module-level trials; lambdas stay serial."""
+from repro.workloads import run_dac_trial, run_dac_trial_batch
+
+
+def module_trial(**kwargs):
+    return 0
+
+
+def comparative(sweep):
+    sweep.run(module_trial, workers=4)  # module-level: pickles fine
+    sweep.run(lambda **kwargs: 0, workers=1)  # serial path: no pickling
+
+
+def attach():
+    run_dac_trial.batch_fn = run_dac_trial_batch  # module-level batch form

@@ -16,11 +16,6 @@ Three contracts make ``batch=B`` a pure speed knob:
 """
 
 import pytest
-from tests.helpers import (
-    assert_equivalent_runs,
-    batch_executor,
-    serial_executor,
-)
 
 from repro.bench.sweep import Sweep
 from repro.sim.batch import (
@@ -48,6 +43,11 @@ from repro.workloads import (
     run_dac_trial_batch,
     run_dbac_trial,
     run_dbac_trial_batch,
+)
+from tests.helpers import (
+    assert_equivalent_runs,
+    batch_executor,
+    serial_executor,
 )
 
 BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])

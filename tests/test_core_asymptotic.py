@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.adversary.comparative import RootedStarAdversary
 from repro.adversary.base import StaticAdversary
+from repro.adversary.comparative import RootedStarAdversary
 from repro.core.asymptotic import AsymptoticAveragingProcess
 from repro.net.ports import identity_ports
 from repro.sim.messages import StateMessage

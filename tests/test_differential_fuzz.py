@@ -23,9 +23,9 @@ import os
 import random
 
 import pytest
-from tests.helpers import assert_equivalent_runs, differential_executors
 
 from repro.adversary.mobile import MOBILE_MODES
+from tests.helpers import assert_equivalent_runs, differential_executors
 
 # The fixed seed matrix CI runs; env overrides for local exploration.
 _DEFAULT_MASTER_SEEDS = (101, 202, 303)

@@ -8,7 +8,6 @@ docstring example without any CI round-trip.
 
 import doctest
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -155,7 +155,6 @@ class TestJumpRule:
         n = 9
         ports = random_ports(n, child_rng(17, "ports"))
         inputs = spawn_inputs(17, n)
-        adversary = PhaseSkewAdversary(n // 2, slow={6, 7, 8}, window=3)
 
         def run(jump):
             procs = {

@@ -1,6 +1,5 @@
 """Gap-filling tests for small paths not covered elsewhere."""
 
-import pytest
 
 from repro.adversary.base import StaticAdversary
 from repro.adversary.mobile import MobileOmissionAdversary

@@ -12,11 +12,6 @@ Two contracts make ``workers=N`` a pure speed knob:
 """
 
 import pytest
-from tests.helpers import (
-    assert_equivalent_runs,
-    serial_executor,
-    workers_executor,
-)
 
 from repro.adversary.base import StaticAdversary
 from repro.bench.sweep import Sweep
@@ -32,6 +27,11 @@ from repro.sim.parallel import (
 from repro.sim.rng import spawn_inputs
 from repro.sim.runner import run_consensus
 from repro.workloads import build_dac_execution, run_dac_trial
+from tests.helpers import (
+    assert_equivalent_runs,
+    serial_executor,
+    workers_executor,
+)
 
 
 def echo_trial(seed, **params):

@@ -13,7 +13,7 @@ from repro.core.dac import DACProcess
 from repro.core.dbac import DBACProcess
 from repro.core.piggyback import PiggybackDACProcess
 from repro.faults.base import FaultPlan
-from repro.faults.byzantine import ExtremeByzantine, RandomByzantine
+from repro.faults.byzantine import RandomByzantine
 from repro.faults.crash import CrashEvent
 from repro.net.dynadegree import max_degree_for_window
 from repro.net.dynamic import DynamicGraph

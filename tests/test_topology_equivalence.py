@@ -17,14 +17,13 @@ rounds / outputs equality between
 across crash, enforced-rotate and window (last-minute) grids.
 """
 
+from repro.adversary.base import MessageAdversary
+from repro.net.graph import DirectedGraph
 from tests.helpers import (
     assert_equivalent_runs,
     differential_executors,
     serial_executor,
 )
-
-from repro.adversary.base import MessageAdversary
-from repro.net.graph import DirectedGraph
 
 # The boundary grids of E1, two seeds per config; crash counts and
 # windows as in the original copy-pasted loops.

@@ -1,7 +1,6 @@
 """Trace accessor tests plus negative tests: the runner must catch
 adversaries that lie about their (T, D) promise."""
 
-import pytest
 
 from repro.adversary.base import MessageAdversary, StaticAdversary
 from repro.core.dac import DACProcess

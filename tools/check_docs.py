@@ -11,6 +11,12 @@ Checks every ``[text](target)`` link in ``docs/*.md`` and the top-level
 - everything else is treated as a path relative to the linking file's
   directory (any ``#fragment`` stripped) and must exist.
 
+Also verifies rule-id parity between the ``repro.lint`` registry and
+``docs/static-analysis.md`` in both directions: every registered rule
+must have a ``### `rule-id` `` section on the docs page, and every
+such section must name a registered rule -- so the rule set and its
+documentation cannot drift apart.
+
 Used two ways: CI runs it as a standalone step, and
 ``tests/test_docs.py`` runs it inside tier-1 so a dead link fails the
 ordinary test suite too.
@@ -58,6 +64,33 @@ def dead_links(root: Path) -> list[str]:
     return problems
 
 
+# ### `rule-id` section headings on the static-analysis page.
+_RULE_HEADING = re.compile(r"^### `([a-z][a-z0-9-]*)`\s*$", re.MULTILINE)
+
+
+def lint_rule_parity(root: Path) -> list[str]:
+    """Registry vs docs/static-analysis.md rule-id drift, both ways."""
+    page = root / "docs" / "static-analysis.md"
+    if not page.is_file():
+        return [f"missing docs page: {page.relative_to(root)}"]
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.lint.registry import known_ids
+    finally:
+        sys.path.pop(0)
+    registered = known_ids()
+    documented = set(_RULE_HEADING.findall(page.read_text()))
+    problems = [
+        f"rule {rule_id!r} is registered but has no section in {page.name}"
+        for rule_id in sorted(registered - documented)
+    ]
+    problems += [
+        f"{page.name} documents {rule_id!r}, which is not a registered rule"
+        for rule_id in sorted(documented - registered)
+    ]
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
@@ -65,8 +98,12 @@ def main(argv: list[str] | None = None) -> int:
     problems = dead_links(root)
     for problem in problems:
         print(f"dead link: {problem}")
+    parity = lint_rule_parity(root)
+    for problem in parity:
+        print(f"rule parity: {problem}")
+    problems += parity
     print(f"checked {len(files)} markdown files: "
-          f"{'FAIL' if problems else 'OK'} ({len(problems)} dead links)")
+          f"{'FAIL' if problems else 'OK'} ({len(problems)} problems)")
     return 1 if problems else 0
 
 
