@@ -1,0 +1,219 @@
+"""Trace/observer perf smoke: the cost of watching an execution.
+
+PR 7 moved traced and observed rounds onto the port-major delivery
+sweep (snapshots assembled after delivery, behind one branch) and
+added the streaming v3 trace spill plus the ``repro.obs`` bus. This
+smoke tracks what each consumer costs, in rounds/s on the enforced
+fault-free DAC family, and emits ``BENCH_trace.json`` so CI keeps the
+trend line:
+
+- **untraced** -- the bare sweep: no sink, no observers (the fast
+  path; the observation branch's only cost is one boolean check per
+  round, the PR's <2% regression budget);
+- **traced-sweep** -- ``record_trace=True`` on the sweep vs
+  **traced-legacy**, the retained sender-major loop with its inline
+  snapshot path (the pre-PR 7 traced implementation);
+- **traced-spill** -- the same traced sweep streaming through a
+  :class:`~repro.sim.persistence.TraceWriter` v3 sink instead of the
+  in-memory trace;
+- **observed** -- no trace, an observer bus with a
+  :class:`~repro.obs.MetricsAggregator` attached (snapshot assembly
+  plus event fan-out).
+
+Also asserts the observation identity contracts at tiny ``n`` (traced
+sweep == traced legacy == untraced == observed by full state key, and
+the spilled file re-reads to the identical trace), so the CI smoke is
+a correctness gate as well as a trend line.
+
+Usage::
+
+    python -m repro.bench.trace_smoke --out BENCH_trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Any
+
+from repro.obs import MetricsAggregator, ObserverBus, attach_engine
+from repro.sim.engine import Engine
+from repro.sim.persistence import TraceWriter, load_trace, trace_to_dict
+from repro.workloads import build_dac_execution
+
+
+def _make_engine(
+    kwargs: dict[str, Any],
+    *,
+    use_sweep: bool = True,
+    record_trace: bool = False,
+    trace_sink: Any | None = None,
+    observe: bool = False,
+) -> Engine:
+    engine = Engine(
+        kwargs["processes"],
+        kwargs["adversary"],
+        kwargs["ports"],
+        fault_plan=kwargs["fault_plan"],
+        f=kwargs["f"],
+        seed=kwargs["seed"],
+        record_trace=record_trace,
+        trace_sink=trace_sink,
+    )
+    engine._use_sweep = use_sweep
+    if observe:
+        bus = ObserverBus()
+        bus.attach(MetricsAggregator())
+        attach_engine(bus, engine)
+    return engine
+
+
+def _state(engine: Engine) -> dict[int, tuple]:
+    return {node: proc.state_key() for node, proc in engine.processes.items()}
+
+
+def verify_contracts(n: int = 9, rounds: int = 40) -> dict[str, Any]:
+    """The observation identity contracts at tiny ``n`` (asserted)."""
+    checks: dict[str, Any] = {}
+    for seed in (0, 1):
+        build = lambda: build_dac_execution(  # noqa: E731
+            n=n, f=(n - 1) // 2, seed=seed
+        )
+        bare = _make_engine(build())
+        traced = _make_engine(build(), record_trace=True)
+        legacy = _make_engine(build(), record_trace=True, use_sweep=False)
+        observed = _make_engine(build(), observe=True)
+        for engine in (bare, traced, legacy, observed):
+            engine.run(rounds)
+        reference = _state(bare)
+        assert _state(traced) == reference, f"traced sweep diverged (seed {seed})"
+        assert _state(legacy) == reference, f"legacy traced diverged (seed {seed})"
+        assert _state(observed) == reference, f"observed run diverged (seed {seed})"
+        assert trace_to_dict(traced.trace) == trace_to_dict(legacy.trace), (
+            f"sweep and legacy traces differ (seed {seed})"
+        )
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            with TraceWriter(path, n, chunk_rounds=16) as sink:
+                spilled = _make_engine(build(), trace_sink=sink)
+                spilled.run(rounds)
+            assert _state(spilled) == reference, f"spilled run diverged (seed {seed})"
+            assert trace_to_dict(load_trace(path)) == trace_to_dict(traced.trace), (
+                f"spilled file re-reads differently (seed {seed})"
+            )
+        finally:
+            os.unlink(path)
+    checks["traced_sweep_vs_legacy"] = True
+    checks["observed_vs_bare"] = True
+    checks["spill_round_trip"] = True
+    return checks
+
+
+def _rounds_per_second(engine: Engine, rounds: int) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        engine.run_round()
+    return rounds / max(time.perf_counter() - start, 1e-9)
+
+
+def measure(n: int, rounds: int, warmup: int | None = None) -> dict[str, Any]:
+    """All five legs at size ``n`` (enforced fault-free rotate DAC).
+
+    ``warmup`` rounds (default ``2n + 5``, one full rotate cycle plus
+    slack) run first so every leg measures the cached routing-plan
+    regime.
+    """
+    if warmup is None:
+        warmup = 2 * n + 5
+    f = (n - 1) // 2
+    build = lambda: build_dac_execution(  # noqa: E731
+        n=n, f=f, seed=1, crash_nodes=0
+    )
+    result: dict[str, Any] = {"n": n, "f": f, "rounds": rounds}
+
+    legs: list[tuple[str, dict[str, Any]]] = [
+        ("untraced", {}),
+        ("traced_sweep", {"record_trace": True}),
+        ("traced_legacy", {"record_trace": True, "use_sweep": False}),
+        ("observed", {"observe": True}),
+    ]
+    for label, options in legs:
+        engine = _make_engine(build(), **options)
+        _rounds_per_second(engine, warmup)
+        result[f"{label}_rounds_per_s"] = _rounds_per_second(engine, rounds)
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        with TraceWriter(path, n) as sink:
+            engine = _make_engine(build(), trace_sink=sink)
+            _rounds_per_second(engine, warmup)
+            result["traced_spill_rounds_per_s"] = _rounds_per_second(
+                engine, rounds
+            )
+    finally:
+        os.unlink(path)
+
+    untraced = result["untraced_rounds_per_s"]
+    result["traced_sweep_speedup_vs_legacy"] = (
+        result["traced_sweep_rounds_per_s"] / result["traced_legacy_rounds_per_s"]
+    )
+    result["tracing_overhead"] = untraced / result["traced_sweep_rounds_per_s"]
+    result["spill_overhead"] = untraced / result["traced_spill_rounds_per_s"]
+    result["observer_overhead"] = untraced / result["observed_rounds_per_s"]
+    return result
+
+
+def run_smoke(n: int = 17, rounds: int = 1500) -> dict[str, Any]:
+    """All legs at one size; the payload written to BENCH_trace.json."""
+    return {
+        "bench": "trace",
+        "contracts": verify_contracts(min(n, 9)),
+        "enforced": measure(n=n, rounds=rounds),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--n", type=int, default=17, help="network size (default 17)")
+    parser.add_argument(
+        "--rounds", type=int, default=1500, help="measured rounds per leg (default 1500)"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_trace.json",
+        help="JSON output path (default BENCH_trace.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_smoke(n=args.n, rounds=args.rounds)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"contracts: {payload['contracts']}")
+    data = payload["enforced"]
+    print(
+        f"n={data['n']}: untraced {data['untraced_rounds_per_s']:.0f} rounds/s | "
+        f"traced sweep {data['traced_sweep_rounds_per_s']:.0f} "
+        f"vs legacy {data['traced_legacy_rounds_per_s']:.0f} "
+        f"({data['traced_sweep_speedup_vs_legacy']:.2f}x) | "
+        f"spill {data['traced_spill_rounds_per_s']:.0f} | "
+        f"observed {data['observed_rounds_per_s']:.0f}"
+    )
+    print(
+        f"overheads vs untraced: tracing {data['tracing_overhead']:.2f}x, "
+        f"spill {data['spill_overhead']:.2f}x, "
+        f"observers {data['observer_overhead']:.2f}x"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

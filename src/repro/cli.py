@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli theorem10 --f 1
     python -m repro.cli figure1
     python -m repro.cli dac --save-trace run.json
+    python -m repro.cli dac --n 9 --f 4 --observe --trace-out run.jsonl
     python -m repro.cli sweep --n 5 9 13 --window 1 2 --repeats 5 --workers 4
     python -m repro.cli sweep --n 9 --repeats 32 --workers 4 --batch 8
     python -m repro.cli sweep --family dbac --n 11 16 --strategy extreme --batch 8
@@ -58,54 +59,118 @@ def _maybe_save(report: ExecutionReport, path: str | None) -> None:
         print(f"  trace saved to {path}")
 
 
-def _cmd_dac(args: argparse.Namespace) -> int:
-    report = run_consensus(
-        **build_dac_execution(
-            n=args.n,
-            f=args.f,
-            epsilon=args.epsilon,
-            seed=args.seed,
-            window=args.window,
-            selector=args.selector,
+def _observation(args: argparse.Namespace, n: int):
+    """(run_consensus extras, finish callback) for --observe/--trace-out.
+
+    ``--observe`` wires a fresh observer bus (live progress on stderr,
+    metrics summary printed by ``finish``); ``--trace-out`` streams
+    the execution through a v3 :class:`TraceWriter` spill instead of
+    holding the trace in memory. Both are read-only: the run is
+    bit-identical with or without them.
+    """
+    extras: dict = {}
+    closers = []
+    if getattr(args, "observe", False):
+        from repro.obs import (
+            MetricsAggregator,
+            ObserverBus,
+            ProgressReporter,
+            consensus_hooks,
         )
+
+        bus = ObserverBus()
+        aggregator = bus.attach(MetricsAggregator())
+        bus.attach(ProgressReporter())
+        extras.update(consensus_hooks(bus))
+
+        def _print_metrics() -> None:
+            summary = aggregator.summary()
+            print(
+                f"  observed: {summary['rounds']} rounds, "
+                f"{summary['delivered']} msgs, {summary['bits']} bits, "
+                f"live senders {summary['live_senders_min']}"
+                f"-{summary['live_senders_max']}"
+            )
+
+        closers.append(_print_metrics)
+    if getattr(args, "trace_out", None):
+        from repro.sim.persistence import TraceWriter
+
+        writer = TraceWriter(args.trace_out, n)
+        extras["trace_sink"] = writer
+
+        def _close_writer() -> None:
+            writer.close()
+            print(
+                f"  trace   : {writer.rounds_written} rounds spilled "
+                f"to {args.trace_out}"
+            )
+
+        closers.append(_close_writer)
+
+    def finish() -> None:
+        for closer in closers:
+            closer()
+
+    return extras, finish
+
+
+def _cmd_dac(args: argparse.Namespace) -> int:
+    kwargs = build_dac_execution(
+        n=args.n,
+        f=args.f,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        window=args.window,
+        selector=args.selector,
     )
+    extras, finish = _observation(args, kwargs["ports"].n)
+    report = run_consensus(**kwargs, **extras)
     _print_report(report, args.verbose)
+    finish()
     _maybe_save(report, args.save_trace)
     return 0 if report.correct else 1
 
 
 def _cmd_dbac(args: argparse.Namespace) -> int:
-    report = run_consensus(
-        **build_dbac_execution(
-            n=args.n,
-            f=args.f,
-            epsilon=args.epsilon,
-            seed=args.seed,
-            window=args.window,
-            byzantine_factory=lambda node: _STRATEGIES[args.strategy](),
-        )
+    kwargs = build_dbac_execution(
+        n=args.n,
+        f=args.f,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        window=args.window,
+        byzantine_factory=lambda node: _STRATEGIES[args.strategy](),
     )
+    extras, finish = _observation(args, kwargs["ports"].n)
+    report = run_consensus(**kwargs, **extras)
     _print_report(report, args.verbose)
+    finish()
     _maybe_save(report, args.save_trace)
     ok = report.terminated and report.validity and report.epsilon_agreement
     return 0 if ok else 1
 
 
 def _cmd_theorem9(args: argparse.Namespace) -> int:
-    report = run_consensus(
-        **theorem9_split_execution(n=args.n, seed=args.seed, eager_quorum=not args.plain)
+    kwargs = theorem9_split_execution(
+        n=args.n, seed=args.seed, eager_quorum=not args.plain
     )
+    extras, finish = _observation(args, kwargs["ports"].n)
+    report = run_consensus(**kwargs, **extras)
     _print_report(report, args.verbose)
+    finish()
     _maybe_save(report, args.save_trace)
     expected = (not report.epsilon_agreement) if not args.plain else (not report.terminated)
     return 0 if expected else 1
 
 
 def _cmd_theorem10(args: argparse.Namespace) -> int:
-    report = run_consensus(
-        **theorem10_split_execution(f=args.f, seed=args.seed, eager_quorum=not args.plain)
+    kwargs = theorem10_split_execution(
+        f=args.f, seed=args.seed, eager_quorum=not args.plain
     )
+    extras, finish = _observation(args, kwargs["ports"].n)
+    report = run_consensus(**kwargs, **extras)
     _print_report(report, args.verbose)
+    finish()
     _maybe_save(report, args.save_trace)
     expected = (not report.epsilon_agreement) if not args.plain else (not report.terminated)
     return 0 if expected else 1
@@ -115,10 +180,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.bench.sweep import Sweep
     from repro.workloads import run_dac_trial, run_dbac_trial
 
-    if args.save_trace:
-        print("error: sweep runs untraced; --save-trace is not supported here")
+    if args.save_trace or args.trace_out:
+        print("error: sweep runs untraced; --save-trace/--trace-out are not supported here")
         return 2
     grid = {"n": args.n, "window": args.window, "epsilon": [args.epsilon]}
+    if args.observe:
+        # Per-trial observer bus: each record's result carries the
+        # aggregator summary under "metrics" (identical at any
+        # workers/batch -- batched forms delegate to observed serial
+        # runs per seed).
+        grid["observe"] = [True]
     if args.family == "dbac":
         # DBAC grids carry the Byzantine strategy and selector; trials
         # stop in oracle mode (rounds until the honest spread dips to
@@ -172,6 +243,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         v: DACProcess(n, 0, inputs[v], ports.self_port(v), epsilon=args.epsilon)
         for v in range(n)
     }
+    extras, finish = _observation(args, n)
     report = run_consensus(
         processes,
         figure1_adversary(),
@@ -179,8 +251,10 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         max_rounds=500,
         seed=args.seed,
+        **extras,
     )
     _print_report(report, args.verbose)
+    finish()
     _maybe_save(report, args.save_trace)
     return 0 if report.correct else 1
 
@@ -191,6 +265,19 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--epsilon", type=float, default=1e-3)
     common.add_argument("-v", "--verbose", action="store_true")
     common.add_argument("--save-trace", metavar="PATH", default=None)
+    common.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="stream the trace to PATH as chunked JSONL (format v3) "
+        "while running -- O(chunk) memory however long the run",
+    )
+    common.add_argument(
+        "--observe",
+        action="store_true",
+        help="attach the observer bus: live progress on stderr plus a "
+        "metrics summary (sweep: per-trial metrics in the records)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",

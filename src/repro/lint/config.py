@@ -35,6 +35,7 @@ class LintConfig:
         ("adversary", ("repro.adversary",)),
         ("sim", ("repro.sim",)),
         ("analysis", ("repro.analysis",)),
+        ("obs", ("repro.obs",)),
         ("mc", ("repro.mc",)),
         ("workloads", ("repro.workloads",)),
         ("bench", ("repro.bench",)),
@@ -53,6 +54,7 @@ class LintConfig:
         "repro.faults",
         "repro.adversary",
         "repro.sim",
+        "repro.obs",
         "repro.mc",
         "repro.workloads",
     )
@@ -72,12 +74,33 @@ class LintConfig:
     hot_forbidden: tuple[str, ...] = (
         "repro.sim.persistence",
         "repro.analysis",
+        "repro.obs",
         "repro.bench",
         "repro.mc",
         "repro.cli",
         "repro.lint",
         "repro.workloads",
     )
+
+    # -- read-only observability ------------------------------------------
+    # Observers watch executions, never steer them: code under the obs
+    # package may read any simulation object it is handed but must not
+    # write attributes on it, mutate its containers, or call APIs that
+    # advance/mutate the simulation. The one sanctioned write is the
+    # registration seam itself (appending to an engine's observer
+    # list).
+    obs_modules: tuple[str, ...] = ("repro.obs",)
+    obs_mutating_methods: tuple[str, ...] = (
+        "run",
+        "run_round",
+        "record",
+        "setup",
+        "set_routing_plan",
+        "observe_states",
+        "on_round",
+        "choose",
+    )
+    obs_allowed_calls: tuple[str, ...] = ("observers.append",)
 
     # -- frozen Topology --------------------------------------------------
     # Topology instances are interned and shared across executions;

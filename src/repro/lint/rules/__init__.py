@@ -10,10 +10,12 @@ Each module groups the rules protecting one family of invariants:
 - :mod:`repro.lint.rules.mutation` -- immutability of the hash-consed
   :class:`~repro.net.topology.Topology` and the
   :class:`~repro.faults.base.FaultPlan` memo tables;
+- :mod:`repro.lint.rules.obs` -- the read-only contract of the
+  observability plane (observers watch, they never steer);
 - :mod:`repro.lint.rules.workers` -- picklability contracts for
   functions fanned out over process pools.
 """
 
-from repro.lint.rules import determinism, imports, mutation, workers
+from repro.lint.rules import determinism, imports, mutation, obs, workers
 
-__all__ = ["determinism", "imports", "mutation", "workers"]
+__all__ = ["determinism", "imports", "mutation", "obs", "workers"]

@@ -1,0 +1,154 @@
+"""Read-only observability: observers watch, they never steer.
+
+The ``repro.obs`` extension contract (docs/observability.md) promises
+that attaching observers cannot change an execution -- the whole value
+of the plane rests on traced/observed runs staying bit-identical to
+bare ones. This rule enforces the promise at the AST level inside obs
+modules: any value that *enters* an obs function from outside (a
+parameter, or a local aliased from one) is treated as simulation state
+and must not be written to, container-mutated, or driven through a
+mutating simulation API. An observer's *own* state (``self``/``cls``
+receivers, locally constructed values) is its business.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.registry import rule
+from repro.lint.rules.common import FunctionNode, dotted, iter_scopes, scope_nodes
+
+# Container-mutation method names (list/dict/set writers).
+_CONTAINER_MUTATORS = (
+    "append",
+    "extend",
+    "insert",
+    "clear",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "add",
+    "discard",
+    "remove",
+    "sort",
+    "reverse",
+)
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _foreign_names(scope: ast.AST) -> set[str]:
+    """Names in ``scope`` holding values handed in from outside.
+
+    Parameters (minus ``self``/``cls``) seed the set; plain
+    assignments extend it through aliases (``states = snapshot.states``
+    keeps pointing into the snapshot) and retract it when a name is
+    rebound to a locally constructed value.
+    """
+    names: set[str] = set()
+    if isinstance(scope, FunctionNode):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg not in ("self", "cls"):
+                names.add(arg.arg)
+    for node in scope_nodes(scope):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        root = _root_name(node.value) if node.value is not None else None
+        if root is not None and root in names:
+            names.add(target.id)
+        else:
+            names.discard(target.id)
+    return names
+
+
+@rule(
+    "observer-readonly",
+    summary="obs code writes to, mutates, or drives the simulation it watches",
+    invariant="observers are strictly read-only: attaching them cannot "
+    "change an execution (bit-identity of observed vs bare runs)",
+)
+def check_observer_readonly(ctx) -> Iterator:
+    config = ctx.config
+    if not ctx.in_module(config.obs_modules):
+        return
+    mutating_calls = frozenset(_CONTAINER_MUTATORS) | frozenset(
+        config.obs_mutating_methods
+    )
+    allowed = tuple(config.obs_allowed_calls)
+
+    for scope in iter_scopes(ctx.tree):
+        foreign = _foreign_names(scope)
+        if not foreign:
+            continue
+        for node in scope_nodes(scope):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif isinstance(node, ast.Call):
+                callee = dotted(node.func)
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("setattr", "delattr")
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in foreign
+                ):
+                    yield ctx.finding(
+                        node,
+                        "observer-readonly",
+                        f"{node.func.id}() on observed value "
+                        f"{node.args[0].id!r}: observers are read-only",
+                    )
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                root = _root_name(node.func.value)
+                if root is None or root not in foreign:
+                    continue
+                if node.func.attr not in mutating_calls:
+                    continue
+                if callee is not None and any(
+                    callee.endswith("." + suffix) for suffix in allowed
+                ):
+                    continue  # the sanctioned registration seam
+                yield ctx.finding(
+                    node,
+                    "observer-readonly",
+                    f".{node.func.attr}() on observed value {root!r}: "
+                    "observers may read simulation state but never mutate "
+                    "or advance it",
+                )
+                continue
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _root_name(target)
+                if root is None or root not in foreign:
+                    continue
+                kind = (
+                    "attribute" if isinstance(target, ast.Attribute) else "item"
+                )
+                yield ctx.finding(
+                    target,
+                    "observer-readonly",
+                    f"{kind} write into observed value {root!r}: observers "
+                    "are read-only; keep derived state on the observer, not "
+                    "the simulation",
+                )

@@ -1,0 +1,46 @@
+"""Read-only observability plane (the SentientOS extension contract).
+
+Observers are optional, strictly read-only, and dependencies flow
+extension -> core: this package imports the simulation layer, the
+simulation layer never imports it. A run with nothing attached pays a
+single boolean check per round; a run with a bus attached gets typed
+events (:mod:`repro.obs.events`) fanned out deterministically
+(:mod:`repro.obs.bus`) into streaming reductions
+(:mod:`repro.obs.observers`). See ``docs/observability.md``.
+"""
+
+from repro.obs.attach import (
+    EngineAdapter,
+    attach_engine,
+    consensus_hooks,
+    lane_finished,
+    run_finisher,
+)
+from repro.obs.bus import ObserverBus
+from repro.obs.events import (
+    ConvergenceUpdate,
+    PhaseAdvanced,
+    RoundCompleted,
+    RunFinished,
+)
+from repro.obs.observers import (
+    ConvergenceTracker,
+    MetricsAggregator,
+    ProgressReporter,
+)
+
+__all__ = [
+    "ConvergenceTracker",
+    "ConvergenceUpdate",
+    "EngineAdapter",
+    "MetricsAggregator",
+    "ObserverBus",
+    "PhaseAdvanced",
+    "ProgressReporter",
+    "RoundCompleted",
+    "RunFinished",
+    "attach_engine",
+    "consensus_hooks",
+    "lane_finished",
+    "run_finisher",
+]

@@ -1,0 +1,151 @@
+"""Adapters wiring the bus onto engines, runs, and batch lanes.
+
+This is the only module that knows both vocabularies: engine-side
+snapshots (:class:`repro.sim.trace.RoundSnapshot`) on one side, bus
+events on the other. Dependencies flow strictly extension -> core:
+``repro.obs`` imports the simulation layer, never the reverse -- the
+engine only ever sees an opaque callable appended to its
+``observers`` list, and pays a single boolean check per round when
+nothing is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.bus import ObserverBus
+from repro.obs.events import (
+    ConvergenceUpdate,
+    PhaseAdvanced,
+    RoundCompleted,
+    RunFinished,
+)
+from repro.sim.metrics import PhaseRangeSeries
+
+# Phase-0 ranges below this are treated as already collapsed when
+# computing running contraction rates (matches PhaseRangeSeries).
+_RATE_FLOOR = 1e-15
+
+
+class EngineAdapter:
+    """Translate per-round snapshots into bus events.
+
+    An instance is a valid entry for ``engine.observers`` (called as
+    ``adapter(engine, snapshot)``). Watched nodes are the fault plan's
+    fault-free set, resolved on first call; per-phase ranges are
+    tracked with the same :class:`PhaseRangeSeries` semantics the
+    runner uses (Definition 6 jump-filling included).
+    """
+
+    def __init__(self, bus: ObserverBus) -> None:
+        self.bus = bus
+        self._watched: tuple[int, ...] | None = None
+        self._series: PhaseRangeSeries | None = None
+        self._max_phase = 0
+
+    def __call__(self, engine: Any, snapshot: Any) -> None:
+        if self._watched is None:
+            self._watched = tuple(sorted(engine.fault_plan.fault_free))
+            self._series = PhaseRangeSeries(self._watched)
+        states = snapshot.states
+        values: list[float] = []
+        phases: list[int] = []
+        for node in self._watched:
+            state = states.get(node)
+            if state is None:
+                continue
+            values.append(float(state["value"]))
+            phases.append(int(state["phase"]))
+        spread = (max(values) - min(values)) if values else 0.0
+        self.bus.publish(
+            RoundCompleted(
+                round=snapshot.round,
+                delivered=snapshot.delivered,
+                bits=snapshot.bits,
+                live_senders=len(snapshot.live_senders),
+                spread=spread,
+                min_phase=min(phases) if phases else 0,
+                max_phase=max(phases) if phases else 0,
+            )
+        )
+        self._series.observe_states(states)
+        top = max(phases) if phases else 0
+        if top > self._max_phase:
+            self.bus.publish(
+                PhaseAdvanced(
+                    round=snapshot.round, phase=top, previous=self._max_phase
+                )
+            )
+            for phase in range(self._max_phase + 1, top + 1):
+                before = self._series.range_of(phase - 1)
+                current = self._series.range_of(phase)
+                rate = None
+                if current is not None and before is not None and before > _RATE_FLOOR:
+                    rate = current / before
+                self.bus.publish(
+                    ConvergenceUpdate(
+                        round=snapshot.round,
+                        phase=phase,
+                        phase_range=current,
+                        rate=rate,
+                    )
+                )
+            self._max_phase = top
+
+
+def attach_engine(bus: ObserverBus, engine: Any) -> EngineAdapter:
+    """Register a snapshot adapter on an already-built engine."""
+    adapter = EngineAdapter(bus)
+    engine.observers.append(adapter)
+    return adapter
+
+
+def run_finisher(bus: ObserverBus) -> Callable[[Any, Any], None]:
+    """An ``on_finish(engine, result)`` hook publishing RunFinished."""
+
+    def on_finish(engine: Any, result: Any) -> None:
+        values = engine.fault_free_values()
+        ordered = [values[node] for node in sorted(values)]
+        spread = (max(ordered) - min(ordered)) if ordered else 0.0
+        bus.publish(
+            RunFinished(
+                rounds=engine.current_round,
+                stopped=bool(result.stopped),
+                spread=spread,
+                delivered=engine.metrics.delivered,
+                bits=engine.metrics.bits,
+            )
+        )
+
+    return on_finish
+
+
+def consensus_hooks(bus: ObserverBus) -> dict[str, Any]:
+    """Keyword arguments attaching ``bus`` to one consensus run.
+
+    Usage: ``run_consensus(..., **consensus_hooks(bus))`` -- supplies
+    both the per-round ``observers`` entry and the ``on_finish`` hook.
+    """
+    return {
+        "observers": (EngineAdapter(bus),),
+        "on_finish": run_finisher(bus),
+    }
+
+
+def lane_finished(bus: ObserverBus, lane: Any) -> None:
+    """Publish a :class:`RunFinished` for one batch lane result.
+
+    Batch kernels report a :class:`repro.sim.batch.LaneResult` per
+    lane; pass ``on_lane=lambda lane: lane_finished(bus, lane)`` to a
+    batch runner to get one event per lane, in lane order.
+    """
+    outputs = [lane.outputs[node] for node in sorted(lane.outputs)]
+    spread = (max(outputs) - min(outputs)) if outputs else 0.0
+    bus.publish(
+        RunFinished(
+            rounds=lane.rounds,
+            stopped=bool(lane.stopped),
+            spread=spread,
+            seed=lane.seed,
+        )
+    )

@@ -1,0 +1,70 @@
+"""The observer bus: typed publish/subscribe with deterministic order.
+
+:class:`ObserverBus` is deliberately tiny -- a dict from event type to
+handler list plus a list of catch-all observers -- because everything
+interesting lives at the edges: adapters in :mod:`repro.obs.attach`
+translate engine snapshots into events, and observers in
+:mod:`repro.obs.observers` reduce events to summaries. Dispatch is
+synchronous and in registration order, so a run with a fixed seed and
+a fixed observer lineup produces a bit-identical event stream.
+
+The bus is **read-only by contract**: handlers receive frozen events
+and must never call mutating simulation APIs (the ``observer-readonly``
+lint rule enforces this for everything under ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class ObserverBus:
+    """Synchronous, deterministic event fan-out.
+
+    Two subscription styles:
+
+    - :meth:`subscribe` binds a callable to one event type;
+    - :meth:`attach` registers an observer object whose ``on_event``
+      method receives every event (the built-in observers' style,
+      since most aggregate across several event types).
+
+    ``publish`` delivers to attached observers first, then to
+    type-specific handlers, each in registration order.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[type, list[Callable[[Any], None]]] = {}
+        self._observers: list[Any] = []
+
+    def subscribe(
+        self, event_type: type, handler: Callable[[Any], None]
+    ) -> Callable[[Any], None]:
+        """Call ``handler(event)`` for events of exactly ``event_type``."""
+        self._handlers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def attach(self, observer: Any) -> Any:
+        """Register an object with ``on_event(event)``; returns it."""
+        on_event = getattr(observer, "on_event", None)
+        if not callable(on_event):
+            raise TypeError(
+                f"observer {observer!r} has no callable on_event method"
+            )
+        self._observers.append(observer)
+        return observer
+
+    @property
+    def attached(self) -> tuple[Any, ...]:
+        """The attached observer objects, in registration order."""
+        return tuple(self._observers)
+
+    def __len__(self) -> int:
+        handler_count = sum(len(hs) for hs in self._handlers.values())
+        return len(self._observers) + handler_count
+
+    def publish(self, event: Any) -> None:
+        """Deliver ``event`` synchronously to every subscriber."""
+        for observer in self._observers:
+            observer.on_event(event)
+        for handler in self._handlers.get(type(event), ()):
+            handler(event)

@@ -1,0 +1,71 @@
+"""Typed, immutable events on the observability bus.
+
+Every event is a frozen dataclass of plain scalars -- no references
+into live engine state -- so holding an event can never mutate (or
+even pin) a run, and serializing one for a progress stream is just
+``dataclasses.asdict``. The catalogue mirrors what the paper's
+experiments watch: round-level delivery accounting
+(:class:`RoundCompleted`), phase structure (:class:`PhaseAdvanced`),
+per-phase ``range(V(p))`` contraction (:class:`ConvergenceUpdate`),
+and the final verdict inputs (:class:`RunFinished`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoundCompleted:
+    """One round finished; delivery and watched-state aggregates."""
+
+    round: int
+    delivered: int
+    bits: int
+    live_senders: int
+    #: max - min of the watched (fault-free) node values after the round.
+    spread: float
+    min_phase: int
+    max_phase: int
+
+
+@dataclass(frozen=True)
+class PhaseAdvanced:
+    """The maximum phase across watched nodes increased this round."""
+
+    round: int
+    #: The new maximum phase.
+    phase: int
+    #: The maximum phase before this round.
+    previous: int
+
+
+@dataclass(frozen=True)
+class ConvergenceUpdate:
+    """A new phase ``p`` opened; the contraction observed so far.
+
+    ``phase_range`` is ``range(V(phase))`` at emission time and
+    ``rate`` is ``range(V(phase)) / range(V(phase - 1))``; both are
+    *running* figures -- laggards entering an old phase later can still
+    widen its multiset -- so they are progress telemetry, while final
+    tables should keep using the runner's post-hoc series.
+    """
+
+    round: int
+    phase: int
+    phase_range: float | None
+    rate: float | None
+
+
+@dataclass(frozen=True)
+class RunFinished:
+    """One execution (or batch lane) ended."""
+
+    rounds: int
+    stopped: bool
+    #: Final spread of the watched values (0.0 when none are known).
+    spread: float
+    delivered: int = 0
+    bits: int = 0
+    #: Lane seed for batched runs; ``None`` for single executions.
+    seed: int | None = None

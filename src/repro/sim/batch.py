@@ -55,7 +55,7 @@ parallel layer dispatches, so ``Sweep.run(workers=N, batch=B)`` fans
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.adversary.constrained import rotate_topology
@@ -500,17 +500,21 @@ def run_dac_batch(
     enable_jump: bool = True,
     max_rounds: int | None = None,
     backend: str = "auto",
+    on_lane: Callable[[LaneResult], None] | None = None,
 ) -> list[LaneResult]:
     """Run one batch of boundary DAC executions, one lane per seed.
 
     Convenience wrapper over :class:`BatchEngine`; see its docstring
-    for parameter semantics and the bit-identity contract.
+    for parameter semantics and the bit-identity contract. ``on_lane``
+    is called once per finished lane, in lane (seed) order -- the seam
+    :func:`repro.obs.attach.lane_finished` plugs into for per-lane
+    ``RunFinished`` events.
 
     >>> lanes = run_dac_batch(5, 2, [0, 1], backend="python")
     >>> [(lane.seed, lane.stopped) for lane in lanes]
     [(0, True), (1, True)]
     """
-    return BatchEngine(
+    lanes = BatchEngine(
         n,
         f,
         seeds,
@@ -523,6 +527,10 @@ def run_dac_batch(
         max_rounds=max_rounds,
         backend=backend,
     ).run()
+    if on_lane is not None:
+        for lane in lanes:
+            on_lane(lane)
+    return lanes
 
 
 # -- Batched DBAC / Byzantine / mobile-omission lanes ----------------------
@@ -1471,17 +1479,20 @@ def run_byz_batch(
     backend: str = "auto",
     width: int | None = None,
     compact: bool = True,
+    on_lane: Callable[[LaneResult], None] | None = None,
 ) -> list[LaneResult]:
     """Run one batch of Byzantine-or-mobile executions, one lane per seed.
 
     Convenience wrapper over :class:`ByzBatchEngine`; see its docstring
-    for parameter semantics and the bit-identity contract.
+    for parameter semantics and the bit-identity contract. ``on_lane``
+    is called once per finished lane, in lane (seed) order (see
+    :func:`run_dac_batch`).
 
     >>> lanes = run_byz_batch(6, 1, [0, 1], backend="python")
     >>> [lane.stopped for lane in lanes]
     [True, True]
     """
-    return ByzBatchEngine(
+    lanes = ByzBatchEngine(
         n,
         f,
         seeds,
@@ -1496,6 +1507,10 @@ def run_byz_batch(
         width=width,
         compact=compact,
     ).run()
+    if on_lane is not None:
+        for lane in lanes:
+            on_lane(lane)
+    return lanes
 
 
 def run_dbac_batch(
@@ -1512,6 +1527,7 @@ def run_dbac_batch(
     backend: str = "auto",
     width: int | None = None,
     compact: bool = True,
+    on_lane: Callable[[LaneResult], None] | None = None,
 ) -> list[LaneResult]:
     """Run one batch of boundary DBAC executions, one lane per seed.
 
@@ -1536,4 +1552,5 @@ def run_dbac_batch(
         backend=backend,
         width=width,
         compact=compact,
+        on_lane=on_lane,
     )

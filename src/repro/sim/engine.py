@@ -19,19 +19,28 @@ The engine is deliberately single-threaded and deterministic: given the
 same processes, adversary, ports, fault plan and seed, two runs produce
 bit-identical traces (asserted by property tests).
 
-Untraced rounds run a **port-major delivery sweep**: instead of
-materializing per-receiver inboxes edge by edge, each receiver's
-delivery batch is built in one pass from its ``Topology.in_rows()``
-row, pre-zipped with its port bijection *in port order* (so the batch
-needs no sort), against a per-round sender-message table with crash
-and omission masks applied on the sender axis before fan-in. The
-per-receiver routing plans are cached on the Topology instance itself
+Rounds run a **port-major delivery sweep**: instead of materializing
+per-receiver inboxes edge by edge, each receiver's delivery batch is
+built in one pass from its ``Topology.in_rows()`` row, pre-zipped with
+its port bijection *in port order* (so the batch needs no sort),
+against a per-round sender-message table with crash and omission masks
+applied on the sender axis before fan-in. The per-receiver routing
+plans are cached on the Topology instance itself
 (:meth:`~repro.net.topology.Topology.routing_plan`), so stable or
 cyclic schedules -- the common case, guaranteed by ``EdgeSchedule``
 and the interned enforcing-adversary graphs -- pay the plan build once
-per distinct graph, not per round. Traced rounds (and observer runs)
-keep the original sender-major loop; both paths are bit-identical,
-which the differential harness in ``tests/helpers.py`` pins.
+per distinct graph, not per round. Traced and observer runs take the
+same sweep (the :class:`~repro.sim.trace.RoundSnapshot` is assembled
+*after* the sweep, from the sender message table's accounting); the
+original sender-major loop survives as ``_run_round_legacy``, the
+reference implementation both paths are pinned bit-identical against
+by the differential harness in ``tests/helpers.py``.
+
+Observation never reaches into the round: traces and observers consume
+snapshots behind a single ``self.trace is not None or self.observers``
+branch, so an unattached engine pays one boolean check per round and
+nothing else (the ``repro.obs`` bus and the streaming trace spill both
+plug in through that seam, from above).
 """
 
 from __future__ import annotations
@@ -214,6 +223,15 @@ class Engine:
         strategy's private streams are derived.
     record_trace:
         Set ``False`` to skip snapshotting (large sweeps).
+    trace_sink:
+        Optional override for where snapshots go: any object with a
+        ``record(RoundSnapshot)`` method (e.g. a streaming
+        :class:`repro.sim.persistence.TraceWriter` spilling rounds to
+        disk). When given, it becomes :attr:`trace` in place of the
+        in-memory :class:`~repro.sim.trace.ExecutionTrace`, so a
+        traced run's memory stays O(chunk) instead of O(rounds). The
+        engine only ever calls ``record``; lifecycle (flush/close) is
+        the caller's.
     """
 
     def __init__(
@@ -226,6 +244,7 @@ class Engine:
         seed: int = 0,
         record_trace: bool = True,
         byzantine_inputs: Mapping[int, float] | None = None,
+        trace_sink: Any | None = None,
     ) -> None:
         self.n = ports.n
         self.ports = ports
@@ -253,7 +272,14 @@ class Engine:
                 child_rng(seed, f"byzantine-{node}"),
             )
         self.metrics = MetricsCollector()
-        self.trace: ExecutionTrace | None = ExecutionTrace(self.n) if record_trace else None
+        # ``trace`` is duck-typed on ``record(RoundSnapshot)``: the
+        # in-memory ExecutionTrace by default, or any caller-supplied
+        # sink (streaming spill writers) -- the engine never imports
+        # the persistence layer.
+        if trace_sink is not None:
+            self.trace: Any | None = trace_sink
+        else:
+            self.trace = ExecutionTrace(self.n) if record_trace else None
         self.observers: list[Callable[["Engine", RoundSnapshot], None]] = []
         self._t = 0
         # Inbox lists are allocated once and cleared per round; rebuilding
@@ -337,17 +363,19 @@ class Engine:
     def run_round(self) -> RoundRecord:
         """Execute one synchronous round and return its record.
 
-        When no trace is being recorded and no observers are registered
-        the engine takes a *fast path*: the round runs as a port-major
-        delivery sweep (:meth:`_run_round_swept`) -- no per-receiver
-        inbox construction, no per-batch sort, no per-round state
-        snapshots (those existed only to feed the trace/observers).
-        Traced rounds keep the original sender-major loop; the node
-        transitions are bit-identical on both paths, which the
-        differential harness (``tests/helpers.py``) pins.
+        Every round runs as a port-major delivery sweep
+        (:meth:`_run_round_swept`) -- no per-receiver inbox
+        construction, no per-batch sort. Traced and observer runs take
+        the same sweep: the :class:`RoundSnapshot` those consumers need
+        is assembled *after* delivery, behind a single branch, so an
+        unattached engine skips snapshotting entirely. The original
+        sender-major loop (:meth:`_run_round_legacy`) survives as the
+        reference implementation; node transitions, metrics and traces
+        are bit-identical on both paths, which the differential harness
+        (``tests/helpers.py``) pins.
         """
         t = self._t
-        if self.trace is None and not self.observers and self._use_sweep:
+        if self._use_sweep:
             record = self._run_round_swept(t)
         else:
             record = self._run_round_legacy(t)
@@ -505,6 +533,11 @@ class Engine:
         are insorted. Delivered/bit accounting happens on the sender
         axis (out-degree times message size), which is exactly what the
         legacy loop's per-edge counting sums to.
+
+        Trace/observer runs use this same sweep: the round's
+        :class:`RoundSnapshot` is assembled after delivery from the
+        sweep's own sender-axis accounting, behind one branch that an
+        unattached engine passes in a single boolean check.
         """
         n = self.n
         fault_plan = self.fault_plan
@@ -650,6 +683,24 @@ class Engine:
                 strategy.observe(t, observed)
 
         self.metrics.on_round(delivered, bits, broadcasts=len(broadcasts) + len(byz_out))
+
+        # The observation seam: one boolean check on unattached runs.
+        # Snapshots are assembled only here, after the sweep, from the
+        # same sender-axis accounting the round already computed.
+        if self.trace is not None or self.observers:
+            snapshot = RoundSnapshot(
+                round=t,
+                graph=graph,
+                states=self.state_snapshots(),
+                delivered=delivered,
+                bits=bits,
+                live_senders=fault_plan.live_senders(t),
+            )
+            if self.trace is not None:
+                self.trace.record(snapshot)
+            for observer in self.observers:
+                observer(self, snapshot)
+
         return RoundRecord(t, graph, delivered, bits)
 
     def run(

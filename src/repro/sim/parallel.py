@@ -27,6 +27,15 @@ pool) while leaving results identical, element for element.
 Trial functions must be picklable (module-level functions, not lambdas
 or closures) when ``workers > 1``; the serial path has no such
 restriction, which keeps ad-hoc lambdas working for ``workers=1``.
+
+**Event forwarding.** Observability events raised inside a trial
+(e.g. ``repro.obs`` ``RunFinished``) used to die with their worker
+process. A trial that calls :func:`record_event` now gets its events
+shipped back alongside its result and replayed -- in spec order, on
+the parent process -- through ``run_trials(on_event=...)``. Events
+must be picklable (the bus events are frozen scalar dataclasses);
+forwarding is inert unless the caller passes ``on_event``, so
+ordinary sweeps pay nothing.
 """
 
 from __future__ import annotations
@@ -123,18 +132,61 @@ class TrialSpec:
         return dict(self.params)
 
 
-def _invoke(payload: tuple[Callable[..., Any], TrialSpec]) -> Any:
+# Process-local buffer for observability events raised inside trials.
+# ``None`` means no collector is active (the default everywhere except
+# inside a forwarding _invoke/_invoke_batch call).
+_event_buffer: list[Any] | None = None
+
+
+def record_event(event: Any) -> bool:
+    """Buffer one event for forwarding to the dispatching process.
+
+    Trial-side hook: called from inside a trial function (directly, or
+    via a bus subscription) it appends ``event`` to the active
+    collection, to be replayed through the parent's ``on_event`` after
+    the trial's result is collected. Returns ``True`` when a collector
+    is active, ``False`` when the event was dropped (no ``on_event``
+    was requested) -- callers need not check, the no-collector case is
+    exactly the "nobody is listening" case.
+    """
+    if _event_buffer is None:
+        return False
+    _event_buffer.append(event)
+    return True
+
+
+def _call_collecting(fn: Callable[..., Any], kwargs: dict[str, Any]) -> tuple[Any, list[Any]]:
+    """Run ``fn(**kwargs)`` with an active event collector."""
+    global _event_buffer
+    previous = _event_buffer
+    _event_buffer = collected = []
+    try:
+        return fn(**kwargs), collected
+    finally:
+        _event_buffer = previous
+
+
+def _invoke(payload: tuple[Callable[..., Any], TrialSpec, bool]) -> Any:
     """Worker-side entry point: run one trial (must be module-level)."""
-    fn, spec = payload
-    return fn(**spec.kwargs(), seed=spec.seed)
+    fn, spec, forward = payload
+    kwargs = dict(spec.kwargs(), seed=spec.seed)
+    if forward:
+        return _call_collecting(fn, kwargs)
+    return fn(**kwargs)
 
 
 def _invoke_batch(
-    payload: tuple[Callable[..., Any], tuple[tuple[str, Any], ...], tuple[int, ...]]
-) -> list[Any]:
+    payload: tuple[
+        Callable[..., Any], tuple[tuple[str, Any], ...], tuple[int, ...], bool
+    ]
+) -> Any:
     """Worker-side entry point: run one batched group of trials."""
-    batch_fn, params, seeds = payload
-    return list(batch_fn(**dict(params), seeds=list(seeds)))
+    batch_fn, params, seeds, forward = payload
+    kwargs = dict(params, seeds=list(seeds))
+    if forward:
+        results, events = _call_collecting(batch_fn, kwargs)
+        return list(results), events
+    return list(batch_fn(**kwargs))
 
 
 def _batch_groups(
@@ -178,6 +230,7 @@ def run_trials(
     workers: int | None = 1,
     batch: int | None = 1,
     batch_fn: Callable[..., Sequence[Any]] | None = None,
+    on_event: Callable[[Any], None] | None = None,
 ) -> list[Any]:
     """Run ``fn(**spec.params, seed=spec.seed)`` for every spec, in order.
 
@@ -212,10 +265,18 @@ def run_trials(
     ...     return [scale * seed for seed in seeds]
     >>> run_trials(scaled, specs, batch=2, batch_fn=scaled_batch)
     [10, 20, 30]
+
+    ``on_event`` opts into **event forwarding**: events a trial hands
+    to :func:`record_event` -- on any worker, at any batch size -- are
+    replayed as ``on_event(event)`` on the calling process, in spec
+    order (events of trial *i* before events of trial *i+1*, each
+    trial's in emission order), before this function returns. Without
+    ``on_event``, recorded events are dropped at the source.
     """
     count = resolve_workers(workers)
     size = resolve_batch(batch)
     specs = list(specs)
+    forward = on_event is not None
     if batch_fn is None:
         batch_fn = getattr(fn, "batch_fn", None)
     if size > 1 and batch_fn is None:
@@ -227,18 +288,27 @@ def run_trials(
             )
         size = 1
     if size <= 1:
+        payloads = [(fn, spec, forward) for spec in specs]
         if count <= 1 or len(specs) <= 1:
-            return [fn(**spec.kwargs(), seed=spec.seed) for spec in specs]
-        payloads = [(fn, spec) for spec in specs]
-        _check_shippable(fn, payloads, count)
-        max_workers = min(count, len(specs))
-        # Chunking amortizes IPC for large grids without hurting balance.
-        chunksize = max(1, len(specs) // (max_workers * 4))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(_invoke, payloads, chunksize=chunksize))
+            raw = [_invoke(payload) for payload in payloads]
+        else:
+            _check_shippable(fn, payloads, count)
+            max_workers = min(count, len(specs))
+            # Chunking amortizes IPC for large grids without hurting balance.
+            chunksize = max(1, len(specs) // (max_workers * 4))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                raw = list(pool.map(_invoke, payloads, chunksize=chunksize))
+        if not forward:
+            return raw
+        results = []
+        for result, events in raw:
+            for event in events:
+                on_event(event)
+            results.append(result)
+        return results
 
     groups = _batch_groups(specs, size)
-    payloads = [(batch_fn, params, tuple(seeds)) for params, seeds in groups]
+    payloads = [(batch_fn, params, tuple(seeds), forward) for params, seeds in groups]
     if count <= 1 or len(payloads) <= 1:
         nested = [_invoke_batch(payload) for payload in payloads]
     else:
@@ -247,7 +317,14 @@ def run_trials(
         chunksize = max(1, len(payloads) // (max_workers * 4))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             nested = list(pool.map(_invoke_batch, payloads, chunksize=chunksize))
-    results: list[Any] = []
+    if forward:
+        unwrapped = []
+        for group_results, events in nested:
+            for event in events:
+                on_event(event)
+            unwrapped.append(group_results)
+        nested = unwrapped
+    results = []
     for (params, seeds), group_results in zip(groups, nested):
         if len(group_results) != len(seeds):
             raise ValueError(

@@ -11,13 +11,26 @@ content hash: enforced and periodic adversaries replay a small cycle
 of graphs for thousands of rounds, so the file stores each distinct
 edge set once in a ``graphs`` table and per-round indices into it.
 Version-1 files (edges inlined per round) still load.
+
+Format version 3 is the **streaming spill**: JSONL, one header line
+followed by append-only chunk lines, each chunk carrying up to
+``chunk_rounds`` round rows plus the edge lists of any graph first
+seen inside it (indices stay cumulative, so the v2 dedup table is
+simply split across chunks in first-appearance order).
+:class:`TraceWriter` is a drop-in ``trace_sink`` for
+:class:`~repro.sim.engine.Engine` -- it holds at most one chunk of
+rounds in memory, so a 10^6-round traced run costs O(chunk), not
+O(rounds). :class:`TraceReader` iterates rounds lazily and tolerates
+a truncated final chunk (a run killed mid-write loses at most the
+unflushed tail). :func:`load_trace` sniffs the version and loads all
+three formats uniformly.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.adversary.base import ScheduleAdversary
 from repro.net.dynamic import EdgeSchedule
@@ -25,6 +38,40 @@ from repro.net.topology import Topology
 from repro.sim.trace import ExecutionTrace, RoundSnapshot
 
 _FORMAT_VERSION = 2
+_STREAM_VERSION = 3
+
+#: Default rounds per v3 chunk. Large enough that the JSON overhead of
+#: chunk framing is negligible, small enough that the writer's buffer
+#: (and a killed run's data loss) stays a few hundred kilobytes.
+DEFAULT_CHUNK_ROUNDS = 256
+
+
+def _encode_round(snap: RoundSnapshot, graph_index: int) -> dict[str, Any]:
+    """One round as a JSON row (shared by the v2 and v3 encoders)."""
+    return {
+        "round": snap.round,
+        "graph": graph_index,
+        "states": {
+            str(node): dict(state) for node, state in snap.states.items()
+        },
+        "delivered": snap.delivered,
+        "bits": snap.bits,
+        "live_senders": sorted(snap.live_senders),
+    }
+
+
+def _decode_round(
+    row: dict[str, Any], n: int, graphs: list[Topology]
+) -> RoundSnapshot:
+    """Rebuild one round row against the cumulative graph table."""
+    return RoundSnapshot(
+        round=int(row["round"]),
+        graph=_round_graph(row, n, graphs),
+        states={int(k): dict(v) for k, v in row["states"].items()},
+        delivered=int(row["delivered"]),
+        bits=int(row["bits"]),
+        live_senders=frozenset(int(v) for v in row["live_senders"]),
+    )
 
 
 def trace_to_dict(trace: ExecutionTrace) -> dict[str, Any]:
@@ -37,20 +84,10 @@ def trace_to_dict(trace: ExecutionTrace) -> dict[str, Any]:
     """
     unique = trace.unique_graphs()
     index_of = {graph.content_hash: position for position, graph in enumerate(unique)}
-    rounds = []
-    for snap in trace.rounds:
-        rounds.append(
-            {
-                "round": snap.round,
-                "graph": index_of[snap.graph.content_hash],
-                "states": {
-                    str(node): dict(state) for node, state in snap.states.items()
-                },
-                "delivered": snap.delivered,
-                "bits": snap.bits,
-                "live_senders": sorted(snap.live_senders),
-            }
-        )
+    rounds = [
+        _encode_round(snap, index_of[snap.graph.content_hash])
+        for snap in trace.rounds
+    ]
     return {
         "version": _FORMAT_VERSION,
         "n": trace.n,
@@ -80,27 +117,177 @@ def trace_from_dict(payload: dict[str, Any]) -> ExecutionTrace:
     ]
     trace = ExecutionTrace(n)
     for row in payload["rounds"]:
-        trace.record(
-            RoundSnapshot(
-                round=int(row["round"]),
-                graph=_round_graph(row, n, graphs),
-                states={int(k): dict(v) for k, v in row["states"].items()},
-                delivered=int(row["delivered"]),
-                bits=int(row["bits"]),
-                live_senders=frozenset(int(v) for v in row["live_senders"]),
-            )
-        )
+        trace.record(_decode_round(row, n, graphs))
     return trace
 
 
-def save_trace(trace: ExecutionTrace, path: str | Path) -> None:
-    """Write a trace as JSON."""
+class TraceWriter:
+    """Stream :class:`RoundSnapshot`\\ s to a v3 JSONL file.
+
+    Duck-typed as an Engine ``trace_sink`` (the whole contract is
+    ``record(snapshot)``); buffers at most ``chunk_rounds`` rounds
+    before spilling one chunk line, so memory stays O(chunk) no matter
+    how long the run is. The graph-dedup table is incremental: a
+    graph's edge list is written exactly once, inside the chunk where
+    its content hash first appears, and every later round references
+    it by cumulative index.
+
+    Use as a context manager (or call :meth:`close`) -- rounds
+    recorded since the last flush live only in the buffer until then.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        n: int,
+        chunk_rounds: int = DEFAULT_CHUNK_ROUNDS,
+    ) -> None:
+        if chunk_rounds < 1:
+            raise ValueError(f"chunk_rounds must be >= 1, got {chunk_rounds}")
+        self.path = Path(path)
+        self.n = int(n)
+        self.chunk_rounds = int(chunk_rounds)
+        self.rounds_written = 0
+        self._index_of: dict[int, int] = {}
+        self._pending_graphs: list[list[list[int]]] = []
+        self._pending_rounds: list[dict[str, Any]] = []
+        self._file = self.path.open("w")
+        header = {
+            "version": _STREAM_VERSION,
+            "kind": "trace",
+            "n": self.n,
+            "chunk_rounds": self.chunk_rounds,
+        }
+        self._file.write(json.dumps(header) + "\n")
+
+    def record(self, snapshot: RoundSnapshot) -> None:
+        """Append one round (the Engine sink contract)."""
+        marker = snapshot.graph.content_hash
+        index = self._index_of.get(marker)
+        if index is None:
+            index = len(self._index_of)
+            self._index_of[marker] = index
+            self._pending_graphs.append(
+                [list(edge) for edge in snapshot.graph.edge_list]
+            )
+        self._pending_rounds.append(_encode_round(snapshot, index))
+        if len(self._pending_rounds) >= self.chunk_rounds:
+            self.flush()
+
+    def flush(self) -> None:
+        """Spill buffered rounds as one chunk line."""
+        if not self._pending_rounds and not self._pending_graphs:
+            return
+        chunk = {
+            "graphs": self._pending_graphs,
+            "rounds": self._pending_rounds,
+        }
+        self._file.write(json.dumps(chunk) + "\n")
+        self._file.flush()
+        self.rounds_written += len(self._pending_rounds)
+        self._pending_graphs = []
+        self._pending_rounds = []
+
+    def close(self) -> None:
+        """Flush the tail chunk and close the file (idempotent)."""
+        if self._file.closed:
+            return
+        self.flush()
+        self._file.close()
+
+    def __enter__(self) -> TraceWriter:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Lazy iterator over a v3 streamed trace.
+
+    Rounds are decoded chunk by chunk, so iterating a file never
+    materializes more than one chunk of snapshots (plus the cumulative
+    graph table, which dedup keeps tiny). A truncated final line --
+    the signature of a run killed mid-write -- is treated as
+    end-of-trace; garbage anywhere *before* the last line is corruption
+    and raises.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with self.path.open() as fh:
+            try:
+                header = json.loads(fh.readline())
+            except json.JSONDecodeError:
+                header = {}
+        if not isinstance(header, dict) or header.get("version") != _STREAM_VERSION:
+            raise ValueError(
+                f"not a v{_STREAM_VERSION} streamed trace: {self.path}"
+            )
+        self.n = int(header["n"])
+        self.chunk_rounds = int(header.get("chunk_rounds", DEFAULT_CHUNK_ROUNDS))
+
+    def __iter__(self) -> Iterator[RoundSnapshot]:
+        graphs: list[Topology] = []
+        with self.path.open() as fh:
+            fh.readline()  # header, validated in __init__
+            pending = fh.readline()
+            while pending:
+                line = pending
+                pending = fh.readline()
+                if not line.strip():
+                    continue
+                try:
+                    chunk = json.loads(line)
+                except json.JSONDecodeError:
+                    if pending:
+                        raise ValueError(
+                            f"corrupt chunk before end of {self.path}"
+                        ) from None
+                    return  # truncated final chunk: recover what flushed
+                for edges in chunk.get("graphs", ()):
+                    graphs.append(Topology(self.n, (tuple(e) for e in edges)))
+                for row in chunk["rounds"]:
+                    yield _decode_round(row, self.n, graphs)
+
+    def load(self) -> ExecutionTrace:
+        """Materialize the whole stream as an :class:`ExecutionTrace`."""
+        trace = ExecutionTrace(self.n)
+        for snapshot in self:
+            trace.record(snapshot)
+        return trace
+
+
+def save_trace(
+    trace: ExecutionTrace, path: str | Path, version: int = _FORMAT_VERSION
+) -> None:
+    """Write a trace as JSON (v2, the default) or streamed JSONL (v3)."""
+    if version == _STREAM_VERSION:
+        with TraceWriter(path, trace.n) as writer:
+            for snapshot in trace.rounds:
+                writer.record(snapshot)
+        return
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"cannot write trace format version {version!r}")
     Path(path).write_text(json.dumps(trace_to_dict(trace), indent=1))
 
 
 def load_trace(path: str | Path) -> ExecutionTrace:
-    """Read a trace saved by :func:`save_trace`."""
-    return trace_from_dict(json.loads(Path(path).read_text()))
+    """Read a trace saved by :func:`save_trace` -- any format version.
+
+    v3 files are sniffed by their single-line JSON header (v1/v2 files
+    are indented, so their first line is never a complete document).
+    """
+    path = Path(path)
+    with path.open() as fh:
+        first = fh.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        header = None
+    if isinstance(header, dict) and header.get("version") == _STREAM_VERSION:
+        return TraceReader(path).load()
+    return trace_from_dict(json.loads(path.read_text()))
 
 
 def replay_adversary(

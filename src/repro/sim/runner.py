@@ -19,8 +19,9 @@ read:
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.adversary.base import MessageAdversary
 from repro.faults.base import FaultPlan
@@ -119,6 +120,9 @@ def run_consensus(
     record_trace: bool = True,
     verify_promise: bool = True,
     track_phases: bool = True,
+    observers: Sequence[Callable] = (),
+    on_finish: Callable | None = None,
+    trace_sink: Any | None = None,
 ) -> ExecutionReport:
     """Run one consensus execution end to end and judge it.
 
@@ -142,6 +146,23 @@ def run_consensus(
         engine with no snapshot consumers at all, enabling its fast
         path -- the right configuration for large sweeps that only
         read verdicts and round counts.
+    observers:
+        Extra per-round snapshot callbacks (``(engine, snapshot) ->
+        None``) appended to ``engine.observers`` -- the seam the
+        read-only :mod:`repro.obs` bus attaches through
+        (``repro.obs.attach.consensus_hooks`` builds this and
+        ``on_finish`` from a bus in one call).
+    on_finish:
+        Called once as ``on_finish(engine, result)`` after the run
+        ends, before verdicts are computed -- how a bus learns the
+        run's ``RunFinished`` outcome without the runner importing the
+        observability layer.
+    trace_sink:
+        Streaming snapshot destination (see :class:`repro.sim.engine.
+        Engine`); overrides ``record_trace``. The report's ``trace``
+        field stays ``None`` (rounds live on disk, not in RAM) and the
+        dynaDegree promise re-check is skipped -- run it post-hoc on
+        the loaded trace if needed.
     """
     if stop_mode not in ("output", "oracle"):
         raise ValueError(f"unknown stop_mode {stop_mode!r}")
@@ -154,19 +175,24 @@ def run_consensus(
         f=f,
         seed=seed,
         record_trace=record_trace,
+        trace_sink=trace_sink,
     )
 
     series = PhaseRangeSeries(_watched_nodes(plan))
     if track_phases:
         series.observe_states(engine.state_snapshots())
         engine.observers.append(lambda _eng, snap: series.observe_states(snap.states))
+    engine.observers.extend(observers)
 
     if stop_mode == "output":
         stop = Engine.all_fault_free_output
     else:
         stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
 
-    terminated = engine.run(max_rounds, stop_when=stop).stopped
+    result = engine.run(max_rounds, stop_when=stop)
+    if on_finish is not None:
+        on_finish(engine, result)
+    terminated = result.stopped
 
     inputs = {node: proc.input_value for node, proc in processes.items()}
     if stop_mode == "output":
@@ -192,8 +218,11 @@ def run_consensus(
         for value in outputs.values()
     )
 
+    # A streaming sink is not an ExecutionTrace: no in-RAM rounds to
+    # re-check the promise against, and the report cannot carry it.
+    trace = engine.trace if isinstance(engine.trace, ExecutionTrace) else None
     promise, promise_ok = (
-        _verify_promise(adversary, engine.trace, plan) if verify_promise else (None, None)
+        _verify_promise(adversary, trace, plan) if verify_promise else (None, None)
     )
 
     return ExecutionReport(
@@ -214,5 +243,5 @@ def run_consensus(
         dynadegree_promise=promise,
         dynadegree_verified=promise_ok,
         metrics=engine.metrics,
-        trace=engine.trace,
+        trace=trace,
     )

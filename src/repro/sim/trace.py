@@ -4,6 +4,12 @@ A trace records, for every round, the adversary's chosen graph, each
 node's adversary-visible state snapshot after the round, and delivery
 accounting. Traces are what the dynaDegree checker runs on post-hoc,
 what convergence analysis reads, and what failure reports print.
+
+:class:`ExecutionTrace` is the in-RAM implementation of the engine's
+**sink contract**: anything with ``record(RoundSnapshot)`` can be
+passed as ``Engine(trace_sink=...)``. For runs too long to buffer,
+:class:`repro.sim.persistence.TraceWriter` satisfies the same
+contract while spilling chunks to disk.
 """
 
 from __future__ import annotations

@@ -362,6 +362,38 @@ def theorem9_part2_execution(
     }
 
 
+def _observer_hooks(observe: bool) -> tuple[dict[str, Any], Any]:
+    """(run_consensus kwargs, summary-finisher) for an observed trial.
+
+    ``observe=True`` attaches a fresh :class:`repro.obs` bus with a
+    :class:`~repro.obs.observers.MetricsAggregator` to the run; the
+    finisher stamps the aggregator's summary into the trial's result
+    dict (key ``"metrics"``), so it ships back inside the
+    ``SweepRecord`` from any worker process. The bus's ``RunFinished``
+    event is additionally handed to
+    :func:`repro.sim.parallel.record_event`, so sweeps requesting
+    ``on_event`` forwarding see one completion event per trial, in
+    spec order. The summary is a deterministic function of the seed --
+    workers=N returns the identical dict.
+    """
+    if not observe:
+        return {}, lambda summary: summary
+    from repro.obs import MetricsAggregator, ObserverBus, consensus_hooks
+    from repro.obs.events import RunFinished
+    from repro.sim.parallel import record_event
+
+    bus = ObserverBus()
+    aggregator = bus.attach(MetricsAggregator())
+    bus.subscribe(RunFinished, record_event)
+    hooks = consensus_hooks(bus)
+
+    def finish(summary: dict[str, Any]) -> dict[str, Any]:
+        summary["metrics"] = aggregator.summary()
+        return summary
+
+    return hooks, finish
+
+
 def run_dac_trial(
     n: int,
     f: int | None = None,
@@ -370,6 +402,7 @@ def run_dac_trial(
     selector: str = "rotate",
     seed: int = 0,
     fast: bool = True,
+    observe: bool = False,
 ) -> dict[str, Any]:
     """One boundary DAC execution reduced to a small, picklable summary.
 
@@ -379,6 +412,9 @@ def run_dac_trial(
     without phase bookkeeping by default, so the engine takes its fast
     path -- and returns plain scalars that ship cheaply between
     processes. ``f`` defaults to the boundary ``(n - 1) // 2``.
+    ``observe=True`` adds a ``"metrics"`` key: the per-round
+    delivery/liveness aggregate from an attached observer bus (see
+    :func:`_observer_hooks`).
 
     Deterministic in ``seed``: the same call always returns the same
     summary, on any worker schedule and at any batch size (the
@@ -398,6 +434,7 @@ def run_dac_trial(
 
     if f is None:
         f = (n - 1) // 2
+    hooks, finish = _observer_hooks(observe)
     report = run_consensus(
         **build_dac_execution(
             n=n, f=f, epsilon=epsilon, seed=seed, window=window, selector=selector
@@ -405,13 +442,16 @@ def run_dac_trial(
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,
+        **hooks,
     )
-    return {
-        "rounds": report.rounds,
-        "spread": report.output_spread,
-        "terminated": report.terminated,
-        "correct": report.correct,
-    }
+    return finish(
+        {
+            "rounds": report.rounds,
+            "spread": report.output_spread,
+            "terminated": report.terminated,
+            "correct": report.correct,
+        }
+    )
 
 
 def _lane_summary(lane, epsilon: float) -> dict[str, Any]:
@@ -454,6 +494,7 @@ def run_dac_trial_batch(
     window: int = 1,
     selector: str = "rotate",
     fast: bool = True,
+    observe: bool = False,
     seeds: Any = (),
 ) -> list[dict[str, Any]]:
     """Batched :func:`run_dac_trial`: one summary per seed, in order.
@@ -463,15 +504,16 @@ def run_dac_trial_batch(
     ``[run_dac_trial(..., seed=s) for s in seeds]``, computed by one
     lock-step :class:`repro.sim.batch.BatchEngine` pass -- vectorized
     when numpy is installed, serial-engine lock-step otherwise. The
-    non-fast path records traces per trial, which batching cannot
-    amortize, so it simply delegates to the serial trial.
+    non-fast and observed paths record per-trial engine snapshots,
+    which batching cannot amortize, so they simply delegate to the
+    serial trial.
     """
     from repro.sim.batch import run_dac_batch
 
     seeds = [int(seed) for seed in seeds]
     if f is None:
         f = (n - 1) // 2
-    if not fast:
+    if not fast or observe:
         return [
             run_dac_trial(
                 n=n,
@@ -481,6 +523,7 @@ def run_dac_trial_batch(
                 selector=selector,
                 seed=seed,
                 fast=fast,
+                observe=observe,
             )
             for seed in seeds
         ]
@@ -522,6 +565,7 @@ def run_dbac_trial(
     max_rounds: int = 50_000,
     seed: int = 0,
     fast: bool = True,
+    observe: bool = False,
 ) -> dict[str, Any]:
     """One boundary DBAC execution reduced to a picklable summary.
 
@@ -553,6 +597,7 @@ def run_dbac_trial(
             f"known: {sorted(TRIAL_BYZANTINE_STRATEGIES)}"
         )
     factory = TRIAL_BYZANTINE_STRATEGIES[strategy]
+    hooks, finish = _observer_hooks(observe)
     report = run_consensus(
         **build_dbac_execution(
             n=n,
@@ -568,13 +613,16 @@ def run_dbac_trial(
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,
+        **hooks,
     )
-    return {
-        "rounds": report.rounds,
-        "spread": report.output_spread,
-        "terminated": report.terminated,
-        "correct": report.correct,
-    }
+    return finish(
+        {
+            "rounds": report.rounds,
+            "spread": report.output_spread,
+            "terminated": report.terminated,
+            "correct": report.correct,
+        }
+    )
 
 
 def run_dbac_trial_batch(
@@ -587,6 +635,7 @@ def run_dbac_trial_batch(
     stop_mode: str = "oracle",
     max_rounds: int = 50_000,
     fast: bool = True,
+    observe: bool = False,
     seeds: Any = (),
 ) -> list[dict[str, Any]]:
     """Batched :func:`run_dbac_trial`: one summary per seed, in order.
@@ -604,7 +653,7 @@ def run_dbac_trial_batch(
     from repro.sim.batch import run_dbac_batch
 
     seeds = [int(seed) for seed in seeds]
-    if not fast:
+    if not fast or observe:
         return [
             run_dbac_trial(
                 n=n,
@@ -617,6 +666,7 @@ def run_dbac_trial_batch(
                 max_rounds=max_rounds,
                 seed=seed,
                 fast=fast,
+                observe=observe,
             )
             for seed in seeds
         ]
@@ -649,6 +699,7 @@ def run_byz_trial(
     max_rounds: int = 50_000,
     seed: int = 0,
     fast: bool = True,
+    observe: bool = False,
 ) -> dict[str, Any]:
     """One Byzantine-or-mobile fault-model execution, as a picklable summary.
 
@@ -697,6 +748,7 @@ def run_byz_trial(
             max_rounds=max_rounds,
             seed=seed,
             fast=fast,
+            observe=observe,
         )
     if not adversary.startswith("mobile-"):
         raise ValueError(
@@ -714,6 +766,7 @@ def run_byz_trial(
         node: DACProcess(n, 0, inputs[node], ports.self_port(node), epsilon=epsilon)
         for node in range(n)
     }
+    hooks, finish = _observer_hooks(observe)
     report = run_consensus(
         processes,
         MobileOmissionAdversary(mode),
@@ -727,13 +780,16 @@ def run_byz_trial(
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,
+        **hooks,
     )
-    return {
-        "rounds": report.rounds,
-        "spread": report.output_spread,
-        "terminated": report.terminated,
-        "correct": report.correct,
-    }
+    return finish(
+        {
+            "rounds": report.rounds,
+            "spread": report.output_spread,
+            "terminated": report.terminated,
+            "correct": report.correct,
+        }
+    )
 
 
 def run_byz_trial_batch(
@@ -747,6 +803,7 @@ def run_byz_trial_batch(
     stop_mode: str = "oracle",
     max_rounds: int = 50_000,
     fast: bool = True,
+    observe: bool = False,
     seeds: Any = (),
 ) -> list[dict[str, Any]]:
     """Batched :func:`run_byz_trial`: one summary per seed, in order.
@@ -763,7 +820,7 @@ def run_byz_trial_batch(
     from repro.sim.batch import run_byz_batch
 
     seeds = [int(seed) for seed in seeds]
-    if not fast:
+    if not fast or observe:
         return [
             run_byz_trial(
                 n=n,
@@ -777,6 +834,7 @@ def run_byz_trial_batch(
                 max_rounds=max_rounds,
                 seed=seed,
                 fast=fast,
+                observe=observe,
             )
             for seed in seeds
         ]
@@ -814,6 +872,7 @@ def run_baseline_trial(
     num_rounds: int | None = None,
     seed: int = 0,
     fast: bool = True,
+    observe: bool = False,
 ) -> dict[str, Any]:
     """One averaging-baseline execution under DAC's boundary adversary.
 
@@ -851,6 +910,7 @@ def run_baseline_trial(
         )
         for node in range(n)
     }
+    hooks, finish = _observer_hooks(observe)
     report = run_consensus(
         processes,
         _quorum_adversary(window, dac_degree(n), selector),
@@ -866,13 +926,16 @@ def run_baseline_trial(
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,
+        **hooks,
     )
-    return {
-        "rounds": report.rounds,
-        "spread": report.output_spread,
-        "terminated": report.terminated,
-        "correct": report.correct,
-    }
+    return finish(
+        {
+            "rounds": report.rounds,
+            "spread": report.output_spread,
+            "terminated": report.terminated,
+            "correct": report.correct,
+        }
+    )
 
 
 def run_baseline_trial_batch(

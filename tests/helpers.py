@@ -203,11 +203,13 @@ def run_config_serial(
 ) -> list[dict[str, Any]]:
     """Run every seed of ``config`` on the serial engine.
 
-    ``traced`` records a full trace (the engine's legacy loop with
-    snapshots); ``sweep=False`` forces the untraced legacy loop (the
-    port-major sweep's reference implementation); ``wrap_adversary``
-    lets callers interpose on the chosen graphs (e.g. the
-    ``DirectedGraph`` shim round-trip in test_topology_equivalence).
+    ``traced`` records a full trace (snapshots assembled after the
+    sweep); ``sweep=False`` forces the legacy sender-major loop (the
+    port-major sweep's reference implementation -- combined with
+    ``traced=True`` it exercises the legacy loop's inline snapshot
+    path); ``wrap_adversary`` lets callers interpose on the chosen
+    graphs (e.g. the ``DirectedGraph`` shim round-trip in
+    test_topology_equivalence).
     """
     config = normalize_config(config)
     results = []
@@ -360,6 +362,8 @@ def differential_executors(
         executors["serial-legacy"] = serial_executor(sweep=False)
     if traced:
         executors["traced"] = serial_executor(traced=True)
+        if legacy:
+            executors["traced-legacy"] = serial_executor(traced=True, sweep=False)
     executors["batch-python"] = batch_executor("python")
     executors["batch-numpy"] = batch_executor("numpy")
     if workers:

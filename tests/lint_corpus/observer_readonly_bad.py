@@ -1,0 +1,15 @@
+# lint-corpus-module: repro.obs.widget
+"""Known-bad: observers reaching into the simulation they watch."""
+
+
+def on_round(engine, snapshot):
+    engine.current = 0  # attribute write on the observed engine
+    engine.run_round()  # driving the simulation forward
+    states = snapshot.states
+    states[0] = {"value": 0.0}  # item write through an alias
+    setattr(engine, "seed", 1)  # setattr on an observed value
+
+
+def on_finish(engine, result):
+    engine.fault_plan.crashes.update({1: 2})  # container mutator chain
+    engine.trace.record(result)  # recording is the engine's business

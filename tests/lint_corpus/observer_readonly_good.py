@@ -1,0 +1,26 @@
+# lint-corpus-module: repro.obs.widget
+"""Known-good: read-only observation plus the sanctioned seams."""
+
+
+def attach(bus, engine):
+    engine.observers.append(bus.publish)  # the registration seam
+
+
+def on_round(engine, snapshot):
+    values = [float(state["value"]) for state in snapshot.states.values()]
+    spread = (max(values) - min(values)) if values else 0.0
+    trimmed = sorted(values)[1:-1]  # locally constructed: ours to mutate
+    trimmed.append(spread)
+    return spread
+
+
+class Collector:
+    """Observer state lives on the observer, never on the engine."""
+
+    def __init__(self):
+        self.rounds = 0
+        self.spreads = []
+
+    def on_event(self, event):
+        self.rounds += 1
+        self.spreads.append(float(event.spread))

@@ -70,6 +70,7 @@ def test_known_bad_finding_counts():
         "layering": 2,
         "numpy-guard": 1,
         "hot-import": 1,
+        "observer-readonly": 6,
         "worker-closure": 3,
     }
     counts = {

@@ -1,4 +1,10 @@
-"""Unit tests for trace persistence and replay."""
+"""Unit tests for trace persistence (formats v1/v2/v3) and replay."""
+
+import json
+import resource
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -7,6 +13,8 @@ from repro.adversary.random_adv import RandomLinkAdversary
 from repro.core.dac import DACProcess
 from repro.net.ports import identity_ports
 from repro.sim.persistence import (
+    TraceReader,
+    TraceWriter,
     load_trace,
     replay_adversary,
     save_trace,
@@ -17,6 +25,8 @@ from repro.sim.runner import run_consensus
 from repro.sim.trace import ExecutionTrace
 
 from tests.helpers import spread_inputs
+
+REPO = Path(__file__).resolve().parent.parent
 
 
 def run_dac(adversary, n=5, seed=3, max_rounds=20):
@@ -56,6 +66,201 @@ class TestRoundTrip:
         payload["version"] = 99
         with pytest.raises(ValueError, match="version"):
             trace_from_dict(payload)
+
+
+def as_v1_payload(trace: ExecutionTrace) -> dict:
+    """The historical version-1 shape: edges inlined in every round."""
+    payload = trace_to_dict(trace)
+    rounds = []
+    for row in payload["rounds"]:
+        row = dict(row)
+        row["edges"] = payload["graphs"][row.pop("graph")]
+        rounds.append(row)
+    return {"version": 1, "n": payload["n"], "rounds": rounds}
+
+
+def assert_same_trace(rebuilt: ExecutionTrace, original: ExecutionTrace):
+    assert len(rebuilt) == len(original)
+    for a, b in zip(rebuilt.rounds, original.rounds):
+        assert a.graph == b.graph
+        assert a.states == b.states
+        assert (a.round, a.delivered, a.bits, a.live_senders) == (
+            b.round,
+            b.delivered,
+            b.bits,
+            b.live_senders,
+        )
+
+
+class TestFormatVersions:
+    """All three on-disk formats load uniformly through load_trace."""
+
+    def test_v1_file_loads(self, tmp_path):
+        report = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace_v1.json"
+        path.write_text(json.dumps(as_v1_payload(report.trace), indent=1))
+        assert_same_trace(load_trace(path), report.trace)
+
+    def test_v2_file_loads(self, tmp_path):
+        report = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace_v2.json"
+        save_trace(report.trace, path, version=2)
+        assert_same_trace(load_trace(path), report.trace)
+
+    def test_v3_file_loads(self, tmp_path):
+        report = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace_v3.jsonl"
+        save_trace(report.trace, path, version=3)
+        assert_same_trace(load_trace(path), report.trace)
+
+    def test_unknown_write_version_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="version"):
+            save_trace(ExecutionTrace(3), tmp_path / "t.json", version=7)
+
+
+class TestStreamedTraces:
+    """The v3 writer/reader pair: spill, lazy read, recovery."""
+
+    def test_lazy_iteration_matches_rounds(self, tmp_path):
+        report = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path, report.n, chunk_rounds=3) as writer:
+            for snapshot in report.trace.rounds:
+                writer.record(snapshot)
+        assert writer.rounds_written == len(report.trace)
+        reader = TraceReader(path)
+        assert reader.n == report.n
+        assert reader.chunk_rounds == 3
+        streamed = list(reader)
+        assert len(streamed) == len(report.trace)
+        for got, want in zip(streamed, report.trace.rounds):
+            assert got.graph == want.graph
+            assert got.states == want.states
+
+    def test_graph_table_is_shared_across_chunks(self, tmp_path):
+        # Enforced-adversary runs cycle a few graphs; dedup must hold
+        # across chunk boundaries (cumulative indices) and loaded
+        # rounds with equal graphs must share one Topology object.
+        report = run_dac(StaticAdversary(), max_rounds=10)
+        path = tmp_path / "trace.jsonl"
+        save_trace(report.trace, path, version=3)
+        chunks = [
+            json.loads(line)
+            for line in path.read_text().splitlines()[1:]
+        ]
+        total_graphs = sum(len(c["graphs"]) for c in chunks)
+        assert total_graphs == len(report.trace.unique_graphs())
+        rebuilt = TraceReader(path).load()
+        assert rebuilt.at(0) is rebuilt.at(1)  # interned, not re-built
+
+    def test_replay_from_streamed_trace(self, tmp_path):
+        first = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace.jsonl"
+        save_trace(first.trace, path, version=3)
+        replayed = run_dac(replay_adversary(load_trace(path)))
+        assert replayed.outputs == first.outputs
+        assert replayed.rounds == first.rounds
+
+    def test_engine_sink_path_equals_in_memory_trace(self, tmp_path):
+        # The same seed run twice: once with the in-RAM trace, once
+        # spilling through a TraceWriter sink. The file must hold the
+        # identical execution.
+        reference = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace.jsonl"
+        ports = identity_ports(5)
+        inputs = spread_inputs(5)
+        procs = {
+            v: DACProcess(5, 0, inputs[v], v, epsilon=1e-2) for v in range(5)
+        }
+        with TraceWriter(path, 5, chunk_rounds=4) as sink:
+            report = run_consensus(
+                procs,
+                RandomLinkAdversary(0.5),
+                ports,
+                epsilon=1e-2,
+                max_rounds=20,
+                seed=3,
+                trace_sink=sink,
+            )
+        assert report.trace is None  # spilled, not held in memory
+        assert_same_trace(load_trace(path), reference.trace)
+
+    def test_truncated_final_chunk_recovers_flushed_rounds(self, tmp_path):
+        report = run_dac(RandomLinkAdversary(0.5))
+        assert len(report.trace) >= 7
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path, report.n, chunk_rounds=3) as writer:
+            for snapshot in report.trace.rounds:
+                writer.record(snapshot)
+        lines = path.read_text().splitlines()
+        # Kill the run mid-write: the final chunk line is half there.
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path.write_text("\n".join(lines))
+        recovered = load_trace(path)
+        full_chunks = (len(lines) - 2) * 3
+        assert len(recovered) == full_chunks
+        assert_same_trace(
+            recovered,
+            ExecutionTrace(
+                report.n, rounds=list(report.trace.rounds[:full_chunks])
+            ),
+        )
+
+    def test_corruption_before_the_end_raises(self, tmp_path):
+        report = run_dac(RandomLinkAdversary(0.5))
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path, report.n, chunk_rounds=2) as writer:
+            for snapshot in report.trace.rounds:
+                writer.record(snapshot)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:10]  # garbage with chunks after it
+        path.write_text("\n".join(lines))
+        with pytest.raises(ValueError, match="corrupt chunk"):
+            list(TraceReader(path))
+
+    def test_reader_rejects_non_streamed_files(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(ExecutionTrace(3), path, version=2)
+        with pytest.raises(ValueError, match="streamed"):
+            TraceReader(path)
+
+    def test_chunk_rounds_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_rounds"):
+            TraceWriter(tmp_path / "t.jsonl", 3, chunk_rounds=0)
+
+    def test_bounded_memory_on_long_traced_run(self, tmp_path):
+        """A 50k-round traced run stays O(chunk): peak RSS under a
+        ceiling far below what buffering every snapshot would cost."""
+        path = tmp_path / "long.jsonl"
+        script = (
+            "import resource, sys\n"
+            "from repro.sim.engine import Engine\n"
+            "from repro.sim.persistence import TraceWriter\n"
+            "from repro.workloads import build_dac_execution\n"
+            "kwargs = build_dac_execution(n=6, f=1, seed=1)\n"
+            "with TraceWriter(sys.argv[1], 6, chunk_rounds=256) as sink:\n"
+            "    engine = Engine(\n"
+            "        kwargs['processes'], kwargs['adversary'], kwargs['ports'],\n"
+            "        fault_plan=kwargs['fault_plan'], f=kwargs['f'],\n"
+            "        seed=kwargs['seed'], trace_sink=sink,\n"
+            "    )\n"
+            "    engine.run(50_000)\n"
+            "peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss\n"
+            "print(sink.rounds_written, peak_kb)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        rounds_written, peak_kb = (int(v) for v in proc.stdout.split())
+        assert rounds_written == 50_000
+        assert peak_kb < 200_000, f"peak RSS {peak_kb} KiB: not O(chunk)"
+        # And the spill really is the whole run, readable lazily.
+        count = sum(1 for _ in TraceReader(path))
+        assert count == 50_000
 
 
 class TestReplay:
