@@ -1,0 +1,200 @@
+"""Zero-copy dispatch perf smoke: persistent pool + shared-memory arenas.
+
+Measures the dispatch stack the PR 8 scale-out rewrite targeted and
+emits a machine-readable ``BENCH_parallel.json`` so the perf
+trajectory is tracked (CI runs it at tiny sizes; the acceptance run
+uses n = 33 and 65):
+
+- **serial** -- the in-process reference every other leg must match
+  bit for bit;
+- **cold pool** -- batched dispatch including pool startup (the price
+  the first sweep of a session pays);
+- **warm pool** -- the same dispatch on the already-running pool with
+  arenas published: the steady-state regime persistent pools buy;
+- **fresh pool** -- a pool spun up for the call and torn down after
+  (the pre-persistent-pool behaviour, ``pool="fresh"``);
+- **no arenas** -- warm pool with shared-memory table publication
+  disabled, isolating the arena contribution.
+
+Every timed leg's results are asserted equal to the serial reference
+first (pooled-vs-serial identity), so the CI smoke is a correctness
+gate as well as a trend line.
+
+Usage::
+
+    python -m repro.bench.parallel_smoke --out BENCH_parallel.json
+    python -m repro.bench.parallel_smoke --n 33 --n 65 --repeats 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Callable
+
+from repro.sim.arena import arenas_available
+from repro.sim.parallel import TrialSpec, close_pool, run_trials
+from repro.workloads import run_dac_trial
+
+from repro.sim import parallel as _parallel
+
+
+def _specs(n: int, repeats: int) -> list[TrialSpec]:
+    """One boundary-DAC trial spec per seed: the sweep shape CLIs emit."""
+    return [TrialSpec((("n", n),), seed=seed) for seed in range(repeats)]
+
+
+def _timed(fn: Callable[[], list[Any]]) -> tuple[list[Any], float]:
+    start = time.perf_counter()
+    results = fn()
+    return results, max(time.perf_counter() - start, 1e-9)
+
+
+def verify_contracts(n: int = 9, workers: int = 2) -> dict[str, Any]:
+    """Pooled-vs-serial identity across every dispatch mode (asserted)."""
+    specs = _specs(n, 6)
+    close_pool()
+    serial = run_trials(run_dac_trial, specs, workers=1)
+    checks: dict[str, Any] = {}
+    for label, kwargs in (
+        ("persist-batched", {"workers": workers, "batch": 3}),
+        ("persist-unbatched", {"workers": workers}),
+        ("fresh-batched", {"workers": workers, "batch": 3, "pool": "fresh"}),
+        ("no-arenas", {"workers": workers, "batch": 3, "arenas": False}),
+    ):
+        pooled = run_trials(run_dac_trial, specs, **kwargs)
+        assert pooled == serial, f"dispatch mode {label!r} diverged from serial"
+        checks[label] = True
+    # The persist legs above must have shared one warm pool; fresh/serial
+    # legs must not have replaced it.
+    assert _parallel._pool_executor is not None, "persistent pool missing"
+    checks["arenas_available"] = arenas_available()
+    close_pool()
+    return checks
+
+
+def measure_dispatch(
+    n: int, repeats: int, workers: int, batch: int
+) -> dict[str, Any]:
+    """Aggregate trial rounds/s of each dispatch leg at size ``n``.
+
+    The metric is total simulated rounds across the sweep divided by
+    wall time, so pool startup, pickling and table shipping all land
+    in the denominator -- exactly the cost a sweep user sees.
+    """
+    specs = _specs(n, repeats)
+    serial, serial_s = _timed(lambda: run_trials(run_dac_trial, specs, workers=1))
+    total_rounds = sum(result["rounds"] for result in serial)
+
+    close_pool()
+    cold, cold_s = _timed(
+        lambda: run_trials(run_dac_trial, specs, workers=workers, batch=batch)
+    )
+    warm, warm_s = _timed(
+        lambda: run_trials(run_dac_trial, specs, workers=workers, batch=batch)
+    )
+    bare, bare_s = _timed(
+        lambda: run_trials(
+            run_dac_trial, specs, workers=workers, batch=batch, arenas=False
+        )
+    )
+    close_pool()
+    fresh, fresh_s = _timed(
+        lambda: run_trials(
+            run_dac_trial, specs, workers=workers, batch=batch, pool="fresh"
+        )
+    )
+    for label, results in (
+        ("cold", cold),
+        ("warm", warm),
+        ("no-arenas", bare),
+        ("fresh", fresh),
+    ):
+        assert results == serial, f"timed leg {label!r} diverged from serial"
+    return {
+        "n": n,
+        "repeats": repeats,
+        "total_rounds": total_rounds,
+        "serial_rounds_per_s": total_rounds / serial_s,
+        "cold_pool_rounds_per_s": total_rounds / cold_s,
+        "warm_pool_rounds_per_s": total_rounds / warm_s,
+        "fresh_pool_rounds_per_s": total_rounds / fresh_s,
+        "no_arenas_rounds_per_s": total_rounds / bare_s,
+        "warm_vs_fresh_speedup": fresh_s / warm_s,
+        "warm_vs_cold_speedup": cold_s / warm_s,
+        "arenas_speedup": bare_s / warm_s,
+    }
+
+
+def run_smoke(
+    sizes: list[int], repeats: int, workers: int, batch: int
+) -> dict[str, Any]:
+    """All legs at every size; the payload written to BENCH_parallel.json."""
+    payload: dict[str, Any] = {
+        "bench": "parallel",
+        "workers": workers,
+        "batch": batch,
+        "contracts": verify_contracts(min(min(sizes), 9), workers=workers),
+        "sizes": [
+            measure_dispatch(n, repeats=repeats, workers=workers, batch=batch)
+            for n in sizes
+        ],
+    }
+    close_pool()
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-parallel-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        action="append",
+        dest="sizes",
+        metavar="N",
+        help="network size; repeatable (default: one run at 13)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=8, help="trials per size (default 8)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pool width (default 2)"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4, help="seeds per batched call (default 4)"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_parallel.json",
+        help="JSON output path (default BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+    sizes = args.sizes or [13]
+    payload = run_smoke(
+        sizes, repeats=args.repeats, workers=args.workers, batch=args.batch
+    )
+    print(f"contracts: {payload['contracts']}")
+    for leg in payload["sizes"]:
+        print(
+            f"n={leg['n']:3d}: serial {leg['serial_rounds_per_s']:.0f}, "
+            f"cold {leg['cold_pool_rounds_per_s']:.0f}, "
+            f"warm {leg['warm_pool_rounds_per_s']:.0f}, "
+            f"fresh {leg['fresh_pool_rounds_per_s']:.0f}, "
+            f"no-arenas {leg['no_arenas_rounds_per_s']:.0f} rounds/s "
+            f"(warm {leg['warm_vs_fresh_speedup']:.2f}x vs fresh, "
+            f"{leg['warm_vs_cold_speedup']:.2f}x vs cold, "
+            f"arenas {leg['arenas_speedup']:.2f}x)"
+        )
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

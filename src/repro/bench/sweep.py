@@ -94,6 +94,8 @@ class Sweep:
         workers: int | None = None,
         batch: int | None = None,
         batch_fn: Callable[..., Sequence[Any]] | None = None,
+        pool: str | None = None,
+        arenas: bool | None = None,
     ) -> list[SweepRecord]:
         """Execute ``fn(**params, seed=...)`` over the whole grid.
 
@@ -118,6 +120,14 @@ class Sweep:
         process-wide default (a CLI ``--batch`` flag), which degrades
         to unbatched execution for functions without a batched form.
 
+        ``pool`` and ``arenas`` pass through to
+        :func:`repro.sim.parallel.run_trials`: by default parallel runs
+        reuse the persistent module-level worker pool (and publish
+        shared-memory structure tables for batched dispatch);
+        ``pool="fresh"`` spins a pool up for this call only and
+        ``arenas=False`` disables table publication. Both are pure
+        speed knobs -- records are identical in any combination.
+
         Results are collected into :attr:`records` (appending across
         multiple ``run`` calls) and returned.
         """
@@ -126,7 +136,15 @@ class Sweep:
             for cell in self.cells()
             for trial in range(self.repeats)
         ]
-        results = run_trials(fn, specs, workers=workers, batch=batch, batch_fn=batch_fn)
+        results = run_trials(
+            fn,
+            specs,
+            workers=workers,
+            batch=batch,
+            batch_fn=batch_fn,
+            pool=pool,
+            arenas=arenas,
+        )
         new_records = [
             SweepRecord(spec.params, spec.seed, result)
             for spec, result in zip(specs, results)

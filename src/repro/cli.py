@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli sweep --n 5 9 13 --window 1 2 --repeats 5 --workers 4
     python -m repro.cli sweep --n 9 --repeats 32 --workers 4 --batch 8
     python -m repro.cli sweep --family dbac --n 11 16 --strategy extreme --batch 8
+    python -m repro.cli sweep --n 9 --workers 4 --batch 8 --pool fresh --no-arenas
 
 Exit status is 0 when the run's verdict matches the theory (correct
 for the positive scenarios, violating for the impossibility ones).
@@ -212,7 +213,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed0=args.seed,
     )
     started = time.perf_counter()
-    sweep.run(trial, workers=args.workers, batch=args.batch)
+    sweep.run(
+        trial,
+        workers=args.workers,
+        batch=args.batch,
+        pool=args.pool,
+        arenas=not args.no_arenas,
+    )
     elapsed = time.perf_counter() - started
     table = sweep.to_table(
         "n",
@@ -361,6 +368,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="trials advanced in lock-step per batched call "
         "(repro.sim.batch; composes with --workers); records are "
         "identical for every batch size",
+    )
+    p_sweep.add_argument(
+        "--pool",
+        choices=["persist", "fresh"],
+        default="persist",
+        help="worker-pool lifecycle: 'persist' (default) reuses one "
+        "warm pool across sweeps in this process, 'fresh' spins a "
+        "pool up per sweep; records are identical either way",
+    )
+    p_sweep.add_argument(
+        "--no-arenas",
+        action="store_true",
+        help="disable shared-memory structure-table publication for "
+        "batched dispatch (repro.sim.arena); a pure speed knob, "
+        "records are identical either way",
     )
     p_sweep.set_defaults(fn=_cmd_sweep)
 

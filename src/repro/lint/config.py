@@ -60,10 +60,11 @@ class LintConfig:
     )
 
     # -- optional numpy ---------------------------------------------------
-    # numpy is an optional extra: only the batch kernel may import it,
-    # and only behind the documented try/except ImportError guard so
-    # the pure-Python fallback keeps the package importable without it.
-    numpy_modules: tuple[str, ...] = ("repro.sim.batch",)
+    # numpy is an optional extra: only the batch kernel and the
+    # shared-memory arena layer may import it, and only behind the
+    # documented try/except ImportError guard so the pure-Python
+    # fallback keeps the package importable without it.
+    numpy_modules: tuple[str, ...] = ("repro.sim.batch", "repro.sim.arena")
 
     # -- engine hot path --------------------------------------------------
     # The round engine and the batch kernels must stay free of the
@@ -156,8 +157,32 @@ class LintConfig:
     # -- worker contracts --------------------------------------------------
     # Keyword names that mark a call as fanning work over processes;
     # function-valued arguments in such calls must be module-level.
+    # ``pool_keywords`` mark the same fan-out surface through the
+    # persistent-pool entry points (``pool="persist"`` / ``"fresh"``):
+    # a pool keyword implies process dispatch unless an explicit
+    # serial ``workers`` literal on the same call rules it out.
     worker_keywords: tuple[str, ...] = ("workers",)
+    pool_keywords: tuple[str, ...] = ("pool",)
     batch_fn_attr: str = "batch_fn"
+
+    # -- shared-memory arenas ----------------------------------------------
+    # Tables served by the arena layer are read-only by contract:
+    # warm pool workers hand out zero-copy views into shared segments,
+    # so a write through one would corrupt every other worker's (and
+    # the parent's) view of the graph. Names bound to these factories
+    # must never be written through -- kernels copy first.
+    arena_module: str = "repro.sim.arena"
+    arena_factories: tuple[str, ...] = ("delivered_table",)
+    arena_mutating_methods: tuple[str, ...] = (
+        "fill",
+        "sort",
+        "partition",
+        "put",
+        "itemset",
+        "setflags",
+        "resize",
+        "byteswap",
+    )
 
     # Free-form extras for tests / future rules.
     extras: dict = field(default_factory=dict)

@@ -292,6 +292,28 @@ class Topology:
         """
         self._route_cache = (token, plan)
 
+    def delivered_bytes(self) -> bytes:
+        """The receiver-major delivered-from table as packed bytes.
+
+        ``n*n`` bytes where byte ``v * n + u`` is 1 iff the edge
+        ``(u, v)`` exists -- i.e. row ``v`` lists the senders receiver
+        ``v`` hears from, matching :meth:`in_rows`. No diagonal: the
+        model excludes self-loops, and reliable self-delivery is the
+        engine's concern, applied per live set downstream.
+
+        This is the arena export hook (:mod:`repro.sim.arena`): the
+        bytes are position-independent and identical across processes,
+        so one copy per :attr:`content_hash` can be published to a
+        shared-memory segment and viewed zero-copy by every worker.
+        The result is rebuilt per call -- callers are expected to memo
+        it by content hash, not per instance.
+        """
+        n = self._n
+        packed = bytearray(n * n)
+        for u, v in self._edges:
+            packed[v * n + u] = 1
+        return bytes(packed)
+
     def out_row(self, u: int) -> tuple[int, ...]:
         """Receivers of ``u`` as a sorted tuple."""
         return self.out_rows()[u]

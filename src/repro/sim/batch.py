@@ -29,7 +29,7 @@ and crash plan from its own seed through the exact same
 :mod:`repro.sim.rng` child streams the serial builders use, so batching
 (and batch *order*) cannot perturb results.
 
-Two lane families are covered (see docs/batching.md):
+Three lane families are covered (see docs/batching.md):
 
 - :class:`BatchEngine` / :func:`run_dac_batch` -- fault-free and
   crash-fault boundary DAC under the enforcing quorum adversaries,
@@ -43,7 +43,14 @@ Two lane families are covered (see docs/batching.md):
   updates, replicates the value-dependent ``nearest`` selection with
   one stable argsort per round, and supports **lane compaction**:
   finished rows are re-filled from a pending seed queue so long-tailed
-  grids keep full vector width.
+  grids keep full vector width;
+- :class:`BaselineBatchEngine` / :func:`run_baseline_batch` -- the
+  reliable-channel averaging baselines (iterated midpoint / trimmed
+  mean) under the same enforcing quorum adversaries, precisely what
+  :func:`repro.workloads.run_baseline_trial` runs. Two floats of
+  per-node state and a fixed round budget make these the simplest
+  lanes: one ``(B, n)`` value matrix advanced for exactly
+  ``num_rounds`` delivery rounds.
 
 Composition: :func:`repro.workloads.run_dac_trial_batch` (and the
 DBAC/Byzantine forms ``run_dbac_trial_batch`` / ``run_byz_trial_batch``)
@@ -58,8 +65,15 @@ from collections import deque
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.adversary.constrained import rotate_topology
+from repro.adversary.constrained import (
+    LastMinuteQuorumAdversary,
+    RotatingQuorumAdversary,
+    rotate_topology,
+)
+from repro.core.baselines import IteratedMidpointProcess, TrimmedMeanProcess
+from repro.core.phases import dac_end_phase
 from repro.net.ports import random_ports
+from repro.sim.arena import delivered_table
 from repro.sim.rng import child_rng, spawn_inputs
 
 try:  # numpy is an optional extra (``pip install repro[numpy]``)
@@ -77,6 +91,13 @@ _VECTOR_SELECTORS = ("rotate",)
 
 # Sentinel crash round for nodes that never crash (far beyond any cap).
 _NEVER = 1 << 62
+
+# Cap on each engine's derived-structure cache (live-diagonal matrices
+# keyed by (live_key, salt mod n)). Cleared wholesale at the cap, like
+# the Topology intern table: a realistic crash schedule settles into a
+# cycle of at most a few live sets x n salts, far below the cap, but
+# unbounded live-set streams (long mobile sweeps) must not grow it.
+_STRUCTURE_CACHE_MAX = 4096
 
 
 def numpy_available() -> bool:
@@ -305,21 +326,27 @@ class BatchEngine:
         Derived from the *same* interned round
         :class:`~repro.net.topology.Topology` the serial enforcing
         adversary plays (:func:`repro.adversary.constrained.rotate_topology`),
-        by reading its cached in-adjacency rows -- one graph
-        representation across the serial and batched paths. Diagonal
-        entries encode the engine's reliable self-delivery. The matrix
-        depends only on the live set and ``salt mod n``, so after the
-        crash schedule settles it cycles with period ``n``.
+        via the shared content-hash table memo of
+        :func:`repro.sim.arena.delivered_table` -- one graph
+        representation across the serial, batched and pooled paths.
+        Diagonal entries encode the engine's reliable self-delivery.
+        The matrix depends only on the live set and ``salt mod n``, so
+        after the crash schedule settles it cycles with period ``n``.
         """
-        np = _np
         key = (live_key, salt % self.n)
         cached = self._structure_cache.get(key)
         if cached is None:
             topology = rotate_topology(self.n, live_key, salt, self.degree)
-            delivered = np.zeros((self.n, self.n), dtype=bool)
-            for receiver, senders in enumerate(topology.in_rows()):
-                delivered[list(senders), receiver] = True
-            delivered[list(live_key), list(live_key)] = True
+            # Pure-graph table from the shared content-hash memo
+            # (zero-copy from an attached arena in warm pool workers);
+            # only the sender-major transpose with the live diagonal --
+            # per-execution state, not graph structure -- is private.
+            base = delivered_table(topology)
+            delivered = base.T.copy()
+            live = list(live_key)
+            delivered[live, live] = True
+            if len(self._structure_cache) >= _STRUCTURE_CACHE_MAX:
+                self._structure_cache.clear()
             self._structure_cache[key] = delivered
             cached = delivered
         return cached
@@ -993,18 +1020,18 @@ class ByzBatchEngine:
         (Byzantine senders included, no crashes), so the matrix depends
         only on ``salt mod n``.
         """
-        np = _np
         key = salt % self.n
         cached = self._rotate_cache.get(key)
         if cached is None:
-            topology = rotate_topology(
-                self.n, tuple(range(self.n)), salt, self.degree
+            # The rotate matrix *is* the pure-graph delivered table:
+            # receiver-major, no diagonal. Serve it straight from the
+            # shared content-hash memo (zero-copy from an attached
+            # arena in warm pool workers); the per-engine key set is
+            # inherently bounded at n.
+            cached = delivered_table(
+                rotate_topology(self.n, tuple(range(self.n)), salt, self.degree)
             )
-            matrix = np.zeros((self.n, self.n), dtype=bool)
-            for receiver, senders in enumerate(topology.in_rows()):
-                matrix[receiver, list(senders)] = True
-            self._rotate_cache[key] = matrix
-            cached = matrix
+            self._rotate_cache[key] = cached
         return cached
 
     def _kernel_quorum(self, rows, pending, results) -> None:
@@ -1554,3 +1581,338 @@ def run_dbac_batch(
         compact=compact,
         on_lane=on_lane,
     )
+
+
+# The averaging-baseline lane family (repro.core.baselines): selectors
+# whose delivered-from structure the vectorized kernel replicates.
+# ``rotate`` reuses the shared content-hash tables; ``nearest`` reuses
+# the stable-argsort helper (fault-free, no Byzantine quota); the
+# RNG-driven ``random`` selector falls back to the python backend.
+_BASELINE_VECTOR_SELECTORS = ("rotate", "nearest")
+
+# Local name->process map, kept in sync with
+# ``repro.workloads._BASELINE_PROCESSES`` (not imported: workloads
+# imports this module's package).
+_BASELINE_ENGINE_PROCESSES = {
+    "midpoint": IteratedMidpointProcess,
+    "trimmed": TrimmedMeanProcess,
+}
+
+
+class BaselineBatchEngine:
+    """Runs ``B`` independent averaging-baseline lanes in lock-step.
+
+    The baseline counterpart of :class:`BatchEngine`: one shared
+    parameter assignment, one seed per lane, lane families exactly as
+    :func:`repro.workloads.run_baseline_trial` builds them -- the
+    reliable-channel iterated ``"midpoint"`` (Dolev et al.) or
+    trim-``f`` ``"trimmed"`` mean running fault-free under the same
+    enforcing ``(window, floor(n/2))`` quorum adversary and seed/input
+    streams as the DAC trials.
+
+    The numpy kernel exploits what makes these lanes special: every
+    node advances its round counter on every engine round (self
+    delivery keeps the batch non-empty), every lane outputs at exactly
+    ``num_rounds``, and the whole per-node state is one float. Silent
+    window rounds are provably value-preserving (the midpoint of
+    ``{v}`` is ``v``; a trimmed batch of one is either ``{v}`` or
+    empty), so the kernel only touches the ``(B, n)`` value matrix on
+    delivery rounds. Results are bit-identical to serial runs -- same
+    floats, same round counts, same ``state_key()`` tuples.
+
+    Parameters mirror :func:`repro.workloads.run_baseline_trial`;
+    ``num_rounds=None`` defaults to DAC's ``p_end`` for the given
+    ``epsilon``, and ``backend`` resolves as in :class:`BatchEngine`
+    with ``_BASELINE_VECTOR_SELECTORS`` as the vectorizable set.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seeds: Sequence[int],
+        *,
+        algorithm: str = "midpoint",
+        f: int = 0,
+        epsilon: float = 1e-3,
+        window: int = 1,
+        selector: str = "rotate",
+        num_rounds: int | None = None,
+        backend: str = "auto",
+    ) -> None:
+        self.seeds = [int(seed) for seed in seeds]
+        if not self.seeds:
+            raise ValueError("need at least one seed (one lane)")
+        if algorithm not in _BASELINE_ENGINE_PROCESSES:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; "
+                f"known: {sorted(_BASELINE_ENGINE_PROCESSES)}"
+            )
+        self.n = n
+        self.f = int(f)
+        self.algorithm = algorithm
+        self.epsilon = float(epsilon)
+        self.window = int(window)
+        self.selector = selector
+        # The DAC sufficiency threshold floor(n/2), kept in sync with
+        # :func:`repro.workloads.dac_degree` (not imported: workloads
+        # imports this module's package).
+        self.degree = n // 2
+        self.num_rounds = (
+            dac_end_phase(epsilon) if num_rounds is None else int(num_rounds)
+        )
+        # The serial trial's engine cap (the baselines complete one
+        # averaging phase per round plus a window of slack); lanes
+        # always output at num_rounds, so only the python backend's
+        # defensive cap can ever see it.
+        self.max_rounds = self.num_rounds + 2 * self.window
+        # Probes validate exactly what the serial builder would reject:
+        # the process refuses negative round budgets, the adversary
+        # refuses bad selectors, windows and degrees (n < 2).
+        _BASELINE_ENGINE_PROCESSES[algorithm](
+            n, self.f, 0.0, 0, num_rounds=self.num_rounds
+        )
+        self._adversary()
+        self.backend = self._resolve_backend(backend)
+        # salt -> receiver-major delivered-from table for the rotate
+        # selector; at most n entries (cyclic in salt mod n).
+        self._rotate_cache: dict[int, object] = {}
+
+    @property
+    def batch_size(self) -> int:
+        """Number of lanes ``B``."""
+        return len(self.seeds)
+
+    def _adversary(self):
+        """A fresh enforcing adversary, exactly the serial trial's."""
+        if self.window == 1:
+            return RotatingQuorumAdversary(self.degree, selector=self.selector)
+        return LastMinuteQuorumAdversary(
+            self.window, self.degree, selector=self.selector
+        )
+
+    def _resolve_backend(self, backend: str) -> str:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        vectorizable = numpy_available() and self.selector in _BASELINE_VECTOR_SELECTORS
+        if backend == "auto":
+            return "numpy" if vectorizable else "python"
+        if backend == "numpy" and not vectorizable:
+            reason = (
+                "numpy is not installed"
+                if not numpy_available()
+                else f"selector {self.selector!r} is not vectorizable "
+                f"(supported: {_BASELINE_VECTOR_SELECTORS})"
+            )
+            raise ValueError(f"numpy backend unavailable: {reason}")
+        return backend
+
+    def run(self) -> list[LaneResult]:
+        """Run every lane to its fixed round budget; results in seed order."""
+        if self.backend == "numpy":
+            return self._run_numpy()
+        return self._run_python()
+
+    # -- python backend: lock-step over real engines -------------------
+
+    def _build_serial_engine(self, seed: int):
+        # Local imports: the runner/workloads layers import this
+        # module's package, so top-level imports here would be cyclic.
+        from repro.faults.base import FaultPlan
+        from repro.sim.engine import Engine
+
+        inputs = spawn_inputs(seed, self.n)
+        ports = random_ports(self.n, child_rng(seed, "ports"))
+        process_type = _BASELINE_ENGINE_PROCESSES[self.algorithm]
+        processes = {
+            node: process_type(
+                self.n,
+                self.f,
+                inputs[node],
+                ports.self_port(node),
+                num_rounds=self.num_rounds,
+            )
+            for node in range(self.n)
+        }
+        return Engine(
+            processes,
+            self._adversary(),
+            ports,
+            fault_plan=FaultPlan.fault_free_plan(self.n),
+            f=self.f,
+            seed=seed,
+            record_trace=False,
+        )
+
+    def _run_python(self) -> list[LaneResult]:
+        engines = [self._build_serial_engine(seed) for seed in self.seeds]
+        results: list[LaneResult | None] = [None] * len(engines)
+
+        def finalize(index: int, rounds: int, stopped: bool) -> None:
+            engine = engines[index]
+            plan = engine.fault_plan
+            outputs = {
+                v: engine.processes[v].output()
+                for v in sorted(plan.fault_free)
+                if engine.processes[v].has_output()
+            }
+            results[index] = LaneResult(
+                seed=self.seeds[index],
+                rounds=rounds,
+                stopped=stopped,
+                inputs={
+                    node: proc.input_value for node, proc in engine.processes.items()
+                },
+                outputs=outputs,
+                state_keys={
+                    node: proc.state_key() for node, proc in engine.processes.items()
+                },
+            )
+
+        active = list(range(len(engines)))
+        t = 0
+        while active:
+            # Same order as Engine.run: stop_when before each round,
+            # then the documented final check at the cap.
+            still = []
+            for index in active:
+                if engines[index].all_fault_free_output():
+                    finalize(index, t, True)
+                elif t >= self.max_rounds:
+                    finalize(index, t, False)
+                else:
+                    still.append(index)
+            for index in still:
+                engines[index].run_round()
+            active = still
+            t += 1
+        return [result for result in results if result is not None]
+
+    # -- numpy backend: fixed-budget value iteration --------------------
+
+    def _rotate_matrix(self, salt: int):
+        """Receiver-major delivered-from bools of one rotate round.
+
+        The fault-free rotate structure from the shared content-hash
+        table memo (:func:`repro.sim.arena.delivered_table` -- zero
+        copy from an attached arena in warm pool workers); no diagonal,
+        self delivery is folded in explicitly by the update rules.
+        """
+        key = salt % self.n
+        cached = self._rotate_cache.get(key)
+        if cached is None:
+            cached = delivered_table(
+                rotate_topology(self.n, tuple(range(self.n)), salt, self.degree)
+            )
+            self._rotate_cache[key] = cached
+        return cached
+
+    def _run_numpy(self) -> list[LaneResult]:
+        np = _np
+        n = self.n
+        lanes = len(self.seeds)
+        trim = self.f
+
+        inputs = np.empty((lanes, n), dtype=np.float64)
+        for b, seed in enumerate(self.seeds):
+            inputs[b] = spawn_inputs(seed, n)
+        value = inputs.copy()
+
+        for t in range(self.num_rounds):
+            if self.window > 1 and (t + 1) % self.window != 0:
+                # Silent window round: only the node's own echo is
+                # delivered, which is bit-for-bit value-preserving
+                # (0.5 * (v + v) == v; a trimmed batch of one is {v}
+                # or empty). Round counters advance uniformly -- the
+                # finalize block accounts for every t at once.
+                continue
+            salt = t if self.window == 1 else t // self.window
+            if self.selector == "rotate":
+                delivered = np.broadcast_to(self._rotate_matrix(salt), (lanes, n, n))
+            else:
+                delivered = nearest_delivered(
+                    value, np.empty(0, dtype=np.intp), 0, self.degree
+                )
+            vals = value[:, None, :]
+            if self.algorithm == "midpoint":
+                # min/max over delivered senders and self -- the same
+                # two floats the serial deliver() reduces, so the
+                # midpoint is the identical IEEE result.
+                lo = np.minimum(np.where(delivered, vals, np.inf).min(axis=2), value)
+                hi = np.maximum(np.where(delivered, vals, -np.inf).max(axis=2), value)
+                value = 0.5 * (lo + hi)
+            else:
+                # Sort delivered-plus-self per receiver (inf padding
+                # keeps absentees past every real value), then read the
+                # trim-f extremes at their counted positions.
+                stacked = np.concatenate(
+                    [np.where(delivered, vals, np.inf), value[:, :, None]], axis=2
+                )
+                ordered = np.sort(stacked, axis=2)
+                counts = delivered.sum(axis=2) + 1
+                low = ordered[:, :, min(trim, n)]
+                high = np.take_along_axis(
+                    ordered, np.clip(counts - trim - 1, 0, n)[:, :, None], axis=2
+                )[:, :, 0]
+                # Batches of <= 2f values trim to nothing: v unchanged.
+                value = np.where(counts > 2 * trim, 0.5 * (low + high), value)
+
+        # Every lane outputs at exactly num_rounds (uniform round
+        # advance), where state_key() is (v, num_rounds, output=v).
+        results: list[LaneResult] = []
+        for b, seed in enumerate(self.seeds):
+            lane_outputs = {node: float(value[b, node]) for node in range(n)}
+            results.append(
+                LaneResult(
+                    seed=seed,
+                    rounds=self.num_rounds,
+                    stopped=True,
+                    inputs={node: float(inputs[b, node]) for node in range(n)},
+                    outputs=lane_outputs,
+                    state_keys={
+                        node: (lane_outputs[node], self.num_rounds, lane_outputs[node])
+                        for node in range(n)
+                    },
+                )
+            )
+        return results
+
+
+def run_baseline_batch(
+    n: int,
+    seeds: Sequence[int],
+    *,
+    algorithm: str = "midpoint",
+    f: int = 0,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "rotate",
+    num_rounds: int | None = None,
+    backend: str = "auto",
+    on_lane: Callable[[LaneResult], None] | None = None,
+) -> list[LaneResult]:
+    """Run one batch of averaging-baseline executions, one lane per seed.
+
+    Convenience wrapper over :class:`BaselineBatchEngine`; see its
+    docstring for parameter semantics and the bit-identity contract.
+    ``on_lane`` is called once per finished lane, in lane (seed) order
+    (see :func:`run_dac_batch`).
+
+    >>> lanes = run_baseline_batch(5, [0, 1], num_rounds=3, backend="python")
+    >>> [(lane.seed, lane.rounds, lane.stopped) for lane in lanes]
+    [(0, 3, True), (1, 3, True)]
+    """
+    lanes = BaselineBatchEngine(
+        n,
+        seeds,
+        algorithm=algorithm,
+        f=f,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        num_rounds=num_rounds,
+        backend=backend,
+    ).run()
+    if on_lane is not None:
+        for lane in lanes:
+            on_lane(lane)
+    return lanes

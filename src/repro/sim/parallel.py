@@ -28,6 +28,34 @@ Trial functions must be picklable (module-level functions, not lambdas
 or closures) when ``workers > 1``; the serial path has no such
 restriction, which keeps ad-hoc lambdas working for ``workers=1``.
 
+**Persistent worker pool.** By default (``pool="persist"``) the
+process pool is a lazily-created module-level singleton reused across
+``run_trials`` / ``Sweep.run`` calls, so pool startup is paid once per
+process instead of once per sweep and warm workers keep their
+per-process caches (interned Topologies, routing plans, and the
+content-hash keyed structure-table memo of :mod:`repro.sim.arena`)
+across sweeps. :func:`close_pool` tears it down explicitly (also
+wired to ``atexit``); ``pool="fresh"`` restores the old
+pool-per-call behaviour. A crashed pool is closed and rebuilt on the
+next call; the crash itself propagates.
+
+**Shared-memory arenas.** Batched dispatch additionally publishes the
+per-topology structure tables a sweep will need (declared by the
+batched function's optional ``arena_plan(params)`` attribute) to
+shared-memory segments, once per :attr:`Topology.content_hash`, and
+ships workers a tiny manifest instead of re-pickled arrays -- workers
+attach the tables read-only, zero-copy. ``arenas=False`` (CLI
+``--no-arenas``) disables publication; without numpy or
+``shared_memory`` it silently degrades to the plain pickle path.
+Results are bit-identical either way.
+
+**Adaptive dispatch.** Work is submitted as deterministically-sized
+*guided* chunks (sizes decay from ``len/2W`` toward 1), so early
+chunks amortize IPC while the small tail keeps heterogeneous grids
+(mixed ``n``, mixed adversaries) balanced across workers without
+work-stealing nondeterminism: chunk boundaries depend only on counts,
+and collection stays order-stable.
+
 **Event forwarding.** Observability events raised inside a trial
 (e.g. ``repro.obs`` ``RunFinished``) used to die with their worker
 process. A trial that calls :func:`record_event` now gets its events
@@ -40,12 +68,16 @@ ordinary sweeps pay nothing.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
+
+from repro.sim.arena import ArenaRegistry, arenas_available, attach_manifest
 
 # Process-wide defaults consulted when ``workers=None`` / ``batch=None``
 # is requested. CLI entry points set these from their ``--workers`` and
@@ -54,6 +86,8 @@ from typing import Any
 # through every call site.
 _default_workers = 1
 _default_batch = 1
+
+_POOL_MODES = ("persist", "fresh")
 
 
 def set_default_workers(workers: int) -> None:
@@ -108,6 +142,71 @@ def resolve_workers(workers: int | None) -> int:
     if workers == 0:
         workers = os.cpu_count() or 1
     return workers
+
+
+def resolve_pool(pool: str | None) -> str:
+    """Normalize a ``pool`` request to a concrete lifecycle mode.
+
+    ``None`` means the default, ``"persist"`` (reuse the module-level
+    pool across calls); ``"fresh"`` spins a pool up per call.
+    """
+    if pool is None:
+        return "persist"
+    if pool not in _POOL_MODES:
+        raise ValueError(f"pool must be one of {_POOL_MODES}, got {pool!r}")
+    return pool
+
+
+# -- Persistent worker pool ---------------------------------------------
+
+_pool_executor: ProcessPoolExecutor | None = None
+_pool_size = 0
+_pool_atexit_installed = False
+
+# One registry for the process: segments published for any sweep stay
+# available (keyed by content hash) until the pool is closed.
+_arena_registry = ArenaRegistry()
+
+
+def arena_registry() -> ArenaRegistry:
+    """The process-wide arena registry (tests, benches, diagnostics)."""
+    return _arena_registry
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent pool, created lazily and grown on demand.
+
+    A pool at least ``workers`` wide is reused as-is (idle workers are
+    cheap, warm caches are not); a narrower one is drained and
+    replaced. First creation registers :func:`close_pool` with
+    ``atexit`` so interpreter exit always reaches the teardown path.
+    """
+    global _pool_executor, _pool_size, _pool_atexit_installed
+    if _pool_executor is not None and _pool_size < workers:
+        _pool_executor.shutdown(wait=True)
+        _pool_executor = None
+    if _pool_executor is None:
+        _pool_executor = ProcessPoolExecutor(max_workers=workers)
+        _pool_size = workers
+        if not _pool_atexit_installed:
+            _pool_atexit_installed = True
+            atexit.register(close_pool)
+    return _pool_executor
+
+
+def close_pool() -> None:
+    """Shut down the persistent pool and unlink all arena segments.
+
+    Idempotent; the next pooled ``run_trials`` call simply recreates
+    both. This is the deterministic cleanup point -- ``atexit`` and
+    the arena module's signal path funnel into the same teardown.
+    """
+    global _pool_executor, _pool_size
+    executor, _pool_executor = _pool_executor, None
+    _pool_size = 0
+    if executor is not None:
+        executor.shutdown(wait=True)
+    _arena_registry.close()
 
 
 @dataclass(frozen=True)
@@ -189,6 +288,26 @@ def _invoke_batch(
     return list(batch_fn(**kwargs))
 
 
+def _invoke_chunk(payloads: list[Any]) -> list[Any]:
+    """Worker-side entry point: run one guided chunk of trials."""
+    return [_invoke(payload) for payload in payloads]
+
+
+def _invoke_batch_chunk(job: tuple[Any, list[Any]]) -> list[Any]:
+    """Worker-side entry point: attach arenas, then run a chunk of groups.
+
+    The manifest ships once per chunk (not per group): workers attach
+    the published structure tables read-only before the first group
+    runs, so every batched kernel in the chunk hits shared memory
+    instead of rebuilding tables. A ``None`` manifest (arenas off or
+    unavailable) is a no-op.
+    """
+    manifest, payloads = job
+    if manifest:
+        attach_manifest(manifest)
+    return [_invoke_batch(payload) for payload in payloads]
+
+
 def _batch_groups(
     specs: Sequence[TrialSpec], size: int
 ) -> list[tuple[tuple[tuple[str, Any], ...], list[int]]]:
@@ -224,6 +343,55 @@ def _check_shippable(fn: Callable[..., Any], payloads: Any, count: int) -> None:
         ) from exc
 
 
+def _chunk_bounds(count: int, max_workers: int) -> list[tuple[int, int]]:
+    """Deterministic guided chunking over ``range(count)``.
+
+    Each chunk takes ``remaining // (2 * max_workers)`` items (at least
+    one), so sizes decay geometrically: early chunks amortize IPC, the
+    tail of single-item chunks keeps heterogeneous grids balanced.
+    Boundaries depend only on the two counts -- never on timing -- so
+    dispatch stays reproducible.
+    """
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    while start < count:
+        size = max(1, (count - start) // (max_workers * 2))
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _collect(
+    executor: ProcessPoolExecutor, chunk_fn: Callable[[Any], list[Any]], jobs: list[Any]
+) -> list[Any]:
+    # Submission order == collection order: order-stable by construction.
+    futures = [executor.submit(chunk_fn, job) for job in jobs]
+    results: list[Any] = []
+    for future in futures:
+        results.extend(future.result())
+    return results
+
+
+def _fan_out(
+    chunk_fn: Callable[[Any], list[Any]],
+    jobs: list[Any],
+    max_workers: int,
+    pool_mode: str,
+) -> list[Any]:
+    if pool_mode == "fresh":
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            return _collect(executor, chunk_fn, jobs)
+    executor = get_pool(max_workers)
+    try:
+        return _collect(executor, chunk_fn, jobs)
+    except BrokenProcessPool:
+        # A dead pool cannot be reused: tear it (and the arena
+        # segments only its workers held attached) down so the next
+        # call starts clean, then let the crash propagate.
+        close_pool()
+        raise
+
+
 def run_trials(
     fn: Callable[..., Any],
     specs: Sequence[TrialSpec],
@@ -231,6 +399,8 @@ def run_trials(
     batch: int | None = 1,
     batch_fn: Callable[..., Sequence[Any]] | None = None,
     on_event: Callable[[Any], None] | None = None,
+    pool: str | None = None,
+    arenas: bool | None = None,
 ) -> list[Any]:
     """Run ``fn(**spec.params, seed=spec.seed)`` for every spec, in order.
 
@@ -240,6 +410,13 @@ def run_trials(
     ``specs`` (never completion order), and each trial's seed is taken
     from its spec, so for deterministic ``fn`` the output is identical
     to the serial path's.
+
+    ``pool`` selects the pool lifecycle: ``"persist"`` (the default)
+    reuses the module-level pool across calls (see :func:`get_pool` /
+    :func:`close_pool`), ``"fresh"`` spins one up per call. ``arenas``
+    (default True) lets batched dispatch publish shared-memory
+    structure tables for the workers to attach -- a pure speed knob,
+    silently skipped when unavailable.
 
     ``batch`` (with a ``batch_fn``, defaulting to ``fn``'s own
     ``batch_fn`` attribute) additionally groups consecutive
@@ -275,6 +452,8 @@ def run_trials(
     """
     count = resolve_workers(workers)
     size = resolve_batch(batch)
+    pool_mode = resolve_pool(pool)
+    use_arenas = True if arenas is None else bool(arenas)
     specs = list(specs)
     forward = on_event is not None
     if batch_fn is None:
@@ -294,10 +473,11 @@ def run_trials(
         else:
             _check_shippable(fn, payloads, count)
             max_workers = min(count, len(specs))
-            # Chunking amortizes IPC for large grids without hurting balance.
-            chunksize = max(1, len(specs) // (max_workers * 4))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                raw = list(pool.map(_invoke, payloads, chunksize=chunksize))
+            jobs = [
+                payloads[start:stop]
+                for start, stop in _chunk_bounds(len(payloads), max_workers)
+            ]
+            raw = _fan_out(_invoke_chunk, jobs, max_workers, pool_mode)
         if not forward:
             return raw
         results = []
@@ -313,10 +493,21 @@ def run_trials(
         nested = [_invoke_batch(payload) for payload in payloads]
     else:
         _check_shippable(batch_fn, payloads, count)
+        manifest = None
+        if use_arenas and arenas_available():
+            plan_fn = getattr(batch_fn, "arena_plan", None)
+            if plan_fn is not None:
+                topologies = []
+                for params, _seeds in groups:
+                    topologies.extend(plan_fn(dict(params)))
+                if topologies:
+                    manifest = _arena_registry.publish(topologies)
         max_workers = min(count, len(payloads))
-        chunksize = max(1, len(payloads) // (max_workers * 4))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            nested = list(pool.map(_invoke_batch, payloads, chunksize=chunksize))
+        jobs = [
+            (manifest, payloads[start:stop])
+            for start, stop in _chunk_bounds(len(payloads), max_workers)
+        ]
+        nested = _fan_out(_invoke_batch_chunk, jobs, max_workers, pool_mode)
     if forward:
         unwrapped = []
         for group_results, events in nested:

@@ -24,6 +24,7 @@ from typing import Any
 from repro.adversary.constrained import (
     LastMinuteQuorumAdversary,
     RotatingQuorumAdversary,
+    rotate_topology,
 )
 from repro.adversary.split import (
     IsolateThenConnectAdversary,
@@ -886,11 +887,15 @@ def run_baseline_trial(
     one phase per round on reliable graphs, making the round budgets
     comparable).
 
-    Deterministic in ``seed``; the attached ``batch_fn`` groups seeds
-    per dispatch (the baselines have no vectorized lock-step kernel --
-    see docs/batching.md for which families do).
+    Deterministic in ``seed`` with the same batch_fn contract as
+    :func:`run_dac_trial`; under ``batch=B`` the lanes advance through
+    the vectorized :class:`repro.sim.batch.BaselineBatchEngine` kernel
+    (two floats of per-node state, fixed round budget).
 
-    >>> run_baseline_trial(n=6, algorithm="midpoint", seed=0)["terminated"]
+    >>> summary = run_baseline_trial(n=6, algorithm="midpoint", seed=0)
+    >>> summary["terminated"]
+    True
+    >>> run_baseline_trial.batch_fn(n=6, algorithm="midpoint", seeds=[0]) == [summary]
     True
     """
     from repro.sim.runner import run_consensus  # local import: runner is heavy
@@ -939,12 +944,148 @@ def run_baseline_trial(
 
 
 def run_baseline_trial_batch(
+    n: int,
+    algorithm: str = "midpoint",
+    f: int = 0,
+    epsilon: float = 1e-3,
+    window: int = 1,
+    selector: str = "rotate",
+    num_rounds: int | None = None,
+    fast: bool = True,
+    observe: bool = False,
     seeds: Any = (),
-    **params: Any,
 ) -> list[dict[str, Any]]:
-    """Batched :func:`run_baseline_trial` (grouping contract, see
-    :func:`run_dbac_trial_batch`)."""
-    return [run_baseline_trial(**params, seed=int(seed)) for seed in seeds]
+    """Batched :func:`run_baseline_trial`: one summary per seed, in order.
+
+    The batched-trial form the parallel layer dispatches (attached
+    below as ``run_baseline_trial.batch_fn``): returns exactly
+    ``[run_baseline_trial(..., seed=s) for s in seeds]``, computed by
+    one lock-step :class:`repro.sim.batch.BaselineBatchEngine` pass --
+    a fixed-budget vectorized value iteration when numpy is installed
+    and the selector is vectorizable (``rotate``/``nearest``),
+    serial-engine lock-step otherwise. The non-fast and observed paths
+    record per-trial engine snapshots, which batching cannot amortize,
+    so they delegate to the serial trial.
+    """
+    from repro.sim.batch import run_baseline_batch
+
+    seeds = [int(seed) for seed in seeds]
+    if not fast or observe:
+        return [
+            run_baseline_trial(
+                n=n,
+                algorithm=algorithm,
+                f=f,
+                epsilon=epsilon,
+                window=window,
+                selector=selector,
+                num_rounds=num_rounds,
+                seed=seed,
+                fast=fast,
+                observe=observe,
+            )
+            for seed in seeds
+        ]
+    lanes = run_baseline_batch(
+        n,
+        seeds,
+        algorithm=algorithm,
+        f=f,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        num_rounds=num_rounds,
+    )
+    return [_lane_summary(lane, epsilon) for lane in lanes]
 
 
 run_baseline_trial.batch_fn = run_baseline_trial_batch  # type: ignore[attr-defined]
+
+
+def _rotate_cycle(n: int, live: tuple[int, ...], degree: int) -> list[Any]:
+    """One full salt cycle of interned rotate topologies (period ``n``)."""
+    return [rotate_topology(n, live, salt, degree) for salt in range(n)]
+
+
+def _fast_rotate_params(params: dict[str, Any], default_selector: str) -> bool:
+    """Whether a batched group will run a rotate-structured numpy kernel.
+
+    Arena plans only publish for parameter groups whose batched form
+    actually reaches a kernel with static (value-independent) round
+    structure: the ``rotate`` selector on the fast, unobserved path.
+    Everything else ships no tables -- never wrong, just not
+    prepublished.
+    """
+    return (
+        params.get("selector", default_selector) == "rotate"
+        and params.get("fast", True)
+        and not params.get("observe", False)
+    )
+
+
+def _dac_arena_plan(params: dict[str, Any]) -> list[Any]:
+    """Topologies :func:`run_dac_trial_batch` will need, for prepublication.
+
+    The enforcing rotate structure cycles over ``salt mod n`` for each
+    live set the staggered crash schedule produces (all nodes, then one
+    fewer for each of the ``f`` default crashes, highest-numbered nodes
+    first-to-crash). Publishing is best-effort: a live set the run
+    never reaches is merely unused, a missed one is built locally.
+    """
+    if not _fast_rotate_params(params, "rotate"):
+        return []
+    n = params["n"]
+    f = params.get("f")
+    if f is None:
+        f = (n - 1) // 2
+    topologies: list[Any] = []
+    for crashed in range(f + 1):
+        live = tuple(range(n - f)) + tuple(range(n - f + crashed, n))
+        topologies.extend(_rotate_cycle(n, live, dac_degree(n)))
+    return topologies
+
+
+def _dbac_arena_plan(params: dict[str, Any]) -> list[Any]:
+    """Topologies :func:`run_dbac_trial_batch` will need (all-live cycle).
+
+    DBAC executions have no crashes (Byzantine nodes keep
+    transmitting), so the rotate structure is one all-live salt cycle
+    at the DBAC degree. The default ``nearest`` selector is
+    value-dependent -- no static tables to publish.
+    """
+    if not _fast_rotate_params(params, "nearest"):
+        return []
+    n = params["n"]
+    f = params.get("f")
+    if f is None:
+        f = (n - 1) // 5
+    return _rotate_cycle(n, tuple(range(n)), dbac_degree(n, f))
+
+
+def _byz_arena_plan(params: dict[str, Any]) -> list[Any]:
+    """Topologies :func:`run_byz_trial_batch` will need.
+
+    Quorum lanes are exactly the DBAC plan; mobile lanes build their
+    per-round omission masks in-kernel and ship nothing.
+    """
+    if params.get("adversary", "quorum") != "quorum":
+        return []
+    return _dbac_arena_plan({k: v for k, v in params.items() if k != "adversary"})
+
+
+def _baseline_arena_plan(params: dict[str, Any]) -> list[Any]:
+    """Topologies :func:`run_baseline_trial_batch` will need.
+
+    The baselines run fault-free, so the rotate structure is one
+    all-live salt cycle at the DAC degree.
+    """
+    if not _fast_rotate_params(params, "rotate"):
+        return []
+    n = params["n"]
+    return _rotate_cycle(n, tuple(range(n)), dac_degree(n))
+
+
+run_dac_trial_batch.arena_plan = _dac_arena_plan  # type: ignore[attr-defined]
+run_dbac_trial_batch.arena_plan = _dbac_arena_plan  # type: ignore[attr-defined]
+run_byz_trial_batch.arena_plan = _byz_arena_plan  # type: ignore[attr-defined]
+run_baseline_trial_batch.arena_plan = _baseline_arena_plan  # type: ignore[attr-defined]

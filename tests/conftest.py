@@ -2,10 +2,34 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.net.ports import identity_ports, random_ports
 from repro.sim.rng import child_rng
+
+
+@pytest.fixture(scope="session", autouse=True)
+def pool_arena_hygiene():
+    """Whole-suite shared-memory hygiene gate.
+
+    After the last test, close the persistent worker pool (unlinking
+    every published arena segment) and assert nothing this process
+    published is left behind -- neither in the registry nor on the
+    kernel's shared-memory filesystem. A leak anywhere in the suite
+    fails here with the segment names.
+    """
+    yield
+    from repro.sim import parallel
+
+    parallel.close_pool()
+    assert parallel.arena_registry().segment_names() == []
+    shm = Path("/dev/shm")
+    if shm.is_dir():
+        leaked = sorted(p.name for p in shm.glob(f"repro_arena_{os.getpid()}_*"))
+        assert leaked == [], f"leaked shared-memory segments: {leaked}"
 
 
 @pytest.fixture

@@ -8,7 +8,8 @@ that one reusable assertion instead of per-file copy-pasted grid
 loops:
 
 - a **config** is a plain dict naming a scenario family (``"dac"``,
-  ``"dbac"`` or ``"mobile"``), its parameters, and a tuple of seeds;
+  ``"dbac"``, ``"mobile"`` or ``"baseline"``), its parameters, and a
+  tuple of seeds;
 - an **executor** maps a config to one canonical result per seed --
   rounds, stopped, inputs, outputs and full per-node ``state_key()``s
   (the strongest equality available);
@@ -19,19 +20,28 @@ loops:
 Executors cover the serial engine's port-major sweep, the legacy
 sender-major loop, fully traced execution, both
 :mod:`repro.sim.batch` backends (multi-seed lanes, exercising
-lock-step interplay), and a ``workers=4`` process-pool leg.
+lock-step interplay), a ``workers=4`` process-pool leg, and an
+optional pooled *batched* leg (persistent pool + shared-memory
+arenas + guided chunking -- the full zero-copy dispatch stack).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.adversary.constrained import (
+    LastMinuteQuorumAdversary,
+    RotatingQuorumAdversary,
+)
 from repro.adversary.mobile import MOBILE_MODES, MobileOmissionAdversary
+from repro.core.baselines import IteratedMidpointProcess, TrimmedMeanProcess
 from repro.core.dac import DACProcess
+from repro.core.phases import dac_end_phase
 from repro.faults.base import FaultPlan
 from repro.net.ports import random_ports
 from repro.sim.batch import (
     numpy_available,
+    run_baseline_batch,
     run_byz_batch,
     run_dac_batch,
     run_dbac_batch,
@@ -43,6 +53,7 @@ from repro.workloads import (
     TRIAL_BYZANTINE_STRATEGIES,
     build_dac_execution,
     build_dbac_execution,
+    dac_degree,
 )
 
 #: Sentinel an executor returns when a config is outside its domain
@@ -82,6 +93,19 @@ _FAMILY_DEFAULTS: dict[str, dict[str, Any]] = {
         "epsilon": 1e-3,
         "max_rounds": 2_000,
     },
+    "baseline": {
+        "algorithm": "midpoint",
+        "f": 0,
+        "window": 1,
+        "selector": "rotate",
+        "epsilon": 1e-3,
+        "num_rounds": None,  # family default: dac_end_phase(epsilon)
+    },
+}
+
+_BASELINE_PROCESSES = {
+    "midpoint": IteratedMidpointProcess,
+    "trimmed": TrimmedMeanProcess,
 }
 
 
@@ -113,9 +137,12 @@ def normalize_config(config: dict[str, Any]) -> dict[str, Any]:
     elif family == "dbac":
         if full["f"] is None:
             full["f"] = (full["n"] - 1) // 5
-    else:
+    elif family == "mobile":
         if full["mode"] not in MOBILE_MODES:
             raise ValueError(f"unknown mobile mode {full['mode']!r}")
+    else:
+        if full["algorithm"] not in _BASELINE_PROCESSES:
+            raise ValueError(f"unknown baseline algorithm {full['algorithm']!r}")
     return full
 
 
@@ -150,6 +177,40 @@ def _build_serial(
         )
         stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
         return kwargs, stop, config["max_rounds"], "oracle"
+    if family == "baseline":
+        # Averaging baseline under DAC's boundary adversary: fixed
+        # round budget, output-based stopping (run_baseline_trial's
+        # family, vectorized by BaselineBatchEngine).
+        n = config["n"]
+        num_rounds = config["num_rounds"]
+        if num_rounds is None:
+            num_rounds = dac_end_phase(epsilon)
+        ports = random_ports(n, child_rng(seed, "ports"))
+        inputs = spawn_inputs(seed, n)
+        process_type = _BASELINE_PROCESSES[config["algorithm"]]
+        processes = {
+            v: process_type(
+                n, config["f"], inputs[v], ports.self_port(v), num_rounds=num_rounds
+            )
+            for v in range(n)
+        }
+        degree = dac_degree(n)
+        window = config["window"]
+        if window == 1:
+            adversary = RotatingQuorumAdversary(degree, selector=config["selector"])
+        else:
+            adversary = LastMinuteQuorumAdversary(
+                window, degree, selector=config["selector"]
+            )
+        kwargs = {
+            "processes": processes,
+            "adversary": adversary,
+            "ports": ports,
+            "f": config["f"],
+            "fault_plan": FaultPlan.fault_free_plan(n),
+            "seed": seed,
+        }
+        return kwargs, Engine.all_fault_free_output, num_rounds + 2 * window, "output"
     # mobile: fault-free DAC on the complete graph minus one in-link
     # per receiver per round, oracle stopping (run_byz_trial's family).
     n = config["n"]
@@ -240,6 +301,23 @@ def differential_trial(seed: int, **params: Any) -> dict[str, Any]:
     return run_config_serial(config)[0]
 
 
+def differential_trial_batch(seeds: Any = (), **params: Any) -> list[dict[str, Any]]:
+    """Picklable batched form of :func:`differential_trial`.
+
+    Dispatched by the pooled executor through the persistent pool's
+    batched path (``run_trials(batch=B, batch_fn=...)``), so the
+    zero-copy stack -- warm workers, manifest shipping, guided chunks
+    -- is exercised against the serial reference. Falls back to the
+    auto backend, which resolves per family exactly like the direct
+    batch executors.
+    """
+    config = dict(params)
+    config["seeds"] = tuple(seeds)
+    result = run_config_batch(config, "auto")
+    assert result is not SKIPPED
+    return result
+
+
 def run_config_batch(
     config: dict[str, Any], backend: str
 ) -> list[dict[str, Any]] | object:
@@ -261,6 +339,8 @@ def run_config_batch(
             config["selector"] == "random" or config["strategy"] == "random"
         ):
             return SKIPPED  # RNG-stream consumers fall back to python
+        if family == "baseline" and config["selector"] == "random":
+            return SKIPPED  # the value kernel replicates rotate/nearest only
     if family == "dac":
         lanes = run_dac_batch(
             config["n"],
@@ -283,6 +363,18 @@ def run_config_batch(
             selector=config["selector"],
             strategy=config["strategy"],
             max_rounds=config["max_rounds"],
+            backend=backend,
+        )
+    elif family == "baseline":
+        lanes = run_baseline_batch(
+            config["n"],
+            seeds,
+            algorithm=config["algorithm"],
+            f=config["f"],
+            epsilon=config["epsilon"],
+            window=config["window"],
+            selector=config["selector"],
+            num_rounds=config["num_rounds"],
             backend=backend,
         )
     else:
@@ -328,35 +420,79 @@ def batch_executor(backend: str) -> Callable:
     return executor
 
 
+def _grid_specs(configs: list[dict[str, Any]]) -> list[TrialSpec]:
+    """Flatten normalized configs into per-seed TrialSpecs, grid order."""
+    specs = []
+    for config in configs:
+        params = tuple(sorted((k, v) for k, v in config.items() if k != "seeds"))
+        for seed in config["seeds"]:
+            specs.append(TrialSpec(params, seed=seed))
+    return specs
+
+
+def _regroup(configs: list[dict[str, Any]], flat: list[Any]) -> list[list[Any]]:
+    """Split a flat per-seed result list back into per-config groups."""
+    grouped, index = [], 0
+    for config in configs:
+        count = len(config["seeds"])
+        grouped.append(flat[index : index + count])
+        index += count
+    return grouped
+
+
 def workers_executor(workers: int = 4) -> Callable:
     """Grid-mode executor: all (config, seed) lanes through one
     ``run_trials(workers=N)`` pool, results regrouped per config."""
 
     def executor(configs: list[dict[str, Any]]):
         configs = [normalize_config(config) for config in configs]
-        specs = []
-        for config in configs:
-            params = tuple(
-                sorted((k, v) for k, v in config.items() if k != "seeds")
-            )
-            for seed in config["seeds"]:
-                specs.append(TrialSpec(params, seed=seed))
-        flat = run_trials(differential_trial, specs, workers=workers)
-        grouped, index = [], 0
-        for config in configs:
-            count = len(config["seeds"])
-            grouped.append(flat[index : index + count])
-            index += count
-        return grouped
+        flat = run_trials(differential_trial, _grid_specs(configs), workers=workers)
+        return _regroup(configs, flat)
+
+    executor.grid_mode = True
+    return executor
+
+
+def pooled_executor(workers: int = 4, batch: int = 4) -> Callable:
+    """Grid-mode executor over the full zero-copy dispatch stack.
+
+    Batched groups fan out over the *persistent* pool (warm workers,
+    arenas enabled, guided chunking) via
+    :func:`differential_trial_batch` -- the strongest parallel leg:
+    any divergence between warm-worker shared-memory state and the
+    serial reference fails the harness equality.
+    """
+
+    def executor(configs: list[dict[str, Any]]):
+        configs = [normalize_config(config) for config in configs]
+        flat = run_trials(
+            differential_trial,
+            _grid_specs(configs),
+            workers=workers,
+            batch=batch,
+            batch_fn=differential_trial_batch,
+            pool="persist",
+            arenas=True,
+        )
+        return _regroup(configs, flat)
 
     executor.grid_mode = True
     return executor
 
 
 def differential_executors(
-    *, workers: int | None = 4, legacy: bool = True, traced: bool = True
+    *,
+    workers: int | None = 4,
+    legacy: bool = True,
+    traced: bool = True,
+    pooled: int | None = None,
 ) -> dict[str, Callable]:
-    """The standard executor suite, reference (port-major sweep) first."""
+    """The standard executor suite, reference (port-major sweep) first.
+
+    ``pooled=B`` appends the persistent-pool batched leg (batch size
+    ``B`` over ``workers`` processes, arenas on) -- off by default
+    because it spins real worker processes; the fuzz grids turn it on.
+    """
     executors: dict[str, Callable] = {"serial-fast": serial_executor()}
     if legacy:
         executors["serial-legacy"] = serial_executor(sweep=False)
@@ -368,6 +504,10 @@ def differential_executors(
     executors["batch-numpy"] = batch_executor("numpy")
     if workers:
         executors[f"workers-{workers}"] = workers_executor(workers)
+    if pooled:
+        executors[f"pooled-batch-{pooled}"] = pooled_executor(
+            workers or 4, pooled
+        )
     return executors
 
 

@@ -9,6 +9,7 @@ def comparative(sweep):
 
     sweep.run(local_trial, workers=4)
     sweep.run(lambda **kwargs: 0, workers=2)
+    sweep.run(lambda **kwargs: 0, pool="persist")  # pool dispatch: same pickle wall
 
 
 def attach():

@@ -10,6 +10,8 @@ def module_trial(**kwargs):
 def comparative(sweep):
     sweep.run(module_trial, workers=4)  # module-level: pickles fine
     sweep.run(lambda **kwargs: 0, workers=1)  # serial path: no pickling
+    sweep.run(module_trial, pool="persist")  # pool dispatch, picklable trial
+    sweep.run(lambda **kwargs: 0, workers=1, pool="fresh")  # serial wins over pool
 
 
 def attach():

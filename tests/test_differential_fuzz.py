@@ -3,9 +3,10 @@
 Fuzzed (n, fault plan, adversary, selector, rounds) configurations run
 through the full executor suite of the shared harness
 (:mod:`tests.helpers`): the serial port-major sweep (reference), the
-legacy untraced loop, fully traced execution, both batch backends and
-a ``workers=4`` pool must agree on full ``state_key`` / rounds /
-outputs for every configuration.
+legacy untraced loop, fully traced execution, both batch backends, a
+``workers=4`` pool and the pooled *batched* leg (persistent pool +
+shared-memory arenas + guided chunking) must agree on full
+``state_key`` / rounds / outputs for every configuration.
 
 The grids are *deterministically* fuzzed from a fixed master-seed
 matrix (so CI runs are reproducible), and any divergence prints the
@@ -53,7 +54,7 @@ def fuzz_configs(master_seed: int, count: int) -> list[dict]:
     rng = random.Random(master_seed)
     configs: list[dict] = []
     for _ in range(count):
-        family = rng.choice(("dac", "dac", "dbac", "mobile"))
+        family = rng.choice(("dac", "dac", "dbac", "mobile", "baseline"))
         seeds = tuple(rng.randrange(10_000) for _ in range(rng.randint(1, 3)))
         if family == "dac":
             n = rng.randrange(5, 14)
@@ -83,13 +84,27 @@ def fuzz_configs(master_seed: int, count: int) -> list[dict]:
                 "strategy": rng.choice(_DBAC_STRATEGIES),
                 "seeds": seeds,
             }
-        else:
+        elif family == "mobile":
             config = {
                 "family": "mobile",
                 "n": rng.randrange(4, 10),
                 "mode": rng.choice(MOBILE_MODES),
                 "seeds": seeds,
             }
+        else:
+            config = {
+                "family": "baseline",
+                "n": rng.randrange(4, 10),
+                "algorithm": rng.choice(("midpoint", "trimmed")),
+                "f": rng.randint(0, 2),
+                "window": rng.randint(1, 3),
+                "selector": rng.choice(("rotate", "nearest", "random")),
+                "seeds": seeds,
+            }
+            if rng.random() < 0.5:
+                # Small explicit budgets (0 included: output at init)
+                # keep the fixed-round semantics honest across kernels.
+                config["num_rounds"] = rng.randint(0, 8)
         configs.append(config)
     return configs
 
@@ -97,4 +112,4 @@ def fuzz_configs(master_seed: int, count: int) -> list[dict]:
 @pytest.mark.parametrize("master_seed", MASTER_SEEDS)
 def test_fuzzed_grids_bit_identical_across_executors(master_seed):
     grid = fuzz_configs(master_seed, CONFIGS_PER_SEED)
-    assert_equivalent_runs(grid, differential_executors())
+    assert_equivalent_runs(grid, differential_executors(pooled=3))
