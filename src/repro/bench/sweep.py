@@ -89,7 +89,7 @@ class Sweep:
 
     def run(
         self,
-        fn: Callable[..., Any],
+        fn: Callable[..., Any] | str | Any,
         *,
         workers: int | None = None,
         batch: int | None = None,
@@ -98,6 +98,17 @@ class Sweep:
         arenas: bool | None = None,
     ) -> list[SweepRecord]:
         """Execute ``fn(**params, seed=...)`` over the whole grid.
+
+        ``fn`` may also be a **scenario spec** -- a
+        :class:`repro.scenario.ScenarioSpec` or its text/JSON form
+        (see ``docs/scenarios.md``). The spec resolves through the
+        registry (:func:`repro.scenario.resolve_trial`) to the
+        family's module-level trial function plus its fully-defaulted
+        parameters; grid cells override spec parameters key-by-key,
+        and the ``batch_fn``/``arena_plan`` attachments ride along, so
+        every knob below works identically for spec-driven sweeps.
+        The spec's own ``seed`` is ignored here -- sweep seeding stays
+        with ``seed0``/``repeats``.
 
         ``workers`` fans independent trials out over a process pool
         (see :mod:`repro.sim.parallel`): ``1`` runs serially
@@ -131,8 +142,13 @@ class Sweep:
         Results are collected into :attr:`records` (appending across
         multiple ``run`` calls) and returned.
         """
+        base: dict[str, Any] = {}
+        if not callable(fn):
+            from repro.scenario.resolve import resolve_trial
+
+            fn, base = resolve_trial(fn)
         specs = [
-            TrialSpec(tuple(sorted(cell.items())), self.seed0 + trial)
+            TrialSpec(tuple(sorted({**base, **cell}.items())), self.seed0 + trial)
             for cell in self.cells()
             for trial in range(self.repeats)
         ]

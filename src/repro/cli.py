@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli sweep --n 9 --repeats 32 --workers 4 --batch 8
     python -m repro.cli sweep --family dbac --n 11 16 --strategy extreme --batch 8
     python -m repro.cli sweep --n 9 --workers 4 --batch 8 --pool fresh --no-arenas
+    python -m repro.cli sweep --spec "algorithm: averaging@1(n=6); rounds: 40"
+    python -m repro.cli spec "algorithm: dac@1(n=9); network: dynadegree@1(window=3)"
 
 Exit status is 0 when the run's verdict matches the theory (correct
 for the positive scenarios, violating for the impossibility ones).
@@ -178,43 +180,85 @@ def _cmd_theorem10(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro.bench.sweep import Sweep
-    from repro.workloads import run_dac_trial, run_dbac_trial
+    from repro.scenario import SpecError, flat_params, parse_spec, resolve, spec_for
 
     if args.save_trace or args.trace_out:
         print("error: sweep runs untraced; --save-trace/--trace-out are not supported here")
         return 2
-    grid = {"n": args.n, "window": args.window, "epsilon": [args.epsilon]}
+    try:
+        if args.spec:
+            if args.strategy is not None or args.sweep_selector is not None:
+                print("error: with --spec, set strategy/selector inside the spec")
+                return 2
+            resolved = resolve(parse_spec(args.spec))
+            ns = args.n if args.n is not None else [resolved.params["n"]]
+        else:
+            ns = args.n if args.n is not None else [5, 9]
+            overrides: dict = {"n": ns[0], "epsilon": args.epsilon}
+            if args.strategy is not None:
+                overrides["strategy"] = args.strategy
+            if args.sweep_selector is not None:
+                overrides["selector"] = args.sweep_selector
+            resolved = resolve(spec_for(args.family, overrides))
+    except SpecError as exc:
+        print(f"error: {exc}")
+        return 2
+    family = resolved.entry.name
+    space = flat_params(resolved.entry)
+    # Swept dimensions: explicit flags always; family-mode fills the
+    # historical defaults, spec-mode leaves unswept knobs to the spec
+    # (a single-value n dimension keeps the table grouping intact).
+    grid: dict = {"n": ns}
+    if args.window is not None:
+        if "window" not in space:
+            print(f"error: family {family!r} does not take --window")
+            return 2
+        grid["window"] = args.window
+    elif not args.spec and "window" in space:
+        grid["window"] = [1]
+    if not args.spec and "epsilon" in space:
+        # epsilon rides along as a single-value grid dimension so every
+        # trial honors the common --epsilon flag (and records carry it).
+        grid["epsilon"] = [args.epsilon]
+    if not args.spec and family == "dbac":
+        # DBAC grids historically carry the Byzantine strategy and
+        # selector as single-value dimensions (records show them).
+        grid["strategy"] = [resolved.params["strategy"]]
+        grid["selector"] = [resolved.params["selector"]]
     if args.observe:
         # Per-trial observer bus: each record's result carries the
         # aggregator summary under "metrics" (identical at any
         # workers/batch -- batched forms delegate to observed serial
         # runs per seed).
+        if "observe" not in inspect.signature(resolved.trial_fn).parameters:
+            print(f"error: family {family!r} does not support --observe in sweeps")
+            return 2
         grid["observe"] = [True]
-    if args.family == "dbac":
-        # DBAC grids carry the Byzantine strategy and selector; trials
-        # stop in oracle mode (rounds until the honest spread dips to
-        # epsilon), batched through the vectorized Byzantine lanes.
-        trial = run_dbac_trial
-        grid["strategy"] = [args.strategy]
-        grid["selector"] = [args.sweep_selector]
+    epsilon = resolved.params.get("epsilon", args.epsilon)
+    if family == "dbac":
         title = (
             f"DBAC rounds to epsilon-spread (boundary adversary, "
-            f"strategy={args.strategy}, eps={args.epsilon:g})"
+            f"strategy={resolved.params['strategy']}, eps={epsilon:g})"
         )
+    elif family == "dac":
+        title = f"DAC rounds to output (boundary adversary, eps={epsilon:g})"
     else:
-        trial = run_dac_trial
-        title = f"DAC rounds to output (boundary adversary, eps={args.epsilon:g})"
-    sweep = Sweep(
-        # epsilon rides along as a single-value grid dimension so every
-        # trial honors the common --epsilon flag (and records carry it).
-        grid=grid,
-        repeats=args.repeats,
-        seed0=args.seed,
-    )
+        title = (
+            f"{family} rounds to stop "
+            f"(spec {resolved.spec.content_hash[:12]}, eps={epsilon:g})"
+        )
+    sweep = Sweep(grid=grid, repeats=args.repeats, seed0=args.seed)
     started = time.perf_counter()
     sweep.run(
-        trial,
+        # Spec mode: the spec's resolved params are the base and grid
+        # cells override key-by-key. Family mode: the registry picks
+        # the trial function, but cells carry only the explicit knobs,
+        # so per-cell defaults (e.g. f from each cell's own n) keep the
+        # historical CLI semantics.
+        resolved.spec if args.spec else resolved.trial_fn,
         workers=args.workers,
         batch=args.batch,
         pool=args.pool,
@@ -222,8 +266,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     elapsed = time.perf_counter() - started
     table = sweep.to_table(
-        "n",
-        "window",
+        *(("n", "window") if "window" in grid else ("n",)),
         title=title,
         value=lambda record: float(record.result["rounds"]),
     )
@@ -238,8 +281,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({trials / elapsed:.1f} trials/s, workers={args.workers}, "
         f"batch={args.batch})"
     )
-    ok = all(record.result["correct"] for record in sweep.records)
+    # dac/dbac sweeps assert the paper's positive results (correct);
+    # other families (baselines, averaging, mobile omission) are run
+    # *because* they may legitimately fail under the adversary, so
+    # only a non-terminating trial is an error for them.
+    verdict_key = "correct" if family in ("dac", "dbac") else "terminated"
+    ok = all(record.result[verdict_key] for record in sweep.records)
     return 0 if ok else 1
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.scenario import SpecError, resolve
+
+    try:
+        resolved = resolve(args.text)
+    except SpecError as exc:
+        print(f"error: {exc}")
+        return 2
+    canonical = resolved.canonical_spec()
+    print(
+        f"spec   : {canonical.content_hash}  "
+        f"{resolved.entry.name}@{resolved.entry.version}"
+    )
+    for line in canonical.encode().splitlines():
+        print(f"  {line}")
+    summary = resolved.run(args.seed or None)
+    print(f"result : {summary}")
+    if args.out:
+        payload = {
+            "hash": canonical.content_hash,
+            "spec": canonical.to_dict(),
+            "params": dict(resolved.params),
+            "result": summary,
+        }
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  resolved spec written to {args.out}")
+    return 0 if summary["terminated"] else 1
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -325,34 +407,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fig.set_defaults(fn=_cmd_figure1)
 
+    from repro.scenario import algorithm_entries
+
     p_sweep = sub.add_parser(
         "sweep",
         parents=[common],
-        help="DAC/DBAC grid sweep, optionally fanned out over worker processes",
+        help="registered-family grid sweep, optionally fanned out over "
+        "worker processes",
     )
-    p_sweep.add_argument("--n", type=int, nargs="+", default=[5, 9])
-    p_sweep.add_argument("--window", type=int, nargs="+", default=[1])
+    p_sweep.add_argument("--n", type=int, nargs="+", default=None)
+    p_sweep.add_argument("--window", type=int, nargs="+", default=None)
     p_sweep.add_argument("--repeats", type=int, default=3)
     p_sweep.add_argument(
         "--family",
-        choices=["dac", "dbac"],
+        choices=sorted({entry.name for entry in algorithm_entries()}),
         default="dac",
-        help="trial family: crash-boundary DAC (output stopping) or "
-        "Byzantine-boundary DBAC (oracle stopping); both batch and "
-        "fan out identically",
+        help="registered trial family (repro.scenario registry); every "
+        "family batches and fans out identically",
+    )
+    p_sweep.add_argument(
+        "--spec",
+        metavar="SPEC",
+        default=None,
+        help="sweep a scenario spec instead of --family flags: a DSL "
+        "one-liner (';'-separated sections) or JSON, see "
+        "docs/scenarios.md; --n/--window still sweep over it",
     )
     p_sweep.add_argument(
         "--strategy",
         choices=sorted(_STRATEGIES),
-        default="extreme",
-        help="Byzantine strategy for --family dbac (ignored for dac)",
+        default=None,
+        help="Byzantine strategy for families with a byzantine faults "
+        "section (e.g. dbac)",
     )
     p_sweep.add_argument(
         "--selector",
         dest="sweep_selector",
         choices=["rotate", "nearest", "random"],
-        default="nearest",
-        help="adversary link selector for --family dbac (ignored for dac)",
+        default=None,
+        help="adversary link selector for families with a dynadegree "
+        "network section",
     )
     p_sweep.add_argument(
         "--workers",
@@ -385,6 +479,27 @@ def build_parser() -> argparse.ArgumentParser:
         "records are identical either way",
     )
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_spec = sub.add_parser(
+        "spec",
+        parents=[common],
+        help="resolve one scenario spec, print its canonical form and "
+        "content hash, and run it",
+    )
+    p_spec.add_argument(
+        "text",
+        metavar="SPEC",
+        help="scenario spec: DSL text (';' separates sections in a "
+        "one-liner) or a JSON object, see docs/scenarios.md",
+    )
+    p_spec.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the resolved spec (canonical JSON + content hash + "
+        "flat params + trial result) to PATH",
+    )
+    p_spec.set_defaults(fn=_cmd_spec)
 
     return parser
 

@@ -1,0 +1,11 @@
+"""Algorithm families registered through the public scenario API.
+
+The built-in trial families live in :mod:`repro.workloads`; this
+package holds families added *after* the registry existed, written
+against the public :mod:`repro.scenario` surface only -- the living
+proof that the registry is open. Importing the package (which
+:func:`repro.scenario.resolve.ensure_builtin_families` does) performs
+the registrations.
+"""
+
+import repro.families.averaging  # noqa: F401  (registers averaging@1)

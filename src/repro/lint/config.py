@@ -29,6 +29,12 @@ class LintConfig:
     # a layering finding, which keeps the DAG total as the tree grows.
     layers: tuple[tuple[str, tuple[str, ...]], ...] = (
         ("model", ("repro.sim.messages", "repro.sim.node", "repro.sim.rng")),
+        # The spec vocabulary and registry sit low on purpose: they
+        # depend on nothing but the standard library, so any layer may
+        # name (register into) them without inverting the DAG. The
+        # resolution layer -- which imports the live trial machinery --
+        # is the separate "scenario" entry near the top.
+        ("spec", ("repro.scenario.spec", "repro.scenario.registry")),
         ("core", ("repro.core",)),
         ("net", ("repro.net",)),
         ("faults", ("repro.faults",)),
@@ -37,7 +43,8 @@ class LintConfig:
         ("analysis", ("repro.analysis",)),
         ("obs", ("repro.obs",)),
         ("mc", ("repro.mc",)),
-        ("workloads", ("repro.workloads",)),
+        ("workloads", ("repro.workloads", "repro.families")),
+        ("scenario", ("repro.scenario",)),
         ("bench", ("repro.bench",)),
         ("top", ("repro.cli", "repro.lint", "repro.__main__", "repro")),
     )
@@ -57,6 +64,8 @@ class LintConfig:
         "repro.obs",
         "repro.mc",
         "repro.workloads",
+        "repro.families",
+        "repro.scenario",
     )
 
     # -- optional numpy ---------------------------------------------------
@@ -182,6 +191,25 @@ class LintConfig:
         "setflags",
         "resize",
         "byteswap",
+    )
+
+    # -- scenario registry -------------------------------------------------
+    # Registration into the scenario registry is an import-time side
+    # effect of the module that owns the component: module level (so
+    # the same spec resolves identically in every process -- a
+    # registration buried in a function runs who-knows-when, or twice),
+    # with literal names and versions (so ``grep register_algorithm``
+    # and the registry's duplicate check both see the truth). The
+    # registry module itself (which defines the decorators) is exempt.
+    registry_module: str = "repro.scenario.registry"
+    registration_functions: tuple[str, ...] = (
+        "register_algorithm",
+        "register_network",
+        "register_adversary",
+        "register_faults",
+        "declare_network",
+        "declare_adversary",
+        "declare_faults",
     )
 
     # Free-form extras for tests / future rules.

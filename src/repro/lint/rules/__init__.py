@@ -12,10 +12,19 @@ Each module groups the rules protecting one family of invariants:
   :class:`~repro.faults.base.FaultPlan` memo tables;
 - :mod:`repro.lint.rules.obs` -- the read-only contract of the
   observability plane (observers watch, they never steer);
+- :mod:`repro.lint.rules.registration` -- the import-time, literal-name
+  discipline of the scenario registry;
 - :mod:`repro.lint.rules.workers` -- picklability contracts for
   functions fanned out over process pools.
 """
 
-from repro.lint.rules import determinism, imports, mutation, obs, workers
+from repro.lint.rules import (
+    determinism,
+    imports,
+    mutation,
+    obs,
+    registration,
+    workers,
+)
 
-__all__ = ["determinism", "imports", "mutation", "obs", "workers"]
+__all__ = ["determinism", "imports", "mutation", "obs", "registration", "workers"]

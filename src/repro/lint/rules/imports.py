@@ -1,8 +1,9 @@
 """Import rules: the layer DAG, optional numpy, and the hot path.
 
 The dependency direction of the stack is a contract, not an accident:
-``model -> core -> net -> faults -> adversary -> sim -> analysis ->
-mc -> workloads -> bench -> top`` (see ``docs/static-analysis.md``).
+``model -> spec -> core -> net -> faults -> adversary -> sim ->
+analysis -> mc -> workloads -> scenario -> bench -> top`` (see
+``docs/static-analysis.md``).
 Extensions depend on the core, never the reverse -- the same
 discipline the Sawtooth/SentientOS extension contracts spell out --
 and numpy stays an optional extra confined to the batch kernel.
@@ -38,7 +39,8 @@ def _layer_of(module: str, config) -> tuple[int, str] | None:
     "layering",
     summary="import against the declared layer DAG (or from an unassigned module)",
     invariant="dependencies flow strictly downward through "
-    "model/core/net/faults/adversary/sim/analysis/mc/workloads/bench/top",
+    "model/spec/core/net/faults/adversary/sim/analysis/mc/workloads/"
+    "scenario/bench/top",
 )
 def check_layering(ctx) -> Iterator:
     config = ctx.config

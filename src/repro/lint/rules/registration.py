@@ -1,0 +1,95 @@
+"""Scenario-registry registration discipline.
+
+The :mod:`repro.scenario` registry promises deterministic resolution:
+the same spec resolves to the same objects in every process, because
+registration is an import-time side effect of the module that owns
+the component. Two things break that promise silently:
+
+- a registration call buried inside a function -- it runs late, twice
+  (tripping the duplicate check), or never, depending on who calls
+  what first, so a spec that resolves in one process may not in
+  another;
+- a computed name or version -- ``grep register_algorithm`` and the
+  registry's duplicate detection both stop telling the truth, and the
+  spec vocabulary becomes a function of runtime state.
+
+The ``registry-registration`` rule pins both: every call to one of the
+registration entry points must sit at module level with a literal
+string name (and, when given, a literal integer version). The registry
+module itself -- which defines the entry points -- is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.registry import rule
+from repro.lint.rules.common import dotted, iter_scopes, scope_nodes
+
+
+def _registration_name(node: ast.AST, functions: tuple[str, ...]) -> str | None:
+    """The entry-point name when ``node`` is a registration call."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted(node.func)
+    if name is None:
+        return None
+    base = name.rsplit(".", 1)[-1]
+    return base if base in functions else None
+
+
+def _literal(expr: ast.expr, kind: type) -> bool:
+    return isinstance(expr, ast.Constant) and type(expr.value) is kind
+
+
+@rule(
+    "registry-registration",
+    summary="late or computed registration into the scenario registry",
+    invariant="scenario-registry registrations are import-time, "
+    "module-level side effects of the owning module, with literal "
+    "names and versions",
+)
+def check_registry_registration(ctx) -> Iterator:
+    config = ctx.config
+    functions = tuple(getattr(config, "registration_functions", ()))
+    if not functions or ctx.module == getattr(config, "registry_module", None):
+        return
+    for scope in iter_scopes(ctx.tree):
+        module_level = isinstance(scope, ast.Module)
+        for node in scope_nodes(scope):
+            fn = _registration_name(node, functions)
+            if fn is None:
+                continue
+            if not module_level:
+                yield ctx.finding(
+                    node,
+                    "registry-registration",
+                    f"{fn} called inside a function: registration must be "
+                    "an import-time, module-level side effect of the owning "
+                    "module (a late registration runs twice or never, and "
+                    "specs stop resolving deterministically)",
+                )
+                continue
+            name_arg = node.args[0] if node.args else next(
+                (kw.value for kw in node.keywords if kw.arg == "name"), None
+            )
+            if name_arg is None or not _literal(name_arg, str):
+                yield ctx.finding(
+                    node,
+                    "registry-registration",
+                    f"{fn} needs a literal string name (a computed name "
+                    "hides the registered vocabulary from grep and from "
+                    "the registry's duplicate check)",
+                )
+            version_kw = next(
+                (kw for kw in node.keywords if kw.arg == "version"), None
+            )
+            if version_kw is not None and not _literal(version_kw.value, int):
+                yield ctx.finding(
+                    version_kw.value,
+                    "registry-registration",
+                    f"{fn} needs a literal integer version (versions are "
+                    "the spec vocabulary's compatibility contract; computing "
+                    "one makes the same spec mean different things)",
+                )

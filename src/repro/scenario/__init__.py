@@ -1,0 +1,69 @@
+"""Declarative scenarios: a frozen spec DSL plus a pluggable registry.
+
+The package splits in two layers. The *vocabulary* --
+:mod:`repro.scenario.spec` (frozen, content-hashed
+:class:`~repro.scenario.spec.ScenarioSpec` with text/JSON round-trip)
+and :mod:`repro.scenario.registry` (``(kind, name, version)`` entries
+with declared parameters) -- is stdlib-only and sits at the bottom of
+the layer DAG, so any module may speak it. *Resolution*
+(:mod:`repro.scenario.resolve`) binds names to the live trial
+machinery and sits above :mod:`repro.workloads`.
+
+See ``docs/scenarios.md`` for the DSL grammar and the
+"add an algorithm in one module" recipe.
+"""
+
+from repro.scenario.registry import (
+    AlgorithmFamily,
+    ParamSpec,
+    RegistryEntry,
+    declare_adversary,
+    declare_faults,
+    declare_network,
+    entries,
+    lookup,
+    register_adversary,
+    register_algorithm,
+    register_faults,
+    register_network,
+    unregister,
+)
+from repro.scenario.resolve import (
+    ResolvedScenario,
+    algorithm_entries,
+    ensure_builtin_families,
+    flat_params,
+    resolve,
+    resolve_trial,
+    run_spec_trial,
+    spec_for,
+)
+from repro.scenario.spec import ComponentRef, ScenarioSpec, SpecError, parse_spec
+
+__all__ = [
+    "AlgorithmFamily",
+    "ComponentRef",
+    "ParamSpec",
+    "RegistryEntry",
+    "ResolvedScenario",
+    "ScenarioSpec",
+    "SpecError",
+    "algorithm_entries",
+    "declare_adversary",
+    "declare_faults",
+    "declare_network",
+    "ensure_builtin_families",
+    "entries",
+    "flat_params",
+    "lookup",
+    "parse_spec",
+    "register_adversary",
+    "register_algorithm",
+    "register_faults",
+    "register_network",
+    "resolve",
+    "resolve_trial",
+    "run_spec_trial",
+    "spec_for",
+    "unregister",
+]

@@ -1916,3 +1916,127 @@ def run_baseline_batch(
         for lane in lanes:
             on_lane(lane)
     return lanes
+
+
+class GenericBatchEngine:
+    """Lock-step lanes over serial engines built from an execution builder.
+
+    The registry's open end: a family registered through
+    :mod:`repro.scenario` gets a batched form without writing a
+    kernel. ``build(seed)`` returns the family's
+    :func:`repro.sim.runner.run_consensus` keyword dict (processes,
+    adversary, ports, fault plan, ``stop_mode``, ``max_rounds``,
+    ``epsilon``); the engine advances one real serial
+    :class:`~repro.sim.engine.Engine` per seed in lock-step, checking
+    each lane's stop condition before every round and once more at the
+    cap -- exactly the serial ``Engine.run`` order, so lanes are
+    bit-identical to per-seed serial runs by construction.
+
+    Python backend only: a family that wants vectorized lanes writes a
+    dedicated kernel (like :class:`BatchEngine` /
+    :class:`ByzBatchEngine`) and reports it via its ``vectorizable``
+    hook; ``backend="auto"`` degrades to python here.
+    """
+
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        build: Callable[[int], dict],
+        *,
+        backend: str = "auto",
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; use one of {_BACKENDS}")
+        if backend == "numpy":
+            raise ValueError(
+                "the generic batch engine is python-only; register a "
+                "dedicated kernel for vectorized lanes"
+            )
+        self.seeds = [int(seed) for seed in seeds]
+        self.build = build
+
+    def _build_engine(self, seed: int):
+        from repro.sim.engine import Engine
+
+        kwargs = self.build(seed)
+        engine = Engine(
+            kwargs["processes"],
+            kwargs["adversary"],
+            kwargs["ports"],
+            fault_plan=kwargs["fault_plan"],
+            f=kwargs["f"],
+            seed=kwargs["seed"],
+            record_trace=False,
+        )
+        return engine, kwargs
+
+    @staticmethod
+    def _stop_holds(engine, stop_mode: str, epsilon: float) -> bool:
+        if stop_mode == "output":
+            return engine.all_fault_free_output()
+        return engine.fault_free_range() <= epsilon
+
+    @staticmethod
+    def _finalize(engine, stop_mode: str, seed: int, rounds: int, stopped: bool) -> LaneResult:
+        if stop_mode == "output":
+            outputs = {
+                v: engine.processes[v].output()
+                for v in sorted(engine.fault_plan.fault_free)
+                if engine.processes[v].has_output()
+            }
+        else:
+            outputs = engine.fault_free_values()
+        return LaneResult(
+            seed=seed,
+            rounds=rounds,
+            stopped=stopped,
+            inputs={node: proc.input_value for node, proc in engine.processes.items()},
+            outputs=outputs,
+            state_keys={
+                node: proc.state_key() for node, proc in engine.processes.items()
+            },
+        )
+
+    def run(self) -> list[LaneResult]:
+        """Run every lane to its stop condition; results in seed order."""
+        lanes = [self._build_engine(seed) for seed in self.seeds]
+        results: list[LaneResult | None] = [None] * len(lanes)
+        active = list(range(len(lanes)))
+        t = 0
+        while active:
+            still = []
+            for index in active:
+                engine, kwargs = lanes[index]
+                stop_mode = kwargs.get("stop_mode", "output")
+                epsilon = kwargs.get("epsilon", 1e-3)
+                holds = self._stop_holds(engine, stop_mode, epsilon)
+                if holds or t >= kwargs["max_rounds"]:
+                    results[index] = self._finalize(
+                        engine, stop_mode, self.seeds[index], t, holds
+                    )
+                else:
+                    still.append(index)
+            for index in still:
+                lanes[index][0].run_round()
+            active = still
+            t += 1
+        return [result for result in results if result is not None]
+
+
+def run_generic_batch(
+    seeds: Sequence[int],
+    build: Callable[[int], dict],
+    *,
+    backend: str = "auto",
+    on_lane: Callable[[LaneResult], None] | None = None,
+) -> list[LaneResult]:
+    """Run one batch of builder-defined executions, one lane per seed.
+
+    Convenience wrapper over :class:`GenericBatchEngine`, with the
+    same ``on_lane`` streaming hook as :func:`run_dac_batch`.
+    """
+    lanes = GenericBatchEngine(seeds, build, backend=backend).run()
+    if on_lane is not None:
+        for lane in lanes:
+            on_lane(lane)
+    return lanes

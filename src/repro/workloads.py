@@ -48,6 +48,14 @@ from repro.faults.byzantine import (
 )
 from repro.faults.crash import staggered_crashes
 from repro.net.ports import random_ports
+from repro.scenario.registry import (
+    AlgorithmFamily,
+    ParamSpec,
+    declare_adversary,
+    declare_faults,
+    declare_network,
+    register_algorithm,
+)
 from repro.sim.rng import child_rng, spawn_inputs
 
 
@@ -401,6 +409,9 @@ def run_dac_trial(
     epsilon: float = 1e-3,
     window: int = 1,
     selector: str = "rotate",
+    crash_nodes: int | None = None,
+    crash_start: int = 1,
+    max_rounds: int | None = None,
     seed: int = 0,
     fast: bool = True,
     observe: bool = False,
@@ -412,10 +423,12 @@ def run_dac_trial(
     the standard ``n >= 2f + 1`` execution, runs it -- untraced and
     without phase bookkeeping by default, so the engine takes its fast
     path -- and returns plain scalars that ship cheaply between
-    processes. ``f`` defaults to the boundary ``(n - 1) // 2``.
-    ``observe=True`` adds a ``"metrics"`` key: the per-round
-    delivery/liveness aggregate from an attached observer bus (see
-    :func:`_observer_hooks`).
+    processes. ``f`` defaults to the boundary ``(n - 1) // 2``;
+    ``crash_nodes``/``crash_start``/``max_rounds`` pass through to
+    :func:`build_dac_execution` (defaults: crash ``f`` nodes from
+    round 1, bound-derived cap). ``observe=True`` adds a
+    ``"metrics"`` key: the per-round delivery/liveness aggregate from
+    an attached observer bus (see :func:`_observer_hooks`).
 
     Deterministic in ``seed``: the same call always returns the same
     summary, on any worker schedule and at any batch size (the
@@ -438,7 +451,15 @@ def run_dac_trial(
     hooks, finish = _observer_hooks(observe)
     report = run_consensus(
         **build_dac_execution(
-            n=n, f=f, epsilon=epsilon, seed=seed, window=window, selector=selector
+            n=n,
+            f=f,
+            epsilon=epsilon,
+            seed=seed,
+            window=window,
+            selector=selector,
+            crash_nodes=crash_nodes,
+            crash_start=crash_start,
+            max_rounds=max_rounds,
         ),
         record_trace=not fast,
         verify_promise=not fast,
@@ -494,6 +515,9 @@ def run_dac_trial_batch(
     epsilon: float = 1e-3,
     window: int = 1,
     selector: str = "rotate",
+    crash_nodes: int | None = None,
+    crash_start: int = 1,
+    max_rounds: int | None = None,
     fast: bool = True,
     observe: bool = False,
     seeds: Any = (),
@@ -522,6 +546,9 @@ def run_dac_trial_batch(
                 epsilon=epsilon,
                 window=window,
                 selector=selector,
+                crash_nodes=crash_nodes,
+                crash_start=crash_start,
+                max_rounds=max_rounds,
                 seed=seed,
                 fast=fast,
                 observe=observe,
@@ -529,7 +556,15 @@ def run_dac_trial_batch(
             for seed in seeds
         ]
     lanes = run_dac_batch(
-        n, f, seeds, epsilon=epsilon, window=window, selector=selector
+        n,
+        f,
+        seeds,
+        epsilon=epsilon,
+        window=window,
+        selector=selector,
+        crash_nodes=crash_nodes,
+        crash_start=crash_start,
+        max_rounds=max_rounds,
     )
     return [_lane_summary(lane, epsilon) for lane in lanes]
 
@@ -688,6 +723,47 @@ def run_dbac_trial_batch(
 run_dbac_trial.batch_fn = run_dbac_trial_batch  # type: ignore[attr-defined]
 
 
+def build_mobile_execution(
+    n: int,
+    mode: str = "block_min",
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    stop_mode: str = "oracle",
+    max_rounds: int = 50_000,
+) -> dict[str, Any]:
+    """Fault-free DAC under the Gafni-Losa mobile-omission power.
+
+    The Corollary 1 scenario: every node runs DAC with ``f = 0`` on
+    the complete graph, but each receiver loses at most one incoming
+    link per round, targeted by ``mode`` (one of
+    :data:`repro.adversary.mobile.MOBILE_MODES`). Default stopping is
+    oracle mode -- ``rounds`` then measures how long the adversary
+    holds the spread above ``epsilon``. Returns kwargs for
+    :func:`repro.sim.runner.run_consensus`.
+    """
+    from repro.adversary.mobile import MobileOmissionAdversary
+
+    if mode not in _MOBILE_MODES:
+        raise ValueError(f"unknown mobile mode {mode!r}; known: {_MOBILE_MODES}")
+    inputs = spawn_inputs(seed, n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    processes = {
+        node: DACProcess(n, 0, inputs[node], ports.self_port(node), epsilon=epsilon)
+        for node in range(n)
+    }
+    return {
+        "processes": processes,
+        "adversary": MobileOmissionAdversary(mode),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": 0,
+        "fault_plan": FaultPlan.fault_free_plan(n),
+        "stop_mode": stop_mode,
+        "max_rounds": max_rounds,
+        "seed": seed,
+    }
+
+
 def run_byz_trial(
     n: int,
     f: int | None = None,
@@ -734,7 +810,6 @@ def run_byz_trial(
     >>> run_byz_trial.batch_fn(n=6, adversary="mobile-none", seeds=[0]) == [summary]
     True
     """
-    from repro.adversary.mobile import MobileOmissionAdversary
     from repro.sim.runner import run_consensus  # local import: runner is heavy
 
     if adversary == "quorum":
@@ -757,27 +832,18 @@ def run_byz_trial(
             f"'mobile-<mode>' with mode in {_MOBILE_MODES}"
         )
     mode = adversary[len("mobile-") :]
-    if mode not in _MOBILE_MODES:
-        raise ValueError(f"unknown mobile mode {mode!r}; known: {_MOBILE_MODES}")
     if f not in (None, 0):
         raise ValueError(f"mobile-omission trials are fault-free, got f={f}")
-    inputs = spawn_inputs(seed, n)
-    ports = random_ports(n, child_rng(seed, "ports"))
-    processes = {
-        node: DACProcess(n, 0, inputs[node], ports.self_port(node), epsilon=epsilon)
-        for node in range(n)
-    }
     hooks, finish = _observer_hooks(observe)
     report = run_consensus(
-        processes,
-        MobileOmissionAdversary(mode),
-        ports,
-        epsilon=epsilon,
-        f=0,
-        fault_plan=FaultPlan.fault_free_plan(n),
-        stop_mode=stop_mode,
-        max_rounds=max_rounds,
-        seed=seed,
+        **build_mobile_execution(
+            n=n,
+            mode=mode,
+            epsilon=epsilon,
+            seed=seed,
+            stop_mode=stop_mode,
+            max_rounds=max_rounds,
+        ),
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,
@@ -863,6 +929,54 @@ _BASELINE_PROCESSES = {
 }
 
 
+def build_baseline_execution(
+    n: int,
+    algorithm: str = "midpoint",
+    f: int = 0,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    window: int = 1,
+    selector: str = "rotate",
+    num_rounds: int | None = None,
+) -> dict[str, Any]:
+    """An averaging baseline under DAC's boundary adversary.
+
+    The reliable-channel iterated-averaging baselines (``"midpoint"``
+    or trim-``f`` ``"trimmed"``) against the enforcing
+    ``(window, floor(n/2))`` adversary and the same input/port streams
+    as :func:`build_dac_execution`. ``num_rounds`` defaults to DAC's
+    ``p_end``; the cap adds a window of slack because the baselines
+    advance one round per delivery batch. Returns kwargs for
+    :func:`repro.sim.runner.run_consensus`.
+    """
+    if algorithm not in _BASELINE_PROCESSES:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(_BASELINE_PROCESSES)}"
+        )
+    if num_rounds is None:
+        num_rounds = dac_end_phase(epsilon)
+    inputs = spawn_inputs(seed, n)
+    ports = random_ports(n, child_rng(seed, "ports"))
+    process_type = _BASELINE_PROCESSES[algorithm]
+    processes = {
+        node: process_type(
+            n, f, inputs[node], ports.self_port(node), num_rounds=num_rounds
+        )
+        for node in range(n)
+    }
+    return {
+        "processes": processes,
+        "adversary": _quorum_adversary(window, dac_degree(n), selector),
+        "ports": ports,
+        "epsilon": epsilon,
+        "f": f,
+        "fault_plan": FaultPlan.fault_free_plan(n),
+        "stop_mode": "output",
+        "max_rounds": num_rounds + 2 * window,
+        "seed": seed,
+    }
+
+
 def run_baseline_trial(
     n: int,
     algorithm: str = "midpoint",
@@ -900,34 +1014,18 @@ def run_baseline_trial(
     """
     from repro.sim.runner import run_consensus  # local import: runner is heavy
 
-    if algorithm not in _BASELINE_PROCESSES:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; known: {sorted(_BASELINE_PROCESSES)}"
-        )
-    if num_rounds is None:
-        num_rounds = dac_end_phase(epsilon)
-    inputs = spawn_inputs(seed, n)
-    ports = random_ports(n, child_rng(seed, "ports"))
-    process_type = _BASELINE_PROCESSES[algorithm]
-    processes = {
-        node: process_type(
-            n, f, inputs[node], ports.self_port(node), num_rounds=num_rounds
-        )
-        for node in range(n)
-    }
     hooks, finish = _observer_hooks(observe)
     report = run_consensus(
-        processes,
-        _quorum_adversary(window, dac_degree(n), selector),
-        ports,
-        epsilon=epsilon,
-        f=f,
-        fault_plan=FaultPlan.fault_free_plan(n),
-        stop_mode="output",
-        # The baselines advance one round per delivery batch, which the
-        # engine hands them every round -- a window of slack suffices.
-        max_rounds=num_rounds + 2 * window,
-        seed=seed,
+        **build_baseline_execution(
+            n=n,
+            algorithm=algorithm,
+            f=f,
+            epsilon=epsilon,
+            seed=seed,
+            window=window,
+            selector=selector,
+            num_rounds=num_rounds,
+        ),
         record_trace=not fast,
         verify_promise=not fast,
         track_phases=not fast,
@@ -1089,3 +1187,264 @@ run_dac_trial_batch.arena_plan = _dac_arena_plan  # type: ignore[attr-defined]
 run_dbac_trial_batch.arena_plan = _dbac_arena_plan  # type: ignore[attr-defined]
 run_byz_trial_batch.arena_plan = _byz_arena_plan  # type: ignore[attr-defined]
 run_baseline_trial_batch.arena_plan = _baseline_arena_plan  # type: ignore[attr-defined]
+
+
+# -- Scenario registry: the built-in component vocabulary ------------------
+#
+# Declared once, at import time, in this module (the owner of the
+# trial vocabulary) -- the registry-registration lint rule pins that
+# discipline. Components are parameter namespaces the families'
+# ``build`` methods interpret; nothing foreign is constructed here.
+
+declare_network(
+    "dynadegree",
+    params=(
+        ParamSpec("window", "int", default=1),
+        ParamSpec(
+            "selector", "str", default="rotate",
+            choices=("rotate", "nearest", "random"),
+        ),
+    ),
+    description="enforcing (window, D)-dynaDegree quorum graph source",
+)
+declare_adversary(
+    "quorum",
+    description="worst-case degree-capped quorum adversary (rotating or "
+    "last-minute, per the network window)",
+)
+declare_adversary(
+    "mobile",
+    params=(
+        ParamSpec("mode", "str", default="block_min", choices=tuple(_MOBILE_MODES)),
+    ),
+    description="Gafni-Losa mobile omission: one lost in-link per "
+    "receiver per round",
+)
+declare_faults(
+    "crash",
+    params=(
+        ParamSpec("crash_nodes", "int", default=None, nullable=True),
+        ParamSpec("crash_start", "int", default=1),
+    ),
+    description="staggered clean crashes of the highest-numbered nodes",
+)
+declare_faults(
+    "byzantine",
+    params=(
+        ParamSpec(
+            "strategy", "str", default="extreme",
+            choices=("extreme", "phase-liar", "pin-high", "pin-low", "random"),
+        ),
+    ),
+    description="the f highest-numbered nodes run a named Byzantine "
+    "strategy (TRIAL_BYZANTINE_STRATEGIES)",
+)
+
+
+@register_algorithm("dac", version=1)
+class DacFamily(AlgorithmFamily):
+    """Boundary DAC: crash faults under the enforcing quorum adversary."""
+
+    params = (
+        ParamSpec("n", "int"),
+        ParamSpec("f", "int", default=None, nullable=True),
+        ParamSpec("epsilon", "float", default=1e-3),
+        ParamSpec("max_rounds", "int", default=None, nullable=True),
+    )
+    components = {
+        "network": ("dynadegree",),
+        "adversary": ("quorum",),
+        "faults": ("crash",),
+    }
+    conformance = {
+        "quorum": ({"n": 5}, {"n": 7, "window": 2}),
+    }
+    rounds_param = "max_rounds"
+    trial = staticmethod(run_dac_trial)
+
+    def normalize(self, params):
+        if params.get("f") is None:
+            params["f"] = (params["n"] - 1) // 2
+        return params
+
+    def build(self, *, seed, **params):
+        return build_dac_execution(seed=seed, **params)
+
+    def batch(self, seeds, *, backend="auto", **params):
+        from repro.sim.batch import run_dac_batch
+
+        return run_dac_batch(
+            params["n"],
+            params["f"],
+            seeds,
+            epsilon=params["epsilon"],
+            window=params["window"],
+            selector=params["selector"],
+            crash_nodes=params["crash_nodes"],
+            crash_start=params["crash_start"],
+            max_rounds=params["max_rounds"],
+            backend=backend,
+        )
+
+    def vectorizable(self, params):
+        # The vectorized DAC kernel replicates the rotate structure only.
+        return params.get("selector", "rotate") == "rotate"
+
+
+@register_algorithm("dbac", version=1)
+class DbacFamily(AlgorithmFamily):
+    """Boundary DBAC: Byzantine equivocators under the quorum adversary."""
+
+    params = (
+        ParamSpec("n", "int"),
+        ParamSpec("f", "int", default=None, nullable=True),
+        ParamSpec("epsilon", "float", default=1e-3),
+        ParamSpec("max_rounds", "int", default=50_000),
+    )
+    components = {
+        "network": ("dynadegree",),
+        "adversary": ("quorum",),
+        "faults": ("byzantine",),
+    }
+    component_param_defaults = {"network": {"selector": "nearest"}}
+    harness_defaults = {"max_rounds": 2_000}
+    conformance = {
+        "quorum": ({"n": 6}, {"n": 6, "strategy": "pin-high"}),
+    }
+    rounds_param = "max_rounds"
+    trial = staticmethod(run_dbac_trial)
+
+    def normalize(self, params):
+        if params.get("f") is None:
+            params["f"] = (params["n"] - 1) // 5
+        return params
+
+    def build(self, *, seed, **params):
+        factory = TRIAL_BYZANTINE_STRATEGIES[params["strategy"]]
+        return build_dbac_execution(
+            n=params["n"],
+            f=params["f"],
+            epsilon=params["epsilon"],
+            seed=seed,
+            window=params["window"],
+            selector=params["selector"],
+            byzantine_factory=lambda node: factory(),
+            max_rounds=params["max_rounds"],
+        )
+
+    def batch(self, seeds, *, backend="auto", **params):
+        from repro.sim.batch import run_dbac_batch
+
+        return run_dbac_batch(
+            params["n"],
+            params["f"],
+            seeds,
+            epsilon=params["epsilon"],
+            window=params["window"],
+            selector=params["selector"],
+            strategy=params["strategy"],
+            max_rounds=params["max_rounds"],
+            backend=backend,
+        )
+
+    def vectorizable(self, params):
+        # RNG-stream consumers fall back to the python backend.
+        return (
+            params.get("selector") != "random"
+            and params.get("strategy") != "random"
+        )
+
+
+@register_algorithm("byz", version=1)
+class ByzFamily(AlgorithmFamily):
+    """Fault-free DAC under the mobile-omission power (Corollary 1)."""
+
+    params = (
+        ParamSpec("n", "int"),
+        ParamSpec("epsilon", "float", default=1e-3),
+        ParamSpec("max_rounds", "int", default=50_000),
+    )
+    components = {"adversary": ("mobile",)}
+    harness_defaults = {"max_rounds": 2_000}
+    conformance = {
+        "mobile": ({"n": 5}, {"n": 4, "mode": "rotate"}),
+    }
+    rounds_param = "max_rounds"
+    trial = staticmethod(run_byz_trial)
+
+    def build(self, *, seed, **params):
+        return build_mobile_execution(
+            n=params["n"],
+            mode=params["mode"],
+            epsilon=params["epsilon"],
+            seed=seed,
+            max_rounds=params["max_rounds"],
+        )
+
+    def batch(self, seeds, *, backend="auto", **params):
+        from repro.sim.batch import run_byz_batch
+
+        return run_byz_batch(
+            params["n"],
+            None,
+            seeds,
+            epsilon=params["epsilon"],
+            adversary=f"mobile-{params['mode']}",
+            max_rounds=params["max_rounds"],
+            backend=backend,
+        )
+
+    def trial_kwargs(self, params):
+        mode = params.pop("mode")
+        params["adversary"] = f"mobile-{mode}"
+        return params
+
+    def vectorizable(self, params):
+        return True
+
+
+@register_algorithm("baseline", version=1)
+class BaselineFamily(AlgorithmFamily):
+    """Reliable-channel averaging baselines under the quorum adversary."""
+
+    params = (
+        ParamSpec("n", "int"),
+        ParamSpec(
+            "algorithm", "str", default="midpoint",
+            choices=("midpoint", "trimmed"),
+        ),
+        ParamSpec("f", "int", default=0),
+        ParamSpec("epsilon", "float", default=1e-3),
+        ParamSpec("num_rounds", "int", default=None, nullable=True),
+    )
+    components = {
+        "network": ("dynadegree",),
+        "adversary": ("quorum",),
+    }
+    conformance = {
+        "quorum": ({"n": 6}, {"n": 5, "algorithm": "trimmed"}),
+    }
+    rounds_param = "num_rounds"
+    trial = staticmethod(run_baseline_trial)
+
+    def build(self, *, seed, **params):
+        return build_baseline_execution(seed=seed, **params)
+
+    def batch(self, seeds, *, backend="auto", **params):
+        from repro.sim.batch import run_baseline_batch
+
+        return run_baseline_batch(
+            params["n"],
+            seeds,
+            algorithm=params["algorithm"],
+            f=params["f"],
+            epsilon=params["epsilon"],
+            window=params["window"],
+            selector=params["selector"],
+            num_rounds=params["num_rounds"],
+            backend=backend,
+        )
+
+    def vectorizable(self, params):
+        # The value kernel replicates rotate/nearest selection only.
+        return params.get("selector") in ("rotate", "nearest")

@@ -2,13 +2,14 @@
 
 Home of the **unified differential-testing harness**: every "rewrite X
 but stay bit-identical" PR so far (engine fast path, batched kernels,
-Topology layer, the port-major delivery sweep) was only safe because
-full-state equality was pinned across executors. The harness makes
-that one reusable assertion instead of per-file copy-pasted grid
-loops:
+Topology layer, the port-major delivery sweep, the scenario registry)
+was only safe because full-state equality was pinned across executors.
+The harness makes that one reusable assertion instead of per-file
+copy-pasted grid loops:
 
-- a **config** is a plain dict naming a scenario family (``"dac"``,
-  ``"dbac"``, ``"mobile"`` or ``"baseline"``), its parameters, and a
+- a **config** is a plain dict naming a registered scenario family
+  (``"dac"``, ``"dbac"``, ``"byz"`` -- historical alias ``"mobile"``
+  -- ``"baseline"``, ``"averaging"``, ...), flat parameters, and a
   tuple of seeds;
 - an **executor** maps a config to one canonical result per seed --
   rounds, stopped, inputs, outputs and full per-node ``state_key()``s
@@ -17,11 +18,15 @@ loops:
   suite of executors and asserts every executor agrees with the first,
   printing the offending config (seed included) for reproduction.
 
-Executors cover the serial engine's port-major sweep, the legacy
-sender-major loop, fully traced execution, both
-:mod:`repro.sim.batch` backends (multi-seed lanes, exercising
-lock-step interplay), a ``workers=4`` process-pool leg, and an
-optional pooled *batched* leg (persistent pool + shared-memory
+Since PR 9 the family table is **registry-driven**: defaults, serial
+builds and batch dispatch all come from the
+:mod:`repro.scenario` registry entries, so a newly registered family
+is covered by every executor -- including the pooled/batched legs
+added in PR 8 -- with zero edits here. Executors cover the serial
+engine's port-major sweep, the legacy sender-major loop, fully traced
+execution, both :mod:`repro.sim.batch` backends (multi-seed lanes,
+exercising lock-step interplay), a ``workers=4`` process-pool leg,
+and an optional pooled *batched* leg (persistent pool + shared-memory
 arenas + guided chunking -- the full zero-copy dispatch stack).
 """
 
@@ -29,37 +34,21 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.adversary.constrained import (
-    LastMinuteQuorumAdversary,
-    RotatingQuorumAdversary,
-)
-from repro.adversary.mobile import MOBILE_MODES, MobileOmissionAdversary
-from repro.core.baselines import IteratedMidpointProcess, TrimmedMeanProcess
-from repro.core.dac import DACProcess
-from repro.core.phases import dac_end_phase
-from repro.faults.base import FaultPlan
-from repro.net.ports import random_ports
-from repro.sim.batch import (
-    numpy_available,
-    run_baseline_batch,
-    run_byz_batch,
-    run_dac_batch,
-    run_dbac_batch,
-)
+from repro.scenario.registry import RegistryEntry, lookup
+from repro.scenario.resolve import ensure_builtin_families, flat_params
+from repro.sim.batch import numpy_available
 from repro.sim.engine import Engine
 from repro.sim.parallel import TrialSpec, run_trials
-from repro.sim.rng import child_rng, spawn_inputs
-from repro.workloads import (
-    TRIAL_BYZANTINE_STRATEGIES,
-    build_dac_execution,
-    build_dbac_execution,
-    dac_degree,
-)
 
 #: Sentinel an executor returns when a config is outside its domain
 #: (e.g. the numpy kernel for a non-vectorizable selector). The
 #: harness skips the comparison instead of failing.
 SKIPPED = object()
+
+#: Historical config-family spellings accepted by :func:`normalize_config`.
+#: ``"mobile"`` predates the registry, where the mobile-omission runs
+#: are the ``byz`` family's mobile adversary.
+FAMILY_ALIASES = {"mobile": "byz"}
 
 
 def spread_inputs(n: int) -> list[float]:
@@ -71,165 +60,86 @@ def spread_inputs(n: int) -> list[float]:
 
 # -- Configs ---------------------------------------------------------------
 
-_FAMILY_DEFAULTS: dict[str, dict[str, Any]] = {
-    "dac": {
-        "f": None,  # boundary (n - 1) // 2
-        "window": 1,
-        "selector": "rotate",
-        "crash_nodes": None,  # default: f
-        "epsilon": 1e-3,
-        "max_rounds": None,  # family default (rounds_upper_bound based)
-    },
-    "dbac": {
-        "f": None,  # boundary (n - 1) // 5
-        "window": 1,
-        "selector": "nearest",
-        "strategy": "extreme",
-        "epsilon": 1e-3,
-        "max_rounds": 2_000,
-    },
-    "mobile": {
-        "mode": "block_min",
-        "epsilon": 1e-3,
-        "max_rounds": 2_000,
-    },
-    "baseline": {
-        "algorithm": "midpoint",
-        "f": 0,
-        "window": 1,
-        "selector": "rotate",
-        "epsilon": 1e-3,
-        "num_rounds": None,  # family default: dac_end_phase(epsilon)
-    },
-}
 
-_BASELINE_PROCESSES = {
-    "midpoint": IteratedMidpointProcess,
-    "trimmed": TrimmedMeanProcess,
-}
+def family_entry(name: str) -> RegistryEntry:
+    """The registry entry behind a config's ``family`` value."""
+    ensure_builtin_families()
+    return lookup("algorithm", FAMILY_ALIASES.get(name, name))
+
+
+def _config_params(config: dict[str, Any]) -> dict[str, Any]:
+    """The flat parameter assignment of a normalized config."""
+    return {k: v for k, v in config.items() if k not in ("family", "seeds")}
 
 
 def normalize_config(config: dict[str, Any]) -> dict[str, Any]:
-    """Fill family defaults and canonicalize the seed list.
+    """Fill registry defaults and canonicalize the seed list.
 
-    Accepts ``seed=7`` as shorthand for ``seeds=(7,)``. The result is
-    a complete, deterministic parameter assignment, so it doubles as
-    the reproduction recipe printed on divergence.
+    Accepts ``seed=7`` as shorthand for ``seeds=(7,)``. Defaults come
+    from the family's registry entry -- declared parameters of the
+    algorithm and its default components, the family's
+    ``component_param_defaults``, and its ``harness_defaults`` (e.g.
+    a fuzz-friendly ``max_rounds``) -- so the result is a complete,
+    deterministic parameter assignment that doubles as the
+    reproduction recipe printed on divergence. Raises ``ValueError``
+    (a :class:`repro.scenario.SpecError` naming the field) for
+    unknown families, parameters, or ill-typed values.
     """
     family = config.get("family", "dac")
-    if family not in _FAMILY_DEFAULTS:
+    family = FAMILY_ALIASES.get(family, family)
+    entry = family_entry(family)
+    space = flat_params(entry)
+    given = {k: v for k, v in config.items() if k not in ("family", "seed", "seeds")}
+    unknown = sorted(set(given) - set(space))
+    if unknown:
         raise ValueError(
-            f"unknown family {family!r}; known: {sorted(_FAMILY_DEFAULTS)}"
+            f"unknown parameter(s) {unknown!r} for family {family!r} "
+            f"(declared: {sorted(space)})"
         )
-    full = dict(_FAMILY_DEFAULTS[family])
+    overrides: dict[str, Any] = {}
+    for defaults in entry.obj.component_param_defaults.values():
+        overrides.update(defaults)
+    overrides.update(entry.obj.harness_defaults)
+    full: dict[str, Any] = {}
+    for name, (section, pspec) in space.items():
+        if name in given:
+            full[name] = pspec.check(f"{section}.{name}", given[name])
+        elif name in overrides:
+            full[name] = overrides[name]
+        elif pspec.required:
+            raise ValueError(f"config needs {name}: {config!r}")
+        else:
+            full[name] = pspec.default
+    full = entry.obj.normalize(full)
     full["family"] = family
-    full.update(config)
-    if "seed" in full:
-        if "seeds" in full:
+    if "seed" in config:
+        if "seeds" in config:
             raise ValueError("pass either seed or seeds, not both")
-        full["seeds"] = (full.pop("seed"),)
-    full["seeds"] = tuple(int(s) for s in full.get("seeds", (0,)))
-    if "n" not in full:
-        raise ValueError(f"config needs n: {config!r}")
-    if family == "dac":
-        if full["f"] is None:
-            full["f"] = (full["n"] - 1) // 2
-    elif family == "dbac":
-        if full["f"] is None:
-            full["f"] = (full["n"] - 1) // 5
-    elif family == "mobile":
-        if full["mode"] not in MOBILE_MODES:
-            raise ValueError(f"unknown mobile mode {full['mode']!r}")
+        full["seeds"] = (config["seed"],)
     else:
-        if full["algorithm"] not in _BASELINE_PROCESSES:
-            raise ValueError(f"unknown baseline algorithm {full['algorithm']!r}")
+        full["seeds"] = tuple(int(s) for s in config.get("seeds", (0,)))
+    full["seeds"] = tuple(int(s) for s in full["seeds"])
     return full
 
 
 def _build_serial(
     config: dict[str, Any], seed: int
 ) -> tuple[dict, Callable, int, str]:
-    """(engine kwargs, stop condition, max_rounds, stop mode) for one lane."""
-    family = config["family"]
-    epsilon = config["epsilon"]
-    if family == "dac":
-        kwargs = build_dac_execution(
-            n=config["n"],
-            f=config["f"],
-            epsilon=epsilon,
-            seed=seed,
-            window=config["window"],
-            selector=config["selector"],
-            crash_nodes=config["crash_nodes"],
-        )
-        max_rounds = config["max_rounds"] or kwargs["max_rounds"]
-        return kwargs, Engine.all_fault_free_output, max_rounds, "output"
-    if family == "dbac":
-        factory = TRIAL_BYZANTINE_STRATEGIES[config["strategy"]]
-        kwargs = build_dbac_execution(
-            n=config["n"],
-            f=config["f"],
-            epsilon=epsilon,
-            seed=seed,
-            window=config["window"],
-            selector=config["selector"],
-            byzantine_factory=lambda node: factory(),
-        )
+    """(engine kwargs, stop condition, max_rounds, stop mode) for one lane.
+
+    Delegates to the registered family's ``build`` -- the same
+    execution builder every other surface (trials, batch kernels,
+    the CLI ``spec`` command) resolves through.
+    """
+    entry = family_entry(config["family"])
+    kwargs = entry.obj.build(seed=seed, **_config_params(config))
+    stop_mode = kwargs["stop_mode"]
+    epsilon = kwargs["epsilon"]
+    if stop_mode == "output":
+        stop = Engine.all_fault_free_output
+    else:
         stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
-        return kwargs, stop, config["max_rounds"], "oracle"
-    if family == "baseline":
-        # Averaging baseline under DAC's boundary adversary: fixed
-        # round budget, output-based stopping (run_baseline_trial's
-        # family, vectorized by BaselineBatchEngine).
-        n = config["n"]
-        num_rounds = config["num_rounds"]
-        if num_rounds is None:
-            num_rounds = dac_end_phase(epsilon)
-        ports = random_ports(n, child_rng(seed, "ports"))
-        inputs = spawn_inputs(seed, n)
-        process_type = _BASELINE_PROCESSES[config["algorithm"]]
-        processes = {
-            v: process_type(
-                n, config["f"], inputs[v], ports.self_port(v), num_rounds=num_rounds
-            )
-            for v in range(n)
-        }
-        degree = dac_degree(n)
-        window = config["window"]
-        if window == 1:
-            adversary = RotatingQuorumAdversary(degree, selector=config["selector"])
-        else:
-            adversary = LastMinuteQuorumAdversary(
-                window, degree, selector=config["selector"]
-            )
-        kwargs = {
-            "processes": processes,
-            "adversary": adversary,
-            "ports": ports,
-            "f": config["f"],
-            "fault_plan": FaultPlan.fault_free_plan(n),
-            "seed": seed,
-        }
-        return kwargs, Engine.all_fault_free_output, num_rounds + 2 * window, "output"
-    # mobile: fault-free DAC on the complete graph minus one in-link
-    # per receiver per round, oracle stopping (run_byz_trial's family).
-    n = config["n"]
-    ports = random_ports(n, child_rng(seed, "ports"))
-    inputs = spawn_inputs(seed, n)
-    processes = {
-        v: DACProcess(n, 0, inputs[v], ports.self_port(v), epsilon=epsilon)
-        for v in range(n)
-    }
-    kwargs = {
-        "processes": processes,
-        "adversary": MobileOmissionAdversary(config["mode"]),
-        "ports": ports,
-        "f": 0,
-        "fault_plan": FaultPlan.fault_free_plan(n),
-        "seed": seed,
-    }
-    stop = lambda eng: eng.fault_free_range() <= epsilon  # noqa: E731
-    return kwargs, stop, config["max_rounds"], "oracle"
+    return kwargs, stop, kwargs["max_rounds"], stop_mode
 
 
 def _canonical(engine: Engine, result, stop_mode: str) -> dict[str, Any]:
@@ -323,70 +233,22 @@ def run_config_batch(
 ) -> list[dict[str, Any]] | object:
     """Run ``config``'s seeds as one lock-step batch, or ``SKIPPED``.
 
-    All seeds go through a single batch-engine call, so multi-seed
-    configs exercise genuine lane interplay (mixed termination rounds,
-    shared kernel state), not just per-lane agreement.
+    All seeds go through a single call of the family's registered
+    ``batch`` dispatch, so multi-seed configs exercise genuine lane
+    interplay (mixed termination rounds, shared kernel state), not
+    just per-lane agreement. The ``numpy`` backend is skipped when
+    numpy is missing or the family reports the parameters
+    non-vectorizable (``vectorizable`` -- e.g. RNG-stream selectors,
+    or a family with only the generic python lock-step form).
     """
     config = normalize_config(config)
-    family = config["family"]
-    seeds = list(config["seeds"])
-    if backend == "numpy":
-        if not numpy_available():
-            return SKIPPED
-        if family == "dac" and config["selector"] != "rotate":
-            return SKIPPED  # the DAC kernel replicates rotate only
-        if family == "dbac" and (
-            config["selector"] == "random" or config["strategy"] == "random"
-        ):
-            return SKIPPED  # RNG-stream consumers fall back to python
-        if family == "baseline" and config["selector"] == "random":
-            return SKIPPED  # the value kernel replicates rotate/nearest only
-    if family == "dac":
-        lanes = run_dac_batch(
-            config["n"],
-            config["f"],
-            seeds,
-            epsilon=config["epsilon"],
-            window=config["window"],
-            selector=config["selector"],
-            crash_nodes=config["crash_nodes"],
-            max_rounds=config["max_rounds"],
-            backend=backend,
-        )
-    elif family == "dbac":
-        lanes = run_dbac_batch(
-            config["n"],
-            config["f"],
-            seeds,
-            epsilon=config["epsilon"],
-            window=config["window"],
-            selector=config["selector"],
-            strategy=config["strategy"],
-            max_rounds=config["max_rounds"],
-            backend=backend,
-        )
-    elif family == "baseline":
-        lanes = run_baseline_batch(
-            config["n"],
-            seeds,
-            algorithm=config["algorithm"],
-            f=config["f"],
-            epsilon=config["epsilon"],
-            window=config["window"],
-            selector=config["selector"],
-            num_rounds=config["num_rounds"],
-            backend=backend,
-        )
-    else:
-        lanes = run_byz_batch(
-            config["n"],
-            None,
-            seeds,
-            epsilon=config["epsilon"],
-            adversary=f"mobile-{config['mode']}",
-            max_rounds=config["max_rounds"],
-            backend=backend,
-        )
+    entry = family_entry(config["family"])
+    params = _config_params(config)
+    if backend == "numpy" and (
+        not numpy_available() or not entry.obj.vectorizable(params)
+    ):
+        return SKIPPED
+    lanes = entry.obj.batch(list(config["seeds"]), backend=backend, **params)
     return [
         {
             "rounds": lane.rounds,

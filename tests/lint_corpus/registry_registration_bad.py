@@ -1,0 +1,25 @@
+# lint-corpus-module: repro.families.widget
+"""Known-bad: late or computed scenario-registry registrations."""
+from repro.scenario.registry import (
+    AlgorithmFamily,
+    declare_adversary,
+    declare_network,
+    register_algorithm,
+)
+
+WIDGET = "widget"
+VERSION = 2
+
+declare_network(WIDGET)  # computed name: invisible to grep and dedup
+declare_adversary("gremlin", version=VERSION)  # computed version
+
+
+def install():
+    # Buried registration: runs late, twice, or never.
+    declare_adversary("late-gremlin")
+
+    @register_algorithm("widget")  # still inside the function
+    class WidgetFamily(AlgorithmFamily):
+        pass
+
+    return WidgetFamily

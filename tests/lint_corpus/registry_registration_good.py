@@ -1,0 +1,24 @@
+# lint-corpus-module: repro.families.widget
+"""Known-good: import-time, literal registrations in the owning module."""
+from repro.scenario.registry import (
+    AlgorithmFamily,
+    ParamSpec,
+    declare_adversary,
+    register_algorithm,
+)
+
+declare_adversary(
+    "gremlin",
+    version=1,
+    params=(ParamSpec("strength", "int", default=1),),
+)
+
+
+@register_algorithm("widget", version=1)
+class WidgetFamily(AlgorithmFamily):
+    """A module-level family with literal name and version."""
+
+    params = (ParamSpec("n", "int"),)
+
+    def build(self, *, seed, **params):
+        return {"seed": seed, **params}

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Run doctests for modules imported *canonically*, by dotted name.
+
+``python -m doctest path/to/file.py`` imports the file as a flat
+top-level module outside its package, so a module the package has
+already pulled in (``repro/__init__`` imports ``repro.workloads``)
+executes a second time under a different name. For modules with
+import-time side effects -- the scenario registry's module-level
+registrations -- that second execution trips the
+duplicate-registration guard by design. Importing by module name runs
+each module exactly once, the way production code sees it.
+
+Usage: PYTHONPATH=src python tools/run_doctests.py repro.workloads ...
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import sys
+
+
+def main(names: list[str]) -> int:
+    if not names:
+        print("usage: run_doctests.py MODULE [MODULE ...]", file=sys.stderr)
+        return 2
+    failed = 0
+    for name in names:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module)
+        print(f"{name}: {result.attempted} examples, {result.failed} failed")
+        failed += result.failed
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
