@@ -1,0 +1,198 @@
+"""Consensus-as-a-service perf smoke: cold vs cache-hit vs coalesced.
+
+Measures the service stack of :mod:`repro.service` end to end -- HTTP
+round trip, job queue, dispatch onto the persistent pool, and the
+content-addressed result cache -- and emits a machine-readable
+``BENCH_service.json`` so the latency trajectory is tracked:
+
+- **cold** -- first submission of a scenario: every seed computed
+  through ``run_trials`` on the warm pool;
+- **cache hit** -- the same scenario resubmitted with a *different
+  spelling* (defaults elided vs explicit, sections reordered): the
+  canonical-fixpoint identity must map it onto the cached entries, so
+  the job runs no trials at all;
+- **coalesced** -- the same scenario submitted twice concurrently at
+  fresh seeds: the second request must piggyback on the first's
+  in-flight computation instead of computing again.
+
+Every leg's payload is asserted byte-identical (canonical JSON) to the
+others and to direct ``resolve(spec).run(seed)`` executions first, so
+the CI smoke is a correctness gate -- the daemon adds transport and
+caching, never behaviour -- as well as a trend line.
+
+Usage::
+
+    python -m repro.bench.service_smoke --out BENCH_service.json
+    python -m repro.bench.service_smoke --n 13 --seeds 8 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.scenario import resolve
+from repro.service import BackgroundServer, ServiceClient
+
+
+def _spec(n: int) -> str:
+    """The benchmark scenario, defaults elided."""
+    return f"algorithm: dac@1(n={n}); rounds: 500"
+
+
+def _spec_respelled(n: int) -> str:
+    """The same scenario, defaults explicit and differently ordered."""
+    return f"algorithm: dac@1(epsilon=1e-3, n={n}); seed: 0; rounds: 500"
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """Seed-to-result mapping as canonical JSON (order-independent)."""
+    return json.dumps(
+        {str(row["seed"]): row["result"] for row in payload["results"]},
+        sort_keys=True,
+    )
+
+
+def verify_contracts(client: ServiceClient, n: int, seeds: list[int]) -> dict[str, Any]:
+    """Service-vs-direct identity and cache-key identity (asserted)."""
+    first = client.submit(_spec(n), seeds=seeds)
+    assert all(row["status"] == "computed" for row in first["results"]), (
+        "first submission must compute every seed"
+    )
+    respelled = client.submit(_spec_respelled(n), seeds=seeds)
+    assert respelled["scenario"] == first["scenario"], (
+        "differently-spelled spec must resolve to the same scenario key"
+    )
+    assert all(row["status"] == "hit" for row in respelled["results"]), (
+        "respelled resubmission must be served from cache"
+    )
+    assert _canonical(respelled) == _canonical(first), (
+        "cached payload diverged from the computed one"
+    )
+    resolved = resolve(_spec(n))
+    direct = {seed: resolved.run(seed) for seed in seeds}
+    service = {row["seed"]: row["result"] for row in first["results"]}
+    assert json.dumps(service, sort_keys=True) == json.dumps(direct, sort_keys=True), (
+        "service results diverged from direct resolve(spec).run(seed)"
+    )
+    return {
+        "scenario": first["scenario"],
+        "respelled_all_hits": True,
+        "direct_identity": True,
+    }
+
+
+def measure_latency(
+    client: ServiceClient, n: int, seeds: list[int]
+) -> dict[str, Any]:
+    """Wall-clock latency of the cold, cache-hit and coalesced legs.
+
+    The coalesced leg fires two concurrent submissions at fresh seeds:
+    the daemon's in-flight map shares one computation between them, so
+    both finish in roughly one computation's time.
+    """
+    cold_seeds = [seed + 1000 for seed in seeds]
+    started = time.perf_counter()
+    cold = client.submit(_spec(n), seeds=cold_seeds)
+    cold_s = max(time.perf_counter() - started, 1e-9)
+    assert all(row["status"] == "computed" for row in cold["results"])
+
+    started = time.perf_counter()
+    hit = client.submit(_spec_respelled(n), seeds=cold_seeds)
+    hit_s = max(time.perf_counter() - started, 1e-9)
+    assert all(row["status"] == "hit" for row in hit["results"])
+    assert _canonical(hit) == _canonical(cold)
+
+    coalesced_seeds = [seed + 2000 for seed in seeds]
+    payloads: list[dict[str, Any]] = [{}, {}]
+
+    def submit(slot: int) -> None:
+        payloads[slot] = client.submit(_spec(n), seeds=coalesced_seeds)
+
+    racer = threading.Thread(target=submit, args=(0,))
+    started = time.perf_counter()
+    racer.start()
+    submit(1)
+    racer.join()
+    coalesced_s = max(time.perf_counter() - started, 1e-9)
+    assert _canonical(payloads[0]) == _canonical(payloads[1]), (
+        "concurrent submissions of one scenario returned different payloads"
+    )
+    shared = sum(payload["coalesced"] + payload["hit"] for payload in payloads)
+    computed = sum(payload["computed"] for payload in payloads)
+    return {
+        "n": n,
+        "seeds": len(seeds),
+        "cold_s": cold_s,
+        "cache_hit_s": hit_s,
+        "coalesced_pair_s": coalesced_s,
+        "hit_speedup": cold_s / hit_s,
+        "coalesced_shared_trials": shared,
+        "coalesced_computed_trials": computed,
+    }
+
+
+def run_smoke(n: int, seeds: int, workers: int, batch: int) -> dict[str, Any]:
+    """All legs against one ephemeral daemon; the BENCH_service.json payload."""
+    seed_list = list(range(seeds))
+    with BackgroundServer(workers=workers, batch=batch) as server:
+        client = ServiceClient(server.host, server.port)
+        contracts = verify_contracts(client, n, seed_list)
+        latency = measure_latency(client, n, seed_list)
+        stats = client.stats()
+    return {
+        "bench": "service",
+        "workers": workers,
+        "batch": batch,
+        "contracts": contracts,
+        "latency": latency,
+        "stats": stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--n", type=int, default=9, help="network size of the benchmark spec"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=4, help="seeds per submission (default 4)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pool width behind the daemon"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1, help="lanes per batched call (default 1)"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_service.json",
+        help="JSON output path (default BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_smoke(args.n, seeds=args.seeds, workers=args.workers, batch=args.batch)
+    print(f"contracts: {payload['contracts']}")
+    leg = payload["latency"]
+    print(
+        f"n={leg['n']:3d}: cold {leg['cold_s'] * 1e3:.1f}ms, "
+        f"hit {leg['cache_hit_s'] * 1e3:.1f}ms "
+        f"({leg['hit_speedup']:.1f}x), coalesced pair "
+        f"{leg['coalesced_pair_s'] * 1e3:.1f}ms "
+        f"({leg['coalesced_shared_trials']} shared / "
+        f"{leg['coalesced_computed_trials']} computed trials)"
+    )
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ Usage::
     python -m repro.cli sweep --n 9 --workers 4 --batch 8 --pool fresh --no-arenas
     python -m repro.cli sweep --spec "algorithm: averaging@1(n=6); rounds: 40"
     python -m repro.cli spec "algorithm: dac@1(n=9); network: dynadegree@1(window=3)"
+    python -m repro.cli serve --port 8787 --cache results.jsonl --workers 4
+    python -m repro.cli submit "algorithm: dac@1(n=9); rounds: 500" --seeds 0 1 2
+    python -m repro.cli submit - --stream < scenario.json
 
 Exit status is 0 when the run's verdict matches the theory (correct
 for the positive scenarios, violating for the impossibility ones).
@@ -324,6 +327,81 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     return 0 if summary["terminated"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import serve as service_serve
+
+    def announce(host: str, port: int) -> None:
+        cache = args.cache or "in-memory"
+        print(
+            f"repro service listening on http://{host}:{port} "
+            f"(workers={args.workers}, batch={args.batch}, cache={cache})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            service_serve(
+                host=args.host,
+                port=args.port,
+                cache_path=args.cache,
+                workers=args.workers,
+                batch=args.batch,
+                queue_size=args.queue_size,
+                # lint: ignore[worker-closure] — ready is called in-process
+                # by serve() on bind, never shipped to a pool worker
+                ready=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    spec = args.text
+    if spec == "-":
+        spec = sys.stdin.read()
+    on_event = None
+    if args.stream:
+
+        def on_event(entry: dict) -> None:
+            print(json.dumps(entry, sort_keys=True), file=sys.stderr)
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        payload = client.submit(
+            spec, seeds=args.seeds, stream=args.stream, on_event=on_event
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
+    except OSError as exc:
+        print(f"error: cannot reach service at {args.host}:{args.port} ({exc})")
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"job    : {payload['job']}  scenario {payload['scenario']}")
+        print(
+            f"status : computed={payload['computed']} hit={payload['hit']} "
+            f"coalesced={payload['coalesced']}"
+        )
+        for row in payload["results"]:
+            print(f"  seed {row['seed']} [{row['status']}]: {row['result']}")
+    ok = all(
+        row["result"].get("terminated", True)
+        for row in payload["results"]
+        if isinstance(row["result"], dict)
+    )
+    return 0 if ok else 1
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     n = 3
     ports = random_ports(n, child_rng(args.seed, "ports"))
@@ -500,6 +578,79 @@ def build_parser() -> argparse.ArgumentParser:
         "flat params + trial result) to PATH",
     )
     p_spec.set_defaults(fn=_cmd_spec)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the consensus-as-a-service daemon: submit scenario "
+        "specs over HTTP/JSON, results memoized in a content-addressed "
+        "cache (repro.service, docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="append-only JSONL cache file; replayed on startup so "
+        "results survive restarts (default: in-memory only)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per job dispatch (0 = one per CPU); "
+        "cached payloads are identical for every worker count",
+    )
+    p_serve.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="lock-step lanes per batched call for jobs whose family "
+        "has a batched form",
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="bounded job-queue depth; submissions past it wait "
+        "(backpressure) instead of piling up",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one scenario spec to a running service daemon and "
+        "print its (possibly cached) results",
+    )
+    p_submit.add_argument(
+        "text",
+        metavar="SPEC",
+        help="scenario spec: DSL text or a JSON object ('-' reads from "
+        "stdin), see docs/scenarios.md",
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8787)
+    p_submit.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="trial seeds to run (default: the spec's own seed); each "
+        "seed is cached independently",
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the job's event log to stderr as JSONL while it "
+        "runs (chunked HTTP response)",
+    )
+    p_submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw response payload as JSON instead of the "
+        "per-seed summary",
+    )
+    p_submit.set_defaults(fn=_cmd_submit)
 
     return parser
 

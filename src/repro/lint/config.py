@@ -45,6 +45,10 @@ class LintConfig:
         ("mc", ("repro.mc",)),
         ("workloads", ("repro.workloads", "repro.families")),
         ("scenario", ("repro.scenario",)),
+        # The service daemon drives executions only through resolution
+        # and dispatch, and the bench layer's service smoke drives the
+        # daemon -- so service sits above scenario and below bench.
+        ("service", ("repro.service",)),
         ("bench", ("repro.bench",)),
         ("top", ("repro.cli", "repro.lint", "repro.__main__", "repro")),
     )
@@ -66,6 +70,10 @@ class LintConfig:
         "repro.workloads",
         "repro.families",
         "repro.scenario",
+        # Cached service payloads must be byte-identical to direct
+        # resolve().run() results, so the daemon is clock- and
+        # environment-free too (latency timing lives in repro.bench).
+        "repro.service",
     )
 
     # -- optional numpy ---------------------------------------------------
@@ -210,6 +218,20 @@ class LintConfig:
         "declare_network",
         "declare_adversary",
         "declare_faults",
+    )
+
+    # -- read-only service --------------------------------------------------
+    # The consensus-as-a-service daemon is an orchestration shell, not
+    # a fifth executor: it may drive work only through the resolution
+    # seam (repro.scenario) and the dispatch seam (repro.sim.parallel),
+    # never by importing engine, core, adversary or fault machinery
+    # directly -- otherwise cached service results could drift from
+    # what resolve(spec).run() produces.
+    service_modules: tuple[str, ...] = ("repro.service",)
+    service_allowed_imports: tuple[str, ...] = (
+        "repro.scenario",
+        "repro.sim.parallel",
+        "repro.service",
     )
 
     # Free-form extras for tests / future rules.

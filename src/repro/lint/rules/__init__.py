@@ -14,6 +14,8 @@ Each module groups the rules protecting one family of invariants:
   observability plane (observers watch, they never steer);
 - :mod:`repro.lint.rules.registration` -- the import-time, literal-name
   discipline of the scenario registry;
+- :mod:`repro.lint.rules.service` -- the import allowlist keeping the
+  consensus-as-a-service daemon on the resolution/dispatch seams;
 - :mod:`repro.lint.rules.workers` -- picklability contracts for
   functions fanned out over process pools.
 """
@@ -24,7 +26,16 @@ from repro.lint.rules import (
     mutation,
     obs,
     registration,
+    service,
     workers,
 )
 
-__all__ = ["determinism", "imports", "mutation", "obs", "registration", "workers"]
+__all__ = [
+    "determinism",
+    "imports",
+    "mutation",
+    "obs",
+    "registration",
+    "service",
+    "workers",
+]

@@ -2,8 +2,8 @@
 
 The dependency direction of the stack is a contract, not an accident:
 ``model -> spec -> core -> net -> faults -> adversary -> sim ->
-analysis -> mc -> workloads -> scenario -> bench -> top`` (see
-``docs/static-analysis.md``).
+analysis -> mc -> workloads -> scenario -> service -> bench -> top``
+(see ``docs/static-analysis.md``).
 Extensions depend on the core, never the reverse -- the same
 discipline the Sawtooth/SentientOS extension contracts spell out --
 and numpy stays an optional extra confined to the batch kernel.
@@ -40,7 +40,7 @@ def _layer_of(module: str, config) -> tuple[int, str] | None:
     summary="import against the declared layer DAG (or from an unassigned module)",
     invariant="dependencies flow strictly downward through "
     "model/spec/core/net/faults/adversary/sim/analysis/mc/workloads/"
-    "scenario/bench/top",
+    "scenario/service/bench/top",
 )
 def check_layering(ctx) -> Iterator:
     config = ctx.config

@@ -1,0 +1,59 @@
+"""Read-only service: the daemon orchestrates, it never simulates.
+
+``repro.service`` promises (docs/service.md) that a cached service
+payload is byte-identical to ``resolve(spec).run(seed)`` executed
+directly -- the daemon adds scheduling, caching and transport, never
+behaviour. The enforceable core of that promise is an import
+allowlist: service modules may reach the simulation stack only through
+the resolution seam (``repro.scenario``) and the dispatch seam
+(``repro.sim.parallel``), plus their own package. A service module
+importing engine, core, adversary or fault machinery directly would
+open a second execution path whose results the conformance suite never
+checks against the canonical one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.registry import rule
+from repro.lint.rules.common import collect_imports
+
+
+def _allowed(target: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        target == prefix or target.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+@rule(
+    "service-readonly",
+    summary="service module imports simulation machinery outside the "
+    "resolution/dispatch seams",
+    invariant="the service daemon drives executions only through "
+    "repro.scenario resolution and repro.sim.parallel dispatch, so "
+    "cached payloads stay byte-identical to direct resolve().run() results",
+)
+def check_service_readonly(ctx) -> Iterator:
+    config = ctx.config
+    if not ctx.in_module(config.service_modules):
+        return
+    root = config.root_package
+    allowed = tuple(config.service_allowed_imports)
+    for record in collect_imports(ctx.tree, ctx.module):
+        if record.type_checking:
+            continue
+        target = record.target
+        if target != root and not target.startswith(root + "."):
+            continue  # stdlib and third-party imports are the layering
+            # rule's concern, not this one's
+        if _allowed(target, allowed):
+            continue
+        yield ctx.finding(
+            record.node,
+            "service-readonly",
+            f"service module {ctx.module} imports {target}; the service "
+            f"layer may only import {', '.join(allowed)} -- drive "
+            "executions through resolve() and run_trials(), never the "
+            "simulation stack directly",
+        )

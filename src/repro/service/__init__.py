@@ -1,0 +1,53 @@
+"""Consensus-as-a-service: the long-running simulation daemon.
+
+The package turns the scenario DSL (:mod:`repro.scenario`) into a
+service surface: a stdlib-``asyncio`` daemon accepts
+:class:`~repro.scenario.spec.ScenarioSpec` text or JSON over a thin
+HTTP/JSON endpoint, schedules trials onto the existing
+``run_trials(workers=N, batch=B, pool="persist")`` machinery through a
+bounded job queue, and memoizes every result in a content-addressed
+cache keyed on ``(scenario content hash, seed)`` -- so repeated and
+overlapping requests are O(1) lookups, however they spell their spec
+(the canonical-fixpoint property of :mod:`repro.scenario.resolve`
+guarantees that defaults-elided and fully-explicit forms hash alike).
+
+Three layers, mirroring the daemon/manager/api idiom:
+
+- :mod:`repro.service.cache` -- the content-addressed result store
+  with an append-only JSONL persistence tier (trace-v3 idiom), so the
+  cache survives daemon restarts;
+- :mod:`repro.service.jobs` -- the async :class:`JobManager`: bounded
+  queue, in-flight request coalescing (concurrent identical
+  submissions share one computation), per-job event logs fed by the
+  worker event-forwarding path of :mod:`repro.sim.parallel`;
+- :mod:`repro.service.server` / :mod:`repro.service.client` -- the
+  HTTP endpoint (submit, cache lookup, stats, health, chunked
+  progress streaming) and its stdlib client.
+
+The service is strictly read-only with respect to the simulation
+core: it drives executions only through the resolution and dispatch
+seams (``repro.scenario.resolve`` + ``repro.sim.parallel``), never by
+reaching into engine, adversary, or process state -- the
+``service-readonly`` lint rule pins that contract, and the ``service``
+layer sits in the import DAG above ``scenario``. Entry points:
+``python -m repro.cli serve`` / ``python -m repro.cli submit``; see
+``docs/service.md``.
+"""
+
+from repro.service.cache import ResultCache, cache_key, scenario_key
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobManager
+from repro.service.server import BackgroundServer, ServiceServer, serve
+
+__all__ = [
+    "BackgroundServer",
+    "Job",
+    "JobManager",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "cache_key",
+    "scenario_key",
+    "serve",
+]

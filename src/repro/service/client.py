@@ -1,0 +1,160 @@
+"""Stdlib client for the consensus-as-a-service endpoint.
+
+A thin :mod:`http.client` wrapper speaking the contract of
+:mod:`repro.service.server`: JSON in, JSON out, one connection per
+request (the server answers ``Connection: close``). Streaming
+submissions read the chunk-decoded ``application/x-ndjson`` body line
+by line -- ``http.client`` strips the chunked framing, so each
+``readline()`` is one event-log entry -- invoking ``on_event`` per
+entry and returning the final ``{"kind": "result", ...}`` payload.
+
+Errors are uniform: any non-2xx response (or an in-stream
+``{"kind": "error"}`` line) raises :class:`ServiceError` carrying the
+HTTP status and the decoded error payload, so callers never have to
+parse failure bodies themselves.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable
+
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the service.
+
+    ``status`` is the HTTP status code (0 for in-stream errors, which
+    arrive after a successful 200 header) and ``payload`` the decoded
+    JSON error body.
+    """
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        message = payload.get("error", "service error")
+        super().__init__(f"HTTP {status}: {message}" if status else str(message))
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """A client bound to one daemon address.
+
+    The client is stateless between calls (fresh connection per
+    request) and safe to share across threads for non-overlapping
+    calls; it performs no retries and keeps no clocks, so a fixed
+    request sequence observes a deterministic response sequence.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float | None = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- endpoints --------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /stats`` -- the manager's deterministic counters."""
+        return self._request("GET", "/stats")
+
+    def cached(self, scenario: str, seed: int) -> dict[str, Any] | None:
+        """``GET /cache/<scenario>/<seed>``; ``None`` when absent."""
+        try:
+            return self._request("GET", f"/cache/{scenario}/{int(seed)}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def submit(
+        self,
+        spec: str | dict[str, Any] | ScenarioSpec,
+        seeds: list[int] | None = None,
+        stream: bool = False,
+        events: bool = False,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """``POST /jobs``: run (or fetch) a scenario, return its payload.
+
+        ``spec`` may be DSL text, a spec JSON dict, or a
+        :class:`ScenarioSpec`. With ``stream=True`` (implied by passing
+        ``on_event``) the job's event log is consumed incrementally and
+        each entry handed to ``on_event`` before the final result is
+        returned.
+        """
+        if on_event is not None:
+            stream = True
+        if isinstance(spec, ScenarioSpec):
+            spec = spec.to_dict()
+        envelope: dict[str, Any] = {"spec": spec, "stream": stream, "events": events}
+        if seeds is not None:
+            envelope["seeds"] = [int(seed) for seed in seeds]
+        body = json.dumps(envelope, sort_keys=True)
+        if not stream:
+            return self._request("POST", "/jobs", body)
+        return self._submit_streaming(body, on_event)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, body: str | None = None) -> dict[str, Any]:
+        connection = self._connect()
+        try:
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            if response.status >= 300:
+                raise ServiceError(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    def _submit_streaming(
+        self, body: str, on_event: Callable[[dict[str, Any]], None] | None
+    ) -> dict[str, Any]:
+        connection = self._connect()
+        try:
+            connection.request(
+                "POST",
+                "/jobs?stream=1",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status >= 300:
+                payload = json.loads(response.read().decode("utf-8"))
+                raise ServiceError(response.status, payload)
+            result: dict[str, Any] | None = None
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                entry = json.loads(line.decode("utf-8"))
+                kind = entry.get("kind")
+                if kind == "result":
+                    result = entry
+                elif kind == "error":
+                    raise ServiceError(0, entry)
+                elif on_event is not None:
+                    on_event(entry)
+            if result is None:
+                raise ServiceError(0, {"error": "stream ended without a result"})
+            return result
+        finally:
+            connection.close()

@@ -71,6 +71,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -163,6 +164,14 @@ _pool_executor: ProcessPoolExecutor | None = None
 _pool_size = 0
 _pool_atexit_installed = False
 
+# Guards the (_pool_executor, _pool_size) pair so concurrent
+# get_pool/close_pool calls observe consistent state. The pool itself
+# is still **single-owner**: one thread at a time may dispatch work
+# through it (repro.service serializes all run_trials calls onto one
+# dispatch thread); the lock makes lifecycle transitions safe, not
+# concurrent fan-out.
+_pool_lock = threading.Lock()
+
 # One registry for the process: segments published for any sweep stay
 # available (keyed by content hash) until the pool is closed.
 _arena_registry = ArenaRegistry()
@@ -178,20 +187,27 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
 
     A pool at least ``workers`` wide is reused as-is (idle workers are
     cheap, warm caches are not); a narrower one is drained and
-    replaced. First creation registers :func:`close_pool` with
-    ``atexit`` so interpreter exit always reaches the teardown path.
+    replaced. The grow path is atomic: the replacement pool is
+    constructed *before* the old one is discarded, so a failing
+    constructor leaves the previous pool installed and the
+    ``(_pool_executor, _pool_size)`` pair consistent. First creation
+    registers :func:`close_pool` with ``atexit`` so interpreter exit
+    always reaches the teardown path.
     """
     global _pool_executor, _pool_size, _pool_atexit_installed
-    if _pool_executor is not None and _pool_size < workers:
-        _pool_executor.shutdown(wait=True)
-        _pool_executor = None
-    if _pool_executor is None:
-        _pool_executor = ProcessPoolExecutor(max_workers=workers)
-        _pool_size = workers
+    with _pool_lock:
+        if _pool_executor is not None and _pool_size < workers:
+            replacement = ProcessPoolExecutor(max_workers=workers)
+            previous, _pool_executor = _pool_executor, replacement
+            _pool_size = workers
+            previous.shutdown(wait=True)
+        if _pool_executor is None:
+            _pool_executor = ProcessPoolExecutor(max_workers=workers)
+            _pool_size = workers
         if not _pool_atexit_installed:
             _pool_atexit_installed = True
             atexit.register(close_pool)
-    return _pool_executor
+        return _pool_executor
 
 
 def close_pool() -> None:
@@ -200,13 +216,20 @@ def close_pool() -> None:
     Idempotent; the next pooled ``run_trials`` call simply recreates
     both. This is the deterministic cleanup point -- ``atexit`` and
     the arena module's signal path funnel into the same teardown.
+    Safe to race with :func:`get_pool` from another thread (the module
+    state swap is locked), and a failing executor shutdown still
+    reaches the arena teardown -- neither resource is leaked when the
+    other's cleanup raises.
     """
     global _pool_executor, _pool_size
-    executor, _pool_executor = _pool_executor, None
-    _pool_size = 0
-    if executor is not None:
-        executor.shutdown(wait=True)
-    _arena_registry.close()
+    with _pool_lock:
+        executor, _pool_executor = _pool_executor, None
+        _pool_size = 0
+    try:
+        if executor is not None:
+            executor.shutdown(wait=True)
+    finally:
+        _arena_registry.close()
 
 
 @dataclass(frozen=True)
@@ -290,7 +313,14 @@ def _invoke_batch(
 
 def _invoke_chunk(payloads: list[Any]) -> list[Any]:
     """Worker-side entry point: run one guided chunk of trials."""
-    return [_invoke(payload) for payload in payloads]
+    results = []
+    for payload in payloads:
+        fn, spec, forward = payload
+        value = _invoke(payload)
+        if forward:
+            _check_returnable(value, fn, spec.params, (spec.seed,))
+        results.append(value)
+    return results
 
 
 def _invoke_batch_chunk(job: tuple[Any, list[Any]]) -> list[Any]:
@@ -305,7 +335,14 @@ def _invoke_batch_chunk(job: tuple[Any, list[Any]]) -> list[Any]:
     manifest, payloads = job
     if manifest:
         attach_manifest(manifest)
-    return [_invoke_batch(payload) for payload in payloads]
+    results = []
+    for payload in payloads:
+        batch_fn, params, seeds, forward = payload
+        value = _invoke_batch(payload)
+        if forward:
+            _check_returnable(value, batch_fn, params, seeds)
+        results.append(value)
+    return results
 
 
 def _batch_groups(
@@ -326,20 +363,40 @@ def _batch_groups(
     return groups
 
 
-def _check_shippable(fn: Callable[..., Any], payloads: Any, count: int) -> None:
-    # Check shippability of *every* payload up front (an unpicklable
-    # parameter may appear in any spec, not just the first), so a
-    # pickling failure is diagnosed as such -- and so exceptions raised
-    # *by* fn inside workers propagate untouched instead of being
-    # mislabelled.
+def _check_shippable(fn: Callable[..., Any], jobs: Any, count: int) -> None:
+    # Check shippability of *every* job up front -- the full tuples as
+    # dispatched, arena manifest included, not just the trial payloads
+    # (an unpicklable value may hide in any spec's parameters or in the
+    # manifest) -- so a pickling failure is diagnosed as such before
+    # anything reaches the pool, and so exceptions raised *by* fn
+    # inside workers propagate untouched instead of being mislabelled.
     try:
-        pickle.dumps(payloads)
+        pickle.dumps(jobs)
     except Exception as exc:
         raise ValueError(
             f"workers={count} requires a picklable trial function and "
-            f"parameters, but {fn!r} (or a spec's parameters) could not "
-            "be shipped to worker processes; use a module-level function "
-            "and picklable parameter values, or run with workers=1"
+            f"parameters, but {fn!r} (or a spec's parameters, or the "
+            "dispatched job envelope) could not be shipped to worker "
+            "processes; use a module-level function and picklable "
+            "parameter values, or run with workers=1"
+        ) from exc
+
+
+def _check_returnable(value: Any, fn: Callable[..., Any], params: Any, seeds: Any) -> None:
+    # Worker-side guard for the *return* path: with event forwarding on,
+    # the shipped-back value carries whatever the trial handed to
+    # record_event. An unpicklable event would otherwise die inside the
+    # executor's result pipe as an opaque pool error; pickling here
+    # names the offending trial while its identity is still in hand.
+    try:
+        pickle.dumps(value)
+    except Exception as exc:
+        raise ValueError(
+            f"trial function {fn!r} (params {dict(params)!r}, seeds "
+            f"{list(seeds)!r}) produced a result or forwarded event that "
+            "could not be pickled back to the dispatching process; "
+            "forwarded events must be picklable (the repro.obs bus "
+            "events are frozen scalar dataclasses), or drop on_event"
         ) from exc
 
 
@@ -471,12 +528,12 @@ def run_trials(
         if count <= 1 or len(specs) <= 1:
             raw = [_invoke(payload) for payload in payloads]
         else:
-            _check_shippable(fn, payloads, count)
             max_workers = min(count, len(specs))
             jobs = [
                 payloads[start:stop]
                 for start, stop in _chunk_bounds(len(payloads), max_workers)
             ]
+            _check_shippable(fn, jobs, count)
             raw = _fan_out(_invoke_chunk, jobs, max_workers, pool_mode)
         if not forward:
             return raw
@@ -492,7 +549,6 @@ def run_trials(
     if count <= 1 or len(payloads) <= 1:
         nested = [_invoke_batch(payload) for payload in payloads]
     else:
-        _check_shippable(batch_fn, payloads, count)
         manifest = None
         if use_arenas and arenas_available():
             plan_fn = getattr(batch_fn, "arena_plan", None)
@@ -507,6 +563,7 @@ def run_trials(
             (manifest, payloads[start:stop])
             for start, stop in _chunk_bounds(len(payloads), max_workers)
         ]
+        _check_shippable(batch_fn, jobs, count)
         nested = _fan_out(_invoke_batch_chunk, jobs, max_workers, pool_mode)
     if forward:
         unwrapped = []

@@ -1,0 +1,13 @@
+# lint-corpus-module: repro.service.widget
+"""Known-bad: the daemon reaching past the resolution/dispatch seams."""
+
+from repro.core.dac import DACProcess  # the algorithm layer directly
+from repro.sim.engine import RoundEngine  # a second execution path
+from repro.sim.runner import run_consensus  # bypassing run_trials
+
+
+def handle(spec, seed):
+    from repro.adversary.periodic import figure1_adversary  # still banned inside a function
+
+    engine = RoundEngine(DACProcess, figure1_adversary())
+    return run_consensus(engine, seed=seed)

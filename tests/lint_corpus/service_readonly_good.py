@@ -1,0 +1,18 @@
+# lint-corpus-module: repro.service.widget
+"""Known-good: orchestration through the sanctioned seams only."""
+
+import asyncio
+import json
+
+from repro.scenario import resolve  # the resolution seam
+from repro.service.cache import ResultCache  # the service's own package
+from repro.sim.parallel import TrialSpec, run_trials  # the dispatch seam
+
+
+def handle(spec, seeds, cache: ResultCache):
+    resolved = resolve(spec)
+    params = tuple(sorted(resolved.trial_kwargs().items()))
+    pending = [TrialSpec(params, seed=seed) for seed in seeds]
+    results = run_trials(resolved.trial_fn, pending, workers=2)
+    payload = [json.loads(json.dumps(result)) for result in results]
+    return asyncio.gather(*[]), payload

@@ -74,6 +74,7 @@ def test_known_bad_finding_counts():
         "worker-closure": 4,  # incl. the pool= dispatch site
         "arena-readonly": 4,
         "registry-registration": 4,  # 2 computed literals + 2 buried calls
+        "service-readonly": 4,  # 3 module-level + 1 function-local import
     }
     counts = {
         rule_id: len(lint_with(corpus(rule_id, "bad"), rule_id))

@@ -1,0 +1,130 @@
+"""The content-addressed result cache: keys, counters, persistence.
+
+The load-bearing property is cache-key identity: any two semantically
+identical specs -- defaults elided vs spelled out, DSL vs JSON,
+sections reordered, differently seeded -- must map onto one
+``(scenario_key, seed)`` entry, because the canonical spec form is a
+parse/resolve/encode fixpoint. The persistence tier follows the
+trace-v3 recovery contract: a truncated tail is survivable, mid-file
+corruption is not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import resolve
+from repro.service.cache import ResultCache, cache_key, scenario_key
+
+SPEC = "algorithm: dac@1(n=6); rounds: 40"
+RESPELLED = "algorithm: dac@1(epsilon=1e-3, n=6); seed: 9; rounds: 40"
+
+
+# -- key identity ----------------------------------------------------------
+
+
+def test_scenario_key_is_spelling_independent():
+    assert scenario_key(resolve(SPEC)) == scenario_key(resolve(RESPELLED))
+
+
+def test_scenario_key_ignores_the_spec_seed():
+    with_seed = resolve("algorithm: dac@1(n=6); rounds: 40; seed: 123")
+    assert scenario_key(resolve(SPEC)) == scenario_key(with_seed)
+
+
+def test_scenario_key_distinguishes_real_parameter_changes():
+    assert scenario_key(resolve(SPEC)) != scenario_key(
+        resolve("algorithm: dac@1(n=7); rounds: 40")
+    )
+
+
+def test_cache_key_carries_the_trial_seed():
+    resolved = resolve(SPEC)
+    assert cache_key(resolved, 3) == (scenario_key(resolved), 3)
+    assert cache_key(resolved, 3) != cache_key(resolved, 4)
+
+
+def test_hash_equal_spellings_share_one_entry():
+    cache = ResultCache()
+    cache.put(cache_key(resolve(SPEC), 1), {"rounds": 10})
+    assert cache.get(cache_key(resolve(RESPELLED), 1)) == {"rounds": 10}
+    assert (cache.hits, cache.misses) == (1, 0)
+
+
+# -- counters --------------------------------------------------------------
+
+
+def test_get_counts_hits_and_misses_peek_does_not():
+    cache = ResultCache()
+    key = ("abc", 0)
+    assert cache.get(key) is None
+    cache.put(key, {"rounds": 1})
+    assert cache.get(key) == {"rounds": 1}
+    assert cache.peek(("missing", 0)) is None
+    assert cache.stats() == {
+        "entries": 1,
+        "scenarios": 0,
+        "hits": 1,
+        "misses": 1,
+        "stores": 1,
+    }
+
+
+# -- persistence -----------------------------------------------------------
+
+
+def test_persistence_round_trip_after_restart(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    spec_dict = resolve(SPEC).canonical_spec().with_seed(0).to_dict()
+    with ResultCache(path) as cache:
+        key = cache_key(resolve(SPEC), 7)
+        cache.put(key, {"rounds": 12, "spread": 0.0}, spec=spec_dict)
+        cache.put((key[0], 8), {"rounds": 13, "spread": 0.0})
+    with ResultCache(path) as reborn:
+        assert len(reborn) == 2
+        assert reborn.peek(key) == {"rounds": 12, "spread": 0.0}
+        assert reborn.peek((key[0], 8)) == {"rounds": 13, "spread": 0.0}
+        assert reborn.spec_for(key[0]) == spec_dict
+        # And the reopened cache keeps appending to the same file.
+        reborn.put((key[0], 9), {"rounds": 14, "spread": 0.0})
+    with ResultCache(path) as third:
+        assert len(third) == 3
+
+
+def test_truncated_tail_is_recovered(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    with ResultCache(path) as cache:
+        cache.put(("scenario", 0), {"rounds": 1})
+        cache.put(("scenario", 1), {"rounds": 2})
+    with path.open("a") as handle:
+        handle.write('{"key": ["scenario", 2], "resu')  # killed mid-append
+    with ResultCache(path) as reborn:
+        assert len(reborn) == 2
+        assert reborn.peek(("scenario", 2)) is None
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    with ResultCache(path) as cache:
+        cache.put(("scenario", 0), {"rounds": 1})
+    lines = path.read_text().splitlines()
+    lines.insert(1, "not json at all")
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt cache entry on line 2"):
+        ResultCache(path)
+
+
+def test_foreign_file_is_rejected(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    path.write_text(json.dumps({"version": 3, "kind": "trace"}) + "\n")
+    with pytest.raises(ValueError, match="not a version-1 service cache"):
+        ResultCache(path)
+
+
+def test_in_memory_cache_survives_close():
+    cache = ResultCache()
+    cache.put(("scenario", 0), {"rounds": 1})
+    cache.close()
+    assert cache.peek(("scenario", 0)) == {"rounds": 1}

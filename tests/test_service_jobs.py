@@ -1,0 +1,230 @@
+"""The async job manager: coalescing, event forwarding, failure paths.
+
+Driven with ``asyncio.run`` (no event-loop plugin): each test builds a
+manager, submits, awaits, and closes inside one coroutine. The
+hallmark assertions are the in-flight coalescing contract (concurrent
+identical submissions share one computation) and the byte-identity of
+service payloads with direct ``resolve(spec).run(seed)`` executions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.scenario import resolve
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobEventLog, JobManager
+
+SPEC = "algorithm: dac@1(n=6); rounds: 40"
+RESPELLED = "algorithm: dac@1(epsilon=1e-3, n=6); seed: 9; rounds: 40"
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _submit_and_close(manager, *submissions):
+    """Submit each (spec, kwargs) pair, await all payloads, close."""
+    try:
+        payloads = []
+        for spec, kwargs in submissions:
+            job = await manager.submit(spec, **kwargs)
+            payloads.append(await job.result())
+        return payloads
+    finally:
+        await manager.close(shutdown_pool=False)
+
+
+def test_compute_then_hit_with_different_spelling():
+    async def scenario():
+        manager = JobManager()
+        first, second = await _submit_and_close(
+            manager,
+            (SPEC, {"seeds": [0, 1]}),
+            (RESPELLED, {"seeds": [0, 1]}),
+        )
+        assert [row["status"] for row in first["results"]] == ["computed"] * 2
+        assert [row["status"] for row in second["results"]] == ["hit"] * 2
+        assert first["scenario"] == second["scenario"]
+        assert first["spec"] == second["spec"]  # both canonicalized
+        # Byte-identity of the cached replay with the computed results.
+        computed = [(row["seed"], row["result"]) for row in first["results"]]
+        replayed = [(row["seed"], row["result"]) for row in second["results"]]
+        assert json.dumps(computed, sort_keys=True) == json.dumps(
+            replayed, sort_keys=True
+        )
+        return first
+
+    payload = run(scenario())
+    # Differential check: service results == direct executions, value
+    # for value (both are plain JSON scalars, so dumps equality is
+    # byte-identity).
+    resolved = resolve(SPEC)
+    direct = {row["seed"]: resolved.run(row["seed"]) for row in payload["results"]}
+    service = {row["seed"]: row["result"] for row in payload["results"]}
+    assert json.dumps(service, sort_keys=True) == json.dumps(direct, sort_keys=True)
+
+
+def test_concurrent_identical_submissions_coalesce():
+    async def scenario():
+        manager = JobManager()
+        try:
+            # Submit twice *before* yielding to the drain task: the
+            # single-threaded event loop guarantees the second submit
+            # sees the first's in-flight future, making the race
+            # deterministic.
+            job_a = await manager.submit(SPEC, seeds=[5])
+            job_b = await manager.submit(SPEC, seeds=[5])
+            assert job_a.statuses[5][0] == "computed"
+            assert job_b.statuses[5][0] == "coalesced"
+            payload_a = await job_a.result()
+            payload_b = await job_b.result()
+            assert manager.trials_computed == 1
+            assert manager.trials_coalesced == 1
+            assert (
+                payload_a["results"][0]["result"]
+                == payload_b["results"][0]["result"]
+            )
+            assert payload_b["coalesced"] == 1
+        finally:
+            await manager.close(shutdown_pool=False)
+
+    run(scenario())
+
+
+def test_mixed_request_splits_per_seed():
+    async def scenario():
+        manager = JobManager()
+        try:
+            first = await manager.submit(SPEC, seeds=[0])
+            await first.result()
+            second = await manager.submit(SPEC, seeds=[0, 1])
+            payload = await second.result()
+            statuses = {row["seed"]: row["status"] for row in payload["results"]}
+            assert statuses == {0: "hit", 1: "computed"}
+            assert payload["hit"] == 1 and payload["computed"] == 1
+        finally:
+            await manager.close(shutdown_pool=False)
+
+    run(scenario())
+
+
+def test_event_stream_ordering_under_pool_workers():
+    async def scenario():
+        manager = JobManager(workers=4)
+        try:
+            job = await manager.submit(SPEC, seeds=[0, 1, 2, 3], events=True)
+            payload = await job.result()
+            return payload, job.log.entries
+        finally:
+            await manager.close(shutdown_pool=True)
+
+    payload, entries = run(scenario())
+    events = [e for e in entries if e["kind"] == "event"]
+    trials = [e for e in entries if e["kind"] == "trial"]
+    assert [e["event"] for e in events] == ["RunFinished"] * 4
+    assert [e["seed"] for e in trials] == [0, 1, 2, 3]
+    # Forwarded events are replayed in spec order (trial i's events
+    # before trial i+1's) regardless of which pool worker ran what:
+    # each RunFinished's round count must line up with its seed's
+    # result, in submission order.
+    result_rounds = [row["result"]["rounds"] for row in payload["results"]]
+    assert [e["rounds"] for e in events] == result_rounds
+    # The observe knob injected for streaming must not leak into the
+    # cached payloads: results stay identical to bare runs.
+    resolved = resolve(SPEC)
+    for row in payload["results"]:
+        assert row["result"] == resolved.run(row["seed"])
+
+
+def test_failed_trials_are_not_cached(monkeypatch):
+    calls = {"count": 0}
+
+    def exploding_run_trials(*args, **kwargs):
+        calls["count"] += 1
+        raise RuntimeError("worker blew up")
+
+    async def scenario():
+        manager = JobManager()
+        try:
+            import repro.service.jobs as jobs_module
+
+            monkeypatch.setattr(jobs_module, "run_trials", exploding_run_trials)
+            job = await manager.submit(SPEC, seeds=[0])
+            with pytest.raises(RuntimeError, match="worker blew up"):
+                await job.result()
+            assert manager.jobs_failed == 1
+            assert len(manager.cache) == 0
+            assert manager._inflight == {}
+            monkeypatch.undo()
+            retry = await manager.submit(SPEC, seeds=[0])
+            payload = await retry.result()
+            assert payload["results"][0]["status"] == "computed"
+        finally:
+            await manager.close(shutdown_pool=False)
+
+    run(scenario())
+    assert calls["count"] == 1
+
+
+def test_close_fails_pending_futures():
+    async def scenario():
+        manager = JobManager(queue_size=1)
+        job = await manager.submit(SPEC, seeds=[0])
+        # Close before draining: the in-flight future must fail loudly
+        # rather than hang the awaiting client forever.
+        await manager.close(shutdown_pool=False)
+        with pytest.raises(RuntimeError, match="shut down"):
+            await job.result()
+
+    run(scenario())
+
+
+def test_event_log_tail_sees_everything_in_order():
+    async def scenario():
+        log = JobEventLog()
+        seen: list[int] = []
+
+        async def tailer():
+            async for entry in log.tail():
+                seen.append(entry["i"])
+
+        task = asyncio.get_running_loop().create_task(tailer())
+        log.append({"i": 0})
+        log.append({"i": 1})
+        await asyncio.sleep(0)
+        log.append({"i": 2})
+        log.close()
+        await task
+        assert seen == [0, 1, 2]
+        assert log.entries == [{"i": 0}, {"i": 1}, {"i": 2}]
+        log.append({"i": 3})  # dropped: the log is complete
+        assert len(log.entries) == 3
+
+    run(scenario())
+
+
+def test_persistent_cache_feeds_a_new_manager(tmp_path):
+    path = tmp_path / "cache.jsonl"
+
+    async def first_life():
+        manager = JobManager(cache=ResultCache(path))
+        (payload,) = await _submit_and_close(manager, (SPEC, {"seeds": [0, 1]}))
+        return payload
+
+    async def second_life():
+        manager = JobManager(cache=ResultCache(path))
+        (payload,) = await _submit_and_close(
+            manager, (RESPELLED, {"seeds": [0, 1]})
+        )
+        return payload
+
+    before = run(first_life())
+    after = run(second_life())
+    assert [row["status"] for row in after["results"]] == ["hit", "hit"]
+    assert [row["result"] for row in after["results"]] == [
+        row["result"] for row in before["results"]
+    ]

@@ -1,0 +1,134 @@
+"""The HTTP endpoint end to end: daemon up, submit, cache, stream.
+
+Each test runs a real :class:`BackgroundServer` (its own thread and
+event loop, ephemeral port) and talks to it through the stdlib
+:class:`ServiceClient` -- the same stack ``repro.cli serve`` /
+``submit`` use. The acceptance scenario lives here: submitting a
+semantically identical but differently-spelled spec returns the cached
+result without running any new trial.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import resolve
+from repro.service import BackgroundServer, ServiceClient, ServiceError
+
+SPEC = "algorithm: dac@1(n=6); rounds: 40"
+RESPELLED = "algorithm: dac@1(epsilon=1e-3, n=6); seed: 9; rounds: 40"
+
+
+@pytest.fixture()
+def service():
+    with BackgroundServer(workers=2) as server:
+        yield ServiceClient(server.host, server.port)
+
+
+def test_health_and_stats(service):
+    assert service.health() == {"ok": True}
+    stats = service.stats()
+    assert stats["jobs"]["accepted"] == 0
+    assert stats["dispatch"] == {"workers": 2, "batch": 1, "pool": "persist"}
+
+
+def test_resubmission_of_respelled_spec_is_served_from_cache(service):
+    first = service.submit(SPEC, seeds=[0, 1])
+    assert [row["status"] for row in first["results"]] == ["computed"] * 2
+    second = service.submit(RESPELLED, seeds=[0, 1])
+    assert second["scenario"] == first["scenario"]
+    assert [row["status"] for row in second["results"]] == ["hit"] * 2
+    assert json.dumps(
+        [row["result"] for row in second["results"]], sort_keys=True
+    ) == json.dumps([row["result"] for row in first["results"]], sort_keys=True)
+    # No new trial ran for the second submission.
+    stats = service.stats()
+    assert stats["trials"]["computed"] == 2
+    assert stats["cache"]["hits"] == 2
+
+
+def test_service_results_match_direct_execution(service):
+    payload = service.submit(SPEC, seeds=[3])
+    direct = resolve(SPEC).run(3)
+    assert payload["results"][0]["result"] == direct
+
+
+def test_spec_json_object_and_envelope_forms(service):
+    spec_dict = resolve(SPEC).canonical_spec().to_dict()
+    bare = service.submit(spec_dict, seeds=[0])
+    enveloped = service.submit(SPEC, seeds=[0])
+    assert bare["scenario"] == enveloped["scenario"]
+    # The bare run computed; the enveloped resubmission hit its cache.
+    assert enveloped["results"][0]["status"] == "hit"
+
+
+def test_cached_endpoint_round_trip(service):
+    payload = service.submit(SPEC, seeds=[7])
+    scenario = payload["scenario"]
+    cached = service.cached(scenario, 7)
+    assert cached["result"] == payload["results"][0]["result"]
+    assert service.cached(scenario, 999) is None
+
+
+def test_streamed_submission_orders_lifecycle_and_events(service):
+    entries = []
+    payload = service.submit(SPEC, seeds=[0, 1], on_event=entries.append)
+    assert payload["kind"] == "result"
+    assert [row["status"] for row in payload["results"]] == ["computed"] * 2
+    kinds = [entry["kind"] for entry in entries]
+    assert kinds[0] == "job" and entries[0]["status"] == "accepted"
+    assert "trial" in kinds
+    trial_seeds = [e["seed"] for e in entries if e["kind"] == "trial"]
+    assert trial_seeds == [0, 1]
+    # Streaming injects observe for event forwarding, but the payload
+    # must stay identical to a bare (unobserved) direct run.
+    assert payload["results"][0]["result"] == resolve(SPEC).run(0)
+    assert [e["event"] for e in entries if e["kind"] == "event"] == [
+        "RunFinished"
+    ] * 2
+
+
+def test_bad_spec_maps_to_http_400(service):
+    with pytest.raises(ServiceError) as excinfo:
+        service.submit("algorithm: no-such-family@1(n=6)")
+    assert excinfo.value.status == 400
+    assert "no-such-family" in str(excinfo.value)
+
+
+def test_unknown_route_maps_to_http_404(service):
+    with pytest.raises(ServiceError) as excinfo:
+        service._request("GET", "/nope")
+    assert excinfo.value.status == 404
+
+
+def test_malformed_envelope_fields_are_rejected(service):
+    with pytest.raises(ServiceError) as excinfo:
+        service._request(
+            "POST", "/jobs", json.dumps({"spec": SPEC, "sneeds": [1]})
+        )
+    assert excinfo.value.status == 400
+    assert "sneeds" in str(excinfo.value)
+    with pytest.raises(ServiceError) as excinfo:
+        service._request(
+            "POST", "/jobs", json.dumps({"spec": SPEC, "seeds": ["one"]})
+        )
+    assert excinfo.value.status == 400
+
+
+def test_cache_survives_daemon_restart(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    with BackgroundServer(cache_path=path) as server:
+        client = ServiceClient(server.host, server.port)
+        before = client.submit(SPEC, seeds=[0, 1])
+        assert [row["status"] for row in before["results"]] == ["computed"] * 2
+    with BackgroundServer(cache_path=path) as server:
+        client = ServiceClient(server.host, server.port)
+        after = client.submit(RESPELLED, seeds=[0, 1])
+        assert [row["status"] for row in after["results"]] == ["hit"] * 2
+        assert [row["result"] for row in after["results"]] == [
+            row["result"] for row in before["results"]
+        ]
+        stats = client.stats()
+        assert stats["trials"]["computed"] == 0
