@@ -106,6 +106,10 @@ class ResultCache:
                 entry = json.loads(line)
                 scenario, seed = entry["key"]
                 result = entry["result"]
+                # Coerce inside the recovery block: a final line whose
+                # JSON parses but whose seed is not int-like is still a
+                # truncated tail, not mid-file corruption.
+                key = (str(scenario), int(seed))
             except (ValueError, KeyError, TypeError) as exc:
                 if position == len(lines):
                     # Truncated tail: the daemon died mid-append and
@@ -114,7 +118,6 @@ class ResultCache:
                 raise ValueError(
                     f"{path}: corrupt cache entry on line {position}"
                 ) from exc
-            key = (str(scenario), int(seed))
             self._entries[key] = result
             spec = entry.get("spec")
             if spec is not None:
@@ -163,15 +166,22 @@ class ResultCache:
         """
         scenario, seed = key
         novel_spec = spec is not None and scenario not in self._specs
-        self._entries[(scenario, int(seed))] = result
-        if novel_spec:
-            self._specs[scenario] = spec  # type: ignore[assignment]
-        self.stores += 1
+        # Serialize before mutating: if the result cannot encode, the
+        # put fails with nothing cached, keeping the in-memory store
+        # and the append-only tier consistent (failed trials are never
+        # cached, and neither are unpersistable ones).
+        line: str | None = None
         if self._file is not None and not self._file.closed:
             entry: dict[str, Any] = {"key": [scenario, int(seed)], "result": result}
             if novel_spec:
                 entry["spec"] = spec
-            self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+            line = json.dumps(entry, sort_keys=True) + "\n"
+        self._entries[(scenario, int(seed))] = result
+        if novel_spec:
+            self._specs[scenario] = spec  # type: ignore[assignment]
+        self.stores += 1
+        if line is not None:
+            self._file.write(line)
             self._file.flush()
 
     def __contains__(self, key: tuple[str, int]) -> bool:

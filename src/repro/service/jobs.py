@@ -332,7 +332,27 @@ class JobManager:
             }
         )
         if job.compute_seeds:
-            await self._queue.put(job)
+            try:
+                await self._queue.put(job)
+            except BaseException:
+                # The backpressure await was cancelled (or failed)
+                # before the job made it onto the queue: release the
+                # claimed keys so identical resubmissions recompute
+                # instead of coalescing onto a future nobody will ever
+                # resolve. Coalesced waiters see the failure too.
+                error = RuntimeError(
+                    "submission abandoned before the job was enqueued"
+                )
+                for seed in job.compute_seeds:
+                    future = self._inflight.pop((job.scenario, seed), None)
+                    if future is not None and not future.done():
+                        future.set_exception(error)
+                        future.exception()  # retrieved: no GC warning
+                job.log.append(
+                    {"kind": "job", "job": job.id, "status": "abandoned"}
+                )
+                job.log.close()
+                raise
             job.log.append({"kind": "job", "job": job.id, "status": "queued"})
         else:
             self.jobs_finished += 1
@@ -396,14 +416,35 @@ class JobManager:
                 "trials": len(specs),
             }
         )
+        # Result processing shares the executor call's failure path: a
+        # cache.put that cannot serialize an outcome must still resolve
+        # the job's remaining futures, or coalesced waiters hang and
+        # the _drain task dies mid-job.
         try:
             outcomes = await loop.run_in_executor(self._executor, call)
+            for event in forwarded:
+                job.log.append(_envelope(event))
+            for seed, outcome in zip(job.compute_seeds, outcomes):
+                if strip_metrics and isinstance(outcome, dict):
+                    outcome = {
+                        k: v for k, v in outcome.items() if k != "metrics"
+                    }
+                key = (job.scenario, seed)
+                self.cache.put(key, outcome, spec=job.canonical)
+                self.trials_computed += 1
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_result(outcome)
+                job.log.append(
+                    {"kind": "trial", "seed": seed, "status": "computed"}
+                )
         except BaseException as exc:
             self.jobs_failed += 1
             for seed in job.compute_seeds:
                 future = self._inflight.pop((job.scenario, seed), None)
                 if future is not None and not future.done():
                     future.set_exception(exc)
+                    future.exception()  # retrieved: no GC warning
             job.log.append(
                 {
                     "kind": "job",
@@ -416,18 +457,6 @@ class JobManager:
             if isinstance(exc, asyncio.CancelledError):
                 raise
             return
-        for event in forwarded:
-            job.log.append(_envelope(event))
-        for seed, outcome in zip(job.compute_seeds, outcomes):
-            if strip_metrics and isinstance(outcome, dict):
-                outcome = {k: v for k, v in outcome.items() if k != "metrics"}
-            key = (job.scenario, seed)
-            self.cache.put(key, outcome, spec=job.canonical)
-            self.trials_computed += 1
-            future = self._inflight.pop(key, None)
-            if future is not None and not future.done():
-                future.set_result(outcome)
-            job.log.append({"kind": "trial", "seed": seed, "status": "computed"})
         self.jobs_finished += 1
         job.log.append({"kind": "job", "job": job.id, "status": "finished"})
         job.log.close()

@@ -125,10 +125,18 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        streamed = False
+
+        def mark_streamed() -> None:
+            # Called by _stream once the chunked 200 head is on the
+            # wire; from then on errors may only travel in-stream.
+            nonlocal streamed
+            streamed = True
+
         try:
-            method, path, query = await self._read_head(reader)
-            body = await self._read_body(reader)
-            await self._route(method, path, query, body, writer)
+            method, path, query, headers = await self._read_head(reader)
+            body = await self._read_body(reader, headers)
+            await self._route(method, path, query, body, writer, mark_streamed)
         except _RequestError as exc:
             self._respond(writer, exc.status, {"error": str(exc)})
         except SpecError as exc:
@@ -136,9 +144,10 @@ class ServiceServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         except Exception as exc:  # pragma: no cover - defensive catch-all
-            self._respond(
-                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
-            )
+            if not streamed:
+                self._respond(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
         finally:
             try:
                 await writer.drain()
@@ -149,24 +158,28 @@ class ServiceServer:
 
     async def _read_head(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, list[str]]]:
+    ) -> tuple[str, str, dict[str, list[str]], dict[str, str]]:
         request = (await reader.readline()).decode("latin-1").strip()
         parts = request.split()
         if len(parts) != 3:
             raise _RequestError(400, f"malformed request line {request!r}")
         method, target, _version = parts
         split = urlsplit(target)
-        self._headers = {}
+        # Headers stay connection-local: one ServiceServer handles
+        # concurrent connections, so nothing per-request lives on self.
+        headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            self._headers[name.strip().lower()] = value.strip()
-        return method.upper(), unquote(split.path), parse_qs(split.query)
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), unquote(split.path), parse_qs(split.query), headers
 
-    async def _read_body(self, reader: asyncio.StreamReader) -> str:
-        length = int(self._headers.get("content-length", "0") or "0")
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> str:
+        length = int(headers.get("content-length", "0") or "0")
         if length > _MAX_BODY:
             raise _RequestError(413, f"request body over {_MAX_BODY} bytes")
         if length <= 0:
@@ -180,6 +193,7 @@ class ServiceServer:
         query: dict[str, list[str]],
         body: str,
         writer: asyncio.StreamWriter,
+        mark_streamed: Any = None,
     ) -> None:
         segments = [part for part in path.split("/") if part]
         if method == "GET" and segments == ["healthz"]:
@@ -210,7 +224,7 @@ class ServiceServer:
             spec, seeds, stream, events = _parse_submission(body, query)
             job = await self.manager.submit(spec, seeds=seeds, events=events or stream)
             if stream:
-                await self._stream(writer, job)
+                await self._stream(writer, job, mark_streamed)
             else:
                 try:
                     payload = await job.result()
@@ -242,7 +256,12 @@ class ServiceServer:
         ).encode("latin-1")
         writer.write(head + body)
 
-    async def _stream(self, writer: asyncio.StreamWriter, job: Job) -> None:
+    async def _stream(
+        self,
+        writer: asyncio.StreamWriter,
+        job: Job,
+        mark_streamed: Any = None,
+    ) -> None:
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
@@ -251,13 +270,17 @@ class ServiceServer:
             "\r\n"
         ).encode("latin-1")
         writer.write(head)
+        if mark_streamed is not None:
+            mark_streamed()
         await writer.drain()
-        async for entry in job.log.tail():
-            self._chunk(writer, entry)
-            await writer.drain()
         try:
+            async for entry in job.log.tail():
+                self._chunk(writer, entry)
+                await writer.drain()
             payload = await job.result()
             self._chunk(writer, {"kind": "result", **payload})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise  # client went away; the terminal chunk has no reader
         except Exception as exc:
             self._chunk(
                 writer,

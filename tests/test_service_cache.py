@@ -105,6 +105,31 @@ def test_truncated_tail_is_recovered(tmp_path):
         assert reborn.peek(("scenario", 2)) is None
 
 
+def test_tail_with_uncoercible_key_is_recovered(tmp_path):
+    # The final line can parse as JSON yet still be a torn append --
+    # e.g. a seed that is not int-coercible. That is the same
+    # at-most-one-lost-entry tail, not mid-file corruption.
+    path = tmp_path / "cache.jsonl"
+    with ResultCache(path) as cache:
+        cache.put(("scenario", 0), {"rounds": 1})
+    with path.open("a") as handle:
+        handle.write('{"key": ["scenario", [1]], "result": {}}\n')
+    with ResultCache(path) as reborn:
+        assert len(reborn) == 1
+        assert reborn.peek(("scenario", 0)) == {"rounds": 1}
+
+
+def test_mid_file_uncoercible_key_raises(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    with ResultCache(path) as cache:
+        cache.put(("scenario", 0), {"rounds": 1})
+    lines = path.read_text().splitlines()
+    lines.insert(1, '{"key": ["scenario", [1]], "result": {}}')
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt cache entry on line 2"):
+        ResultCache(path)
+
+
 def test_mid_file_corruption_raises(tmp_path):
     path = tmp_path / "cache.jsonl"
     with ResultCache(path) as cache:

@@ -170,6 +170,78 @@ def test_failed_trials_are_not_cached(monkeypatch):
     assert calls["count"] == 1
 
 
+def test_unserializable_outcome_fails_the_job_not_the_drain_task(
+    tmp_path, monkeypatch
+):
+    # With a persistence tier, cache.put json-dumps the outcome. An
+    # outcome that cannot serialize must fail the job's futures (and
+    # any coalesced waiters) rather than kill _drain and hang clients.
+    def poisoned_run_trials(*args, **kwargs):
+        return [{"rounds": object()}]
+
+    async def scenario():
+        manager = JobManager(cache=ResultCache(tmp_path / "cache.jsonl"))
+        try:
+            import repro.service.jobs as jobs_module
+
+            monkeypatch.setattr(jobs_module, "run_trials", poisoned_run_trials)
+            job = await manager.submit(SPEC, seeds=[0])
+            coalesced = await manager.submit(SPEC, seeds=[0])
+            assert coalesced.statuses[0][0] == "coalesced"
+            with pytest.raises(TypeError):
+                await asyncio.wait_for(job.result(), timeout=10)
+            with pytest.raises(TypeError):
+                await asyncio.wait_for(coalesced.result(), timeout=10)
+            assert manager.jobs_failed == 1
+            assert manager._inflight == {}
+            assert job.log.closed
+            assert len(manager.cache) == 0  # the failed put cached nothing
+            # The drain task survived: a good submission still runs.
+            monkeypatch.undo()
+            retry = await manager.submit(SPEC, seeds=[0])
+            payload = await asyncio.wait_for(retry.result(), timeout=60)
+            assert payload["results"][0]["status"] == "computed"
+        finally:
+            await manager.close(shutdown_pool=False)
+
+    run(scenario())
+
+
+def test_cancelled_backpressure_put_releases_inflight_claims():
+    async def scenario():
+        manager = JobManager(queue_size=1)
+        manager.start = lambda: None  # keep the queue from draining
+        await manager.submit(SPEC, seeds=[0])  # fills the bounded queue
+        # This submission claims seed 1 then blocks awaiting queue
+        # space; cancelling it (client teardown under backpressure)
+        # must release the claim, or every later identical submission
+        # coalesces onto a future nobody will ever resolve.
+        blocked = asyncio.get_running_loop().create_task(
+            manager.submit(SPEC, seeds=[1])
+        )
+        await asyncio.sleep(0)
+        claimed = [key for key in manager._inflight if key[1] == 1]
+        assert len(claimed) == 1
+        coalesced = await manager.submit(SPEC, seeds=[1])
+        assert coalesced.statuses[1][0] == "coalesced"
+        blocked.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await blocked
+        assert claimed[0] not in manager._inflight
+        with pytest.raises(RuntimeError, match="abandoned"):
+            await asyncio.wait_for(coalesced.result(), timeout=10)
+        # A fresh submission claims the seed anew instead of attaching
+        # to the abandoned computation.
+        del manager.start  # restore draining for real execution
+        retry = await manager.submit(SPEC, seeds=[1])
+        assert retry.statuses[1][0] == "computed"
+        payload = await asyncio.wait_for(retry.result(), timeout=60)
+        assert payload["results"][0]["status"] == "computed"
+        await manager.close(shutdown_pool=False)
+
+    run(scenario())
+
+
 def test_close_fails_pending_futures():
     async def scenario():
         manager = JobManager(queue_size=1)

@@ -10,12 +10,16 @@ result without running any new trial.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import socket
+import time
 
 import pytest
 
 from repro.scenario import resolve
 from repro.service import BackgroundServer, ServiceClient, ServiceError
+from repro.service.server import ServiceServer
 
 SPEC = "algorithm: dac@1(n=6); rounds: 40"
 RESPELLED = "algorithm: dac@1(epsilon=1e-3, n=6); seed: 9; rounds: 40"
@@ -115,6 +119,107 @@ def test_malformed_envelope_fields_are_rejected(service):
             "POST", "/jobs", json.dumps({"spec": SPEC, "seeds": ["one"]})
         )
     assert excinfo.value.status == 400
+
+
+def _recv_until_close(sock: socket.socket) -> bytes:
+    chunks = []
+    while True:
+        data = sock.recv(65536)
+        if not data:
+            return b"".join(chunks)
+        chunks.append(data)
+
+
+def test_concurrent_connections_keep_headers_isolated(service):
+    # Connection A stalls mid-head while connection B completes a
+    # request that carries a Content-Length. A's body read must use
+    # A's (empty) headers, not B's -- per-request state is
+    # connection-local, never stored on the shared server instance.
+    slow = socket.create_connection((service.host, service.port), timeout=10)
+    fast = socket.create_connection((service.host, service.port), timeout=10)
+    try:
+        slow.sendall(b"GET /healthz HTTP/1.1\r\n")  # head unfinished
+        time.sleep(0.2)  # let the server park inside A's header loop
+        fast.sendall(b"POST /nope HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+        response_fast = _recv_until_close(fast)
+        assert response_fast.startswith(b"HTTP/1.1 404")
+        slow.sendall(b"\r\n")  # A's head ends with no Content-Length
+        response_slow = _recv_until_close(slow)
+        assert response_slow.startswith(b"HTTP/1.1 200")
+        assert b'"ok": true' in response_slow
+    finally:
+        slow.close()
+        fast.close()
+
+
+def test_streamed_failure_keeps_a_single_status_line(service, monkeypatch):
+    import repro.service.jobs as jobs_module
+
+    def exploding_run_trials(*args, **kwargs):
+        raise RuntimeError("worker blew up")
+
+    monkeypatch.setattr(jobs_module, "run_trials", exploding_run_trials)
+    body = json.dumps({"spec": SPEC, "stream": True}).encode("utf-8")
+    head = (
+        "POST /jobs?stream=1 HTTP/1.1\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Content-Type: application/json\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    with socket.create_connection((service.host, service.port), timeout=30) as sock:
+        sock.sendall(head + body)
+        raw = _recv_until_close(sock)
+    # One 200 head, then the failure travels in-stream -- never a
+    # second HTTP status line appended to the chunked body.
+    assert raw.count(b"HTTP/1.1") == 1
+    assert raw.startswith(b"HTTP/1.1 200")
+    assert b'"kind": "error"' in raw
+    assert b"worker blew up" in raw
+    assert raw.endswith(b"0\r\n\r\n")
+
+
+def test_stream_errors_after_head_stay_in_stream():
+    # Even a failure while tailing the log (after the chunked head is
+    # on the wire) is reported as an in-stream error chunk plus the
+    # terminal chunk, not as a fresh status line.
+    class _Writer:
+        def __init__(self) -> None:
+            self.data = bytearray()
+
+        def write(self, data: bytes) -> None:
+            self.data += data
+
+        async def drain(self) -> None:
+            pass
+
+        def is_closing(self) -> bool:
+            return False
+
+    class _ExplodingLog:
+        async def tail(self):
+            yield {"kind": "job", "status": "accepted"}
+            raise RuntimeError("log exploded")
+
+    class _Job:
+        id = "job-1"
+        log = _ExplodingLog()
+
+        async def result(self):
+            return {}
+
+    async def scenario():
+        writer = _Writer()
+        marks: list[bool] = []
+        server = ServiceServer(manager=None)  # _stream touches no manager
+        await server._stream(writer, _Job(), lambda: marks.append(True))
+        return bytes(writer.data), marks
+
+    raw, marks = asyncio.run(scenario())
+    assert marks == [True]
+    assert raw.count(b"HTTP/1.1") == 1
+    assert b'"kind": "error"' in raw
+    assert b"log exploded" in raw
+    assert raw.endswith(b"0\r\n\r\n")
 
 
 def test_cache_survives_daemon_restart(tmp_path):
